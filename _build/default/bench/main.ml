@@ -1,0 +1,121 @@
+(* Benchmark and experiment harness.
+
+   Usage:
+     main.exe              run every experiment (full size) + perf benches
+     main.exe quick        trimmed sweeps (CI-friendly)
+     main.exe e3 e6        only the listed experiments
+     main.exe perf         only the Bechamel micro-benchmarks
+     main.exe list         list experiment ids and titles
+
+   One experiment = one reproduced table/figure/theorem of the paper;
+   see DESIGN.md's per-experiment index. *)
+
+module Experiments = Owp_bench.Experiments
+module Exp_common = Owp_bench.Exp_common
+module Workloads = Owp_bench.Workloads
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks (P1–P5)                                   *)
+(* ------------------------------------------------------------------ *)
+
+open Bechamel
+open Toolkit
+
+let perf_instance (n, quota) =
+  Workloads.make ~seed:5 ~family:(Workloads.Gnm_avg_deg 8.0)
+    ~pref_model:Workloads.Random_prefs ~n ~quota
+
+let perf_tests () =
+  let small = perf_instance (500, 3) and mid = perf_instance (2000, 3) in
+  let lid_test name (inst : Workloads.instance) =
+    Test.make ~name (Staged.stage (fun () ->
+        ignore (Owp_core.Lid.run ~seed:1 inst.weights ~capacity:inst.capacity)))
+  in
+  let lic_test name (inst : Workloads.instance) =
+    Test.make ~name (Staged.stage (fun () ->
+        ignore (Owp_core.Lic.run inst.weights ~capacity:inst.capacity)))
+  in
+  let greedy_test name (inst : Workloads.instance) =
+    Test.make ~name (Staged.stage (fun () ->
+        ignore (Owp_matching.Greedy.run inst.weights ~capacity:inst.capacity)))
+  in
+  let weights_test name (inst : Workloads.instance) =
+    Test.make ~name (Staged.stage (fun () ->
+        ignore (Weights.of_preference inst.prefs)))
+  in
+  let gen_test name n =
+    Test.make ~name (Staged.stage (fun () ->
+        let rng = Owp_util.Prng.create 9 in
+        ignore (Gen.gnm rng ~n ~m:(4 * n))))
+  in
+  Test.make_grouped ~name:"owp"
+    [
+      lic_test "P1 LIC n=500" small;
+      lic_test "P1 LIC n=2000" mid;
+      lid_test "P2 LID(sim) n=500" small;
+      lid_test "P2 LID(sim) n=2000" mid;
+      greedy_test "P3 greedy n=2000" mid;
+      weights_test "P4 weights n=2000" mid;
+      gen_test "P5 gnm n=2000" 2000;
+    ]
+
+let run_perf () =
+  print_endline "== Perf (Bechamel, monotonic clock; ns/run via OLS) ==";
+  let tests = perf_tests () in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ x ] -> x
+        | _ -> Float.nan
+      in
+      rows := (name, est) :: !rows)
+    results;
+  let t =
+    Owp_util.Tablefmt.create
+      [ ("bench", Owp_util.Tablefmt.Left); ("time/run", Owp_util.Tablefmt.Right) ]
+  in
+  let pretty ns =
+    if Float.is_nan ns then "n/a"
+    else if ns >= 1e9 then Printf.sprintf "%.2f s" (ns /. 1e9)
+    else if ns >= 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+    else if ns >= 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+    else Printf.sprintf "%.0f ns" ns
+  in
+  List.iter
+    (fun (name, est) -> Owp_util.Tablefmt.add_row t [ name; pretty est ])
+    (List.sort compare !rows);
+  Owp_util.Tablefmt.print t
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.mem "quick" args in
+  let args = List.filter (fun a -> a <> "quick") args in
+  let out = Format.std_formatter in
+  match args with
+  | [ "list" ] ->
+      List.iter
+        (fun e ->
+          Printf.printf "%-4s %s [%s]\n" e.Exp_common.id e.Exp_common.title
+            e.Exp_common.paper_ref)
+        Experiments.all
+  | [ "perf" ] -> run_perf ()
+  | [] ->
+      Experiments.run_all ~quick ~out ();
+      run_perf ()
+  | ids ->
+      List.iter
+        (fun id ->
+          if id = "perf" then run_perf ()
+          else if not (Experiments.run_one ~quick ~out id) then begin
+            Printf.eprintf "unknown experiment id: %s (try 'list')\n" id;
+            exit 2
+          end)
+        ids

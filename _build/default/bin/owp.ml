@@ -1,0 +1,320 @@
+(* owp — command-line driver for the overlays-with-preferences library.
+
+   Subcommands:
+     owp generate    synthesise a potential-connection graph
+     owp stats       structural metrics of a graph file
+     owp run         build an overlay matching with a chosen algorithm
+     owp verify      check a saved matching against a graph and quota
+     owp experiment  regenerate a paper experiment table (E0..E20)
+     owp list        list available experiments *)
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let n_arg =
+  Arg.(value & opt int 1000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of peers.")
+
+let quota_arg =
+  Arg.(value & opt int 3 & info [ "b"; "quota" ] ~docv:"B" ~doc:"Connection quota per peer.")
+
+let family_conv =
+  let parse s =
+    match String.split_on_char ':' (String.lowercase_ascii s) with
+    | [ "gnp"; p ] -> Ok (Owp_bench.Workloads.Gnp (float_of_string p))
+    | [ "deg"; d ] -> Ok (Owp_bench.Workloads.Gnm_avg_deg (float_of_string d))
+    | [ "ba"; m ] -> Ok (Owp_bench.Workloads.Ba (int_of_string m))
+    | [ "ws"; k; beta ] ->
+        Ok (Owp_bench.Workloads.Ws (int_of_string k, float_of_string beta))
+    | [ "geo"; r ] -> Ok (Owp_bench.Workloads.Geometric (float_of_string r))
+    | [ "torus" ] -> Ok Owp_bench.Workloads.Torus
+    | [ "pl"; e; d ] ->
+        Ok (Owp_bench.Workloads.Power_law (float_of_string e, int_of_string d))
+    | _ ->
+        Error
+          (`Msg
+            "expected gnp:P | deg:D | ba:M | ws:K:BETA | geo:R | torus | pl:EXP:MINDEG")
+  in
+  let print ppf f = Format.pp_print_string ppf (Owp_bench.Workloads.family_name f) in
+  Arg.conv (parse, print)
+
+let family_arg =
+  Arg.(
+    value
+    & opt family_conv (Owp_bench.Workloads.Gnm_avg_deg 8.0)
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:
+          "Graph family: gnp:P, deg:D (G(n,m) with average degree D), ba:M, ws:K:BETA, \
+           geo:R, torus, pl:EXP:MINDEG.")
+
+let model_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "random" -> Ok Owp_bench.Workloads.Random_prefs
+    | "latency" -> Ok Owp_bench.Workloads.Latency_prefs
+    | "bandwidth" -> Ok Owp_bench.Workloads.Bandwidth_prefs
+    | "transactions" -> Ok Owp_bench.Workloads.Transaction_prefs
+    | s when String.length s > 9 && String.sub s 0 9 = "interest:" ->
+        Ok (Owp_bench.Workloads.Interest_prefs (int_of_string (String.sub s 9 (String.length s - 9))))
+    | _ -> Error (`Msg "expected random | latency | bandwidth | transactions | interest:D")
+  in
+  let print ppf m = Format.pp_print_string ppf (Owp_bench.Workloads.pref_model_name m) in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Owp_bench.Workloads.Random_prefs
+    & info [ "prefs" ] ~docv:"MODEL"
+        ~doc:"Preference model: random, latency, bandwidth, transactions, interest:D.")
+
+(* ------------------------------------------------------------------ *)
+(* generate                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let generate seed family n out =
+  let inst = Owp_bench.Workloads.make ~seed ~family ~pref_model:Owp_bench.Workloads.Random_prefs ~n ~quota:1 in
+  let text = Graph_io.to_string inst.Owp_bench.Workloads.graph in
+  (match out with
+  | None -> print_string text
+  | Some path ->
+      Graph_io.write path inst.Owp_bench.Workloads.graph;
+      Printf.printf "wrote %s (%d nodes, %d edges)\n" path
+        (Graph.node_count inst.Owp_bench.Workloads.graph)
+        (Graph.edge_count inst.Owp_bench.Workloads.graph));
+  0
+
+let generate_cmd =
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file (stdout if absent).")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Synthesise a potential-connection graph")
+    Term.(const generate $ seed_arg $ family_arg $ n_arg $ out)
+
+(* ------------------------------------------------------------------ *)
+(* stats                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let stats file =
+  let g = Graph_io.read file in
+  let _, components = Metrics.connected_components g in
+  Printf.printf "nodes               : %d\n" (Graph.node_count g);
+  Printf.printf "edges               : %d\n" (Graph.edge_count g);
+  Printf.printf "average degree      : %.2f\n" (Metrics.average_degree g);
+  Printf.printf "max degree          : %d\n" (Graph.max_degree g);
+  Printf.printf "density             : %.5f\n" (Metrics.density g);
+  Printf.printf "components          : %d\n" components;
+  Printf.printf "diameter (lower bnd): %d\n" (Metrics.eccentricity_lower_bound g);
+  Printf.printf "triangles           : %d\n" (Metrics.triangle_count g);
+  Printf.printf "global clustering   : %.4f\n" (Metrics.global_clustering g);
+  0
+
+let stats_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc:"Edge-list file.") in
+  Cmd.v (Cmd.info "stats" ~doc:"Structural metrics of a graph file") Term.(const stats $ file)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let algo_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "lid" -> Ok Owp_core.Pipeline.Lid_distributed
+    | "lic" -> Ok Owp_core.Pipeline.Lic_centralized
+    | "greedy" -> Ok Owp_core.Pipeline.Global_greedy
+    | "dynamics" -> Ok Owp_core.Pipeline.Stable_dynamics
+    | _ -> Error (`Msg "expected lid | lic | greedy | dynamics")
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Owp_core.Pipeline.Lid_distributed -> "lid"
+      | Owp_core.Pipeline.Lic_centralized -> "lic"
+      | Owp_core.Pipeline.Global_greedy -> "greedy"
+      | Owp_core.Pipeline.Stable_dynamics -> "dynamics")
+  in
+  Arg.conv (parse, print)
+
+let run_overlay seed family n quota model algo graph_file save =
+  let inst =
+    match graph_file with
+    | Some path ->
+        let g = Graph_io.read path in
+        let q = Preference.uniform_quota g quota in
+        let rng = Owp_util.Prng.create seed in
+        let prefs =
+          match model with
+          | Owp_bench.Workloads.Random_prefs -> Preference.random rng g ~quota:q
+          | Owp_bench.Workloads.Latency_prefs ->
+              let pts =
+                Array.init (Graph.node_count g) (fun _ ->
+                    (Owp_util.Prng.float rng 1.0, Owp_util.Prng.float rng 1.0))
+              in
+              Preference.of_metric g ~quota:q (Metric.latency pts)
+          | Owp_bench.Workloads.Interest_prefs d ->
+              Preference.of_metric g ~quota:q (Metric.interest ~seed ~dims:d)
+          | Owp_bench.Workloads.Bandwidth_prefs ->
+              Preference.of_metric g ~quota:q (Metric.bandwidth ~seed)
+          | Owp_bench.Workloads.Transaction_prefs ->
+              Preference.of_metric g ~quota:q (Metric.transaction_history ~seed)
+        in
+        {
+          Owp_bench.Workloads.label = path;
+          graph = g;
+          prefs;
+          weights = Weights.of_preference prefs;
+          capacity = Array.init (Graph.node_count g) (Preference.quota prefs);
+        }
+    | None -> Owp_bench.Workloads.make ~seed ~family ~pref_model:model ~n ~quota
+  in
+  let prefs = inst.Owp_bench.Workloads.prefs in
+  let out = Owp_core.Pipeline.run ~seed algo prefs in
+  let q = Owp_overlay.Quality.measure prefs out.Owp_core.Pipeline.matching in
+  Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
+  Printf.printf "links established   : %d\n"
+    (Owp_matching.Bmatching.size out.Owp_core.Pipeline.matching);
+  Printf.printf "total weight (eq.9) : %.4f\n" out.Owp_core.Pipeline.total_weight;
+  Printf.printf "total satisfaction  : %.4f\n" out.Owp_core.Pipeline.total_satisfaction;
+  Format.printf "quality             : %a@." Owp_overlay.Quality.pp q;
+  (match out.Owp_core.Pipeline.messages with
+  | Some msgs -> Printf.printf "protocol messages   : %d\n" msgs
+  | None -> ());
+  (match out.Owp_core.Pipeline.guarantee with
+  | Some b -> Printf.printf "satisfaction bound  : %.4f of optimum (Theorem 3)\n" b
+  | None -> ());
+  (match save with
+  | None -> ()
+  | Some path ->
+      let m = out.Owp_core.Pipeline.matching in
+      let g = inst.Owp_bench.Workloads.graph in
+      let buf = Buffer.create 1024 in
+      Buffer.add_string buf
+        (Printf.sprintf "# owp matching: %d nodes, %d selected edges\n"
+           (Graph.node_count g)
+           (Owp_matching.Bmatching.size m));
+      List.iter
+        (fun eid ->
+          let u, v = Graph.edge_endpoints g eid in
+          Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+        (Owp_matching.Bmatching.edge_ids m);
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
+      Printf.printf "matching saved      : %s\n" path);
+  0
+
+let run_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt algo_conv Owp_core.Pipeline.Lid_distributed
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"Algorithm: lid, lic, greedy or dynamics.")
+  in
+  let graph_file =
+    Arg.(value & opt (some file) None & info [ "graph" ] ~docv:"FILE" ~doc:"Use an edge-list file instead of generating.")
+  in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc:"Write the selected connections as an edge list.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Build an overlay matching and report its quality")
+    Term.(const run_overlay $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg $ algo $ graph_file $ save)
+
+(* ------------------------------------------------------------------ *)
+(* verify                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let verify graph_file matching_file quota =
+  let g = Graph_io.read graph_file in
+  let lines =
+    In_channel.with_open_text matching_file In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter_map (fun l ->
+           let l = String.trim l in
+           if l = "" || l.[0] = '#' then None
+           else
+             match String.split_on_char ' ' l with
+             | [ u; v ] -> Some (int_of_string u, int_of_string v)
+             | _ -> failwith "verify: malformed matching line")
+  in
+  let ids =
+    List.map
+      (fun (u, v) ->
+        match Graph.find_edge g u v with
+        | Some eid -> eid
+        | None -> failwith (Printf.sprintf "verify: %d-%d is not an edge of the graph" u v))
+      lines
+  in
+  let capacity = Array.make (Graph.node_count g) quota in
+  match Owp_matching.Bmatching.of_edge_ids g ~capacity ids with
+  | m ->
+      Printf.printf "valid b-matching    : yes (%d edges, quota %d)\n"
+        (Owp_matching.Bmatching.size m) quota;
+      Printf.printf "maximal             : %b\n" (Owp_matching.Bmatching.is_maximal m);
+      0
+  | exception Invalid_argument msg ->
+      Printf.eprintf "INVALID matching: %s\n" msg;
+      1
+
+let verify_cmd =
+  let graph_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"GRAPH" ~doc:"Edge-list file.")
+  in
+  let matching_file =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"MATCHING" ~doc:"Saved matching (from run --save).")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Validate a saved matching against a graph")
+    Term.(const verify $ graph_file $ matching_file $ quota_arg)
+
+(* ------------------------------------------------------------------ *)
+(* experiment                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let experiment quick ids =
+  let out = Format.std_formatter in
+  match ids with
+  | [] ->
+      Owp_bench.Experiments.run_all ~quick ~out ();
+      0
+  | ids ->
+      if List.for_all (Owp_bench.Experiments.run_one ~quick ~out) ids then 0
+      else begin
+        prerr_endline "unknown experiment id (see `owp list`)";
+        2
+      end
+
+let experiment_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Trimmed sweeps.") in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e12); all when omitted.") in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Regenerate a paper experiment table")
+    Term.(const experiment $ quick $ ids)
+
+let list_cmd =
+  Cmd.v
+    (Cmd.info "list" ~doc:"List available experiments")
+    Term.(
+      const (fun () ->
+          List.iter
+            (fun e ->
+              Printf.printf "%-4s %-45s [%s]\n" e.Owp_bench.Exp_common.id
+                e.Owp_bench.Exp_common.title e.Owp_bench.Exp_common.paper_ref)
+            Owp_bench.Experiments.all;
+          0)
+      $ const ())
+
+(* ------------------------------------------------------------------ *)
+
+let main_cmd =
+  Cmd.group
+    (Cmd.info "owp" ~version:"1.0.0"
+       ~doc:"Overlays with preferences: satisfaction-maximising b-matching (IPDPS 2010)")
+    [ generate_cmd; stats_cmd; run_cmd; verify_cmd; experiment_cmd; list_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

@@ -1,0 +1,1 @@
+examples/cdn_assignment.ml: Array Gen Graph Metric Owp_core Owp_matching Owp_util Preference Printf Weights

@@ -1,0 +1,1 @@
+examples/churn_overlay.ml: Array Gen Graph List Owp_overlay Owp_util Preference Printf

@@ -1,0 +1,1 @@
+examples/file_sharing.ml: Array Gen Graph Metric Owp_core Owp_matching Owp_stable Owp_util Preference Printf Weights

@@ -1,0 +1,1 @@
+examples/interest_overlay.ml: Array Fun Gen Graph Metric Owp_core Owp_matching Owp_overlay Owp_util Preference Printf

@@ -1,0 +1,1 @@
+examples/interest_overlay.mli:

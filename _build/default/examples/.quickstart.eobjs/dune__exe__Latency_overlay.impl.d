@@ -1,0 +1,1 @@
+examples/latency_overlay.ml: Array Gen Graph List Metric Metrics Owp_core Owp_matching Owp_overlay Owp_util Preference Printf

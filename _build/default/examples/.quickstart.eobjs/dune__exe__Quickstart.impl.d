@@ -1,0 +1,1 @@
+examples/quickstart.ml: Gen Graph Metric Owp_core Owp_matching Owp_overlay Owp_util Printf

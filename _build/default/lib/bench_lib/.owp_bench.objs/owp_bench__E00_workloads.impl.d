@@ -1,0 +1,1 @@
+lib/bench_lib/e00_workloads.ml: Exp_common Graph List Metrics Owp_util Preference Printf Weights Workloads

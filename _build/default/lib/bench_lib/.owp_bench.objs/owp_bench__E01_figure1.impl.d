@@ -1,0 +1,1 @@
+lib/bench_lib/e01_figure1.ml: Exp_common List Owp_util Printf Satisfaction

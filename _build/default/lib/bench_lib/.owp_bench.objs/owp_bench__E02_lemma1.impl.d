@@ -1,0 +1,1 @@
+lib/bench_lib/e02_lemma1.ml: Array Exp_common List Owp_core Owp_util Satisfaction

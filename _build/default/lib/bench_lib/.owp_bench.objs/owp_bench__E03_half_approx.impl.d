@@ -1,0 +1,1 @@
+lib/bench_lib/e03_half_approx.ml: Array Exp_common Graph List Owp_core Owp_matching Owp_util Printf Weights Workloads

@@ -1,0 +1,1 @@
+lib/bench_lib/e04_equivalence.ml: Exp_common Float List Owp_core Owp_matching Owp_simnet Owp_util Printf Workloads

@@ -1,0 +1,1 @@
+lib/bench_lib/e05_messages.ml: Exp_common Graph List Owp_core Owp_util Workloads

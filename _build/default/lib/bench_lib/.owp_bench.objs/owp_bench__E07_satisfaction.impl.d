@@ -1,0 +1,1 @@
+lib/bench_lib/e07_satisfaction.ml: Exp_common List Owp_core Owp_overlay Owp_util Printf Workloads

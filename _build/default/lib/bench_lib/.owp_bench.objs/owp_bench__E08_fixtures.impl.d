@@ -1,0 +1,1 @@
+lib/bench_lib/e08_fixtures.ml: Exp_common Graph List Owp_core Owp_stable Owp_util Preference Printf Workloads

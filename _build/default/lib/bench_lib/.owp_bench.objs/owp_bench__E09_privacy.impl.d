@@ -1,0 +1,1 @@
+lib/bench_lib/e09_privacy.ml: Exp_common Graph List Owp_core Owp_util Workloads

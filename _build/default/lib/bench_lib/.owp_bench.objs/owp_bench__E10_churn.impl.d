@@ -1,0 +1,1 @@
+lib/bench_lib/e10_churn.ml: Array Exp_common Graph List Owp_overlay Owp_util Printf Workloads

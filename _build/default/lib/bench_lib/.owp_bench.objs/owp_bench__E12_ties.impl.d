@@ -1,0 +1,1 @@
+lib/bench_lib/e12_ties.ml: Array Exp_common Float Graph List Owp_core Owp_matching Owp_util Printf Weights Workloads

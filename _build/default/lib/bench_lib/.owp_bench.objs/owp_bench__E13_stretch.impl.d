@@ -1,0 +1,1 @@
+lib/bench_lib/e13_stretch.ml: Array Exp_common Float Gen Graph List Metric Owp_core Owp_matching Owp_util Preference Printf Spath Weights

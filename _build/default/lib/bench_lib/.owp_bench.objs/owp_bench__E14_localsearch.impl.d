@@ -1,0 +1,1 @@
+lib/bench_lib/e14_localsearch.ml: Exp_common Graph List Owp_core Owp_matching Owp_util Workloads

@@ -1,0 +1,1 @@
+lib/bench_lib/e15_robust.ml: Array Exp_common Graph List Owp_core Owp_matching Owp_util Preference Printf Workloads

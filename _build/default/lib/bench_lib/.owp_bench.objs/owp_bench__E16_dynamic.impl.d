@@ -1,0 +1,1 @@
+lib/bench_lib/e16_dynamic.ml: Array Exp_common Graph List Owp_core Owp_matching Owp_overlay Owp_util Preference Printf Weights Workloads

@@ -1,0 +1,1 @@
+lib/bench_lib/e17_floors.ml: Array Exp_common Graph List Owp_core Owp_matching Owp_stable Owp_util Preference Printf Workloads

@@ -1,0 +1,1 @@
+lib/bench_lib/e18_bipartite.ml: Array Exp_common Gen Graph List Owp_core Owp_matching Owp_util Preference Printf Weights

@@ -1,0 +1,1 @@
+lib/bench_lib/e19_anytime.ml: Array Exp_common Graph List Owp_core Owp_util Preference Printf Workloads

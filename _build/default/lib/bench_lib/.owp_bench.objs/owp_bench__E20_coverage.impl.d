@@ -1,0 +1,1 @@
+lib/bench_lib/e20_coverage.ml: Exp_common List Owp_core Owp_matching Owp_util Printf Workloads

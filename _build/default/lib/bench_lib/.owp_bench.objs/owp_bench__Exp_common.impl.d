@@ -1,0 +1,1 @@
+lib/bench_lib/exp_common.ml: Float Hashtbl List Owp_core Owp_matching Owp_util Preference Printf Workloads

@@ -1,0 +1,1 @@
+lib/bench_lib/exp_common.mli: Owp_core Owp_matching Owp_prefs Owp_util Workloads

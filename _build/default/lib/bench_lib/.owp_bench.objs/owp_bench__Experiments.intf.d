@@ -1,0 +1,1 @@
+lib/bench_lib/experiments.mli: Exp_common Format

@@ -1,0 +1,1 @@
+lib/bench_lib/workloads.ml: Array Gen Graph List Metric Owp_util Preference Printf Weights

@@ -1,0 +1,1 @@
+lib/bench_lib/workloads.mli: Graph Preference Weights

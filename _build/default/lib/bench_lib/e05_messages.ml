@@ -1,0 +1,84 @@
+(* E5 — Lemma 5 (termination) and message complexity of LID.
+
+   The paper proves LID always terminates; the interesting engineering
+   quantities are how many PROP/REJ messages that takes.  Sweep n (at
+   fixed average degree and quota) and quota b (at fixed n). *)
+
+module Tbl = Owp_util.Tablefmt
+
+let row t (inst : Workloads.instance) b =
+  let r = Exp_common.run_lid inst in
+  let n = Graph.node_count inst.graph and m = Graph.edge_count inst.graph in
+  let total = r.Owp_core.Lid.prop_count + r.Owp_core.Lid.rej_count in
+  Tbl.add_row t
+    [
+      Tbl.icell n;
+      Tbl.icell m;
+      Tbl.icell b;
+      Tbl.icell r.Owp_core.Lid.prop_count;
+      Tbl.icell r.Owp_core.Lid.rej_count;
+      Tbl.fcell2 (float_of_int total /. float_of_int n);
+      Tbl.fcell2 (float_of_int total /. float_of_int (max m 1));
+      Tbl.fcell2 r.Owp_core.Lid.completion_time;
+      (if r.Owp_core.Lid.all_terminated then "yes" else "NO");
+    ]
+
+let run ~quick =
+  let ns = if quick then [ 200; 1000 ] else [ 200; 1000; 5000; 20000 ] in
+  let t1 =
+    Tbl.create
+      ~title:
+        "E5a (Lemma 5): LID termination and message complexity vs n (avg deg 8, b = 3)"
+      [
+        ("n", Tbl.Right);
+        ("m", Tbl.Right);
+        ("b", Tbl.Right);
+        ("PROP", Tbl.Right);
+        ("REJ", Tbl.Right);
+        ("msgs/node", Tbl.Right);
+        ("msgs/edge", Tbl.Right);
+        ("v-time", Tbl.Right);
+        ("terminated", Tbl.Left);
+      ]
+  in
+  List.iter
+    (fun n ->
+      let inst =
+        Workloads.make ~seed:n ~family:(Workloads.Gnm_avg_deg 8.0)
+          ~pref_model:Workloads.Random_prefs ~n ~quota:3
+      in
+      row t1 inst 3)
+    ns;
+  let t2 =
+    Tbl.create
+      ~title:"E5b: message complexity vs quota b (G(n,m) avg deg 12, n = 2000)"
+      [
+        ("n", Tbl.Right);
+        ("m", Tbl.Right);
+        ("b", Tbl.Right);
+        ("PROP", Tbl.Right);
+        ("REJ", Tbl.Right);
+        ("msgs/node", Tbl.Right);
+        ("msgs/edge", Tbl.Right);
+        ("v-time", Tbl.Right);
+        ("terminated", Tbl.Left);
+      ]
+  in
+  let bs = if quick then [ 1; 4 ] else [ 1; 2; 4; 8; 12 ] in
+  List.iter
+    (fun b ->
+      let inst =
+        Workloads.make ~seed:(100 + b) ~family:(Workloads.Gnm_avg_deg 12.0)
+          ~pref_model:Workloads.Random_prefs ~n:2000 ~quota:b
+      in
+      row t2 inst b)
+    bs;
+  [ t1; t2 ]
+
+let exp =
+  {
+    Exp_common.id = "E5";
+    title = "Termination and message complexity";
+    paper_ref = "Lemma 5";
+    run;
+  }

@@ -1,0 +1,99 @@
+(* E11 — unit-quota cross-check: with b = 1 the problem is classic
+   maximum weighted matching and LIC/LID coincide with the locally
+   heaviest edge algorithms from the literature (Preis; Hoepman's
+   distributed variant).  Compare against path-growing and the exact
+   optimum on small graphs. *)
+
+module Tbl = Owp_util.Tablefmt
+module BM = Owp_matching.Bmatching
+module One = Owp_matching.Onetoone
+
+let run ~quick =
+  let seeds = if quick then [ 1; 2 ] else [ 1; 2; 3; 4; 5 ] in
+  let t =
+    Tbl.create
+      ~title:"E11: one-to-one specialisation (b = 1), weight ratio vs exact optimum"
+      [
+        ("instance", Tbl.Left);
+        ("LIC=Preis?", Tbl.Left);
+        ("LID/opt", Tbl.Right);
+        ("Preis/opt", Tbl.Right);
+        ("path-growing/opt", Tbl.Right);
+        ("greedy/opt", Tbl.Right);
+      ]
+  in
+  List.iter
+    (fun seed ->
+      let inst =
+        Workloads.make ~seed ~family:(Workloads.Gnp 0.4)
+          ~pref_model:Workloads.Random_prefs ~n:10 ~quota:1
+      in
+      if Graph.edge_count inst.graph <= 30 then begin
+        let opt =
+          Owp_matching.Exact.max_weight_bmatching ~max_edges:30 inst.weights
+            ~capacity:inst.capacity
+        in
+        let wopt = BM.weight opt inst.weights in
+        let ratio m = if wopt = 0.0 then 1.0 else BM.weight m inst.weights /. wopt in
+        let lid = (Exp_common.run_lid inst).Owp_core.Lid.matching in
+        let lic = Exp_common.run_lic inst in
+        let preis = One.preis inst.weights in
+        let pg = One.path_growing inst.weights in
+        let greedy = One.global_greedy inst.weights in
+        Tbl.add_row t
+          [
+            inst.label;
+            (if BM.equal lic preis then "yes" else "no");
+            Tbl.fcell (ratio lid);
+            Tbl.fcell (ratio preis);
+            Tbl.fcell (ratio pg);
+            Tbl.fcell (ratio greedy);
+          ]
+      end)
+    seeds;
+  (* distributed one-to-one protocols head-to-head: Hoepman's REQ/DROP
+     vs LID at b = 1 — same edge set, different message bills *)
+  let t2 =
+    Tbl.create
+      ~title:"E11b: distributed protocols at b = 1 — LID vs Hoepman (ref [6])"
+      [
+        ("n", Tbl.Right);
+        ("m", Tbl.Right);
+        ("same edge set", Tbl.Left);
+        ("LID msgs", Tbl.Right);
+        ("Hoepman msgs", Tbl.Right);
+        ("LID v-time", Tbl.Right);
+        ("Hoepman v-time", Tbl.Right);
+      ]
+  in
+  let sizes = if quick then [ 200 ] else [ 200; 1000; 4000 ] in
+  List.iter
+    (fun n ->
+      let inst =
+        Workloads.make ~seed:n ~family:(Workloads.Gnm_avg_deg 8.0)
+          ~pref_model:Workloads.Random_prefs ~n ~quota:1
+      in
+      let lid = Exp_common.run_lid inst in
+      let hoep = Owp_core.Hoepman.run ~seed:(n + 1) inst.weights in
+      Tbl.add_row t2
+        [
+          Tbl.icell n;
+          Tbl.icell (Graph.edge_count inst.graph);
+          (if BM.equal lid.Owp_core.Lid.matching hoep.Owp_core.Hoepman.matching then "yes"
+           else "no");
+          Tbl.icell (lid.Owp_core.Lid.prop_count + lid.Owp_core.Lid.rej_count);
+          Tbl.icell
+            (hoep.Owp_core.Hoepman.req_count + hoep.Owp_core.Hoepman.drop_count);
+          Tbl.fcell2 lid.Owp_core.Lid.completion_time;
+          Tbl.fcell2 hoep.Owp_core.Hoepman.completion_time;
+        ])
+    sizes;
+  [ t; t2 ]
+
+let exp =
+  {
+    Exp_common.id = "E11";
+    title = "One-to-one baselines";
+    paper_ref = "§1 related work [6,14,16]";
+    run;
+  }

@@ -1,0 +1,29 @@
+module Tbl = Owp_util.Tablefmt
+
+type exp = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  run : quick:bool -> Tbl.t list;
+}
+
+let total_satisfaction prefs m =
+  Preference.total_satisfaction prefs (Owp_matching.Bmatching.connection_lists m)
+
+let run_lid (inst : Workloads.instance) =
+  Owp_core.Lid.run ~seed:(Hashtbl.hash inst.Workloads.label) inst.Workloads.weights
+    ~capacity:inst.Workloads.capacity
+
+let run_lic (inst : Workloads.instance) =
+  Owp_core.Lic.run inst.Workloads.weights ~capacity:inst.Workloads.capacity
+
+let run_greedy (inst : Workloads.instance) =
+  Owp_matching.Greedy.run inst.Workloads.weights ~capacity:inst.Workloads.capacity
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let minimum = function [] -> 0.0 | x :: xs -> List.fold_left Float.min x xs
+
+let header e = Printf.sprintf "== %s: %s  [%s] ==" e.id e.title e.paper_ref

@@ -1,0 +1,22 @@
+(** Shared plumbing for the experiment runners. *)
+
+module Tbl = Owp_util.Tablefmt
+
+type exp = {
+  id : string;  (** e.g. "E3" *)
+  title : string;
+  paper_ref : string;  (** the lemma/theorem/figure being reproduced *)
+  run : quick:bool -> Tbl.t list;
+      (** [quick] trims sweep sizes for CI; full mode regenerates the
+          EXPERIMENTS.md numbers *)
+}
+
+val total_satisfaction : Owp_prefs.Preference.t -> Owp_matching.Bmatching.t -> float
+
+val run_lid : Workloads.instance -> Owp_core.Lid.report
+val run_lic : Workloads.instance -> Owp_matching.Bmatching.t
+val run_greedy : Workloads.instance -> Owp_matching.Bmatching.t
+
+val mean : float list -> float
+val minimum : float list -> float
+val header : exp -> string

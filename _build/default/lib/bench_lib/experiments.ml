@@ -1,0 +1,42 @@
+let all =
+  [
+    E00_workloads.exp;
+    E01_figure1.exp;
+    E02_lemma1.exp;
+    E03_half_approx.exp;
+    E04_equivalence.exp;
+    E05_messages.exp;
+    E06_theorem3.exp;
+    E07_satisfaction.exp;
+    E08_fixtures.exp;
+    E09_privacy.exp;
+    E10_churn.exp;
+    E11_onetoone.exp;
+    E12_ties.exp;
+    E13_stretch.exp;
+    E14_localsearch.exp;
+    E15_robust.exp;
+    E16_dynamic.exp;
+    E17_floors.exp;
+    E18_bipartite.exp;
+    E19_anytime.exp;
+    E20_coverage.exp;
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> String.lowercase_ascii e.Exp_common.id = id) all
+
+let print_exp ~quick out (e : Exp_common.exp) =
+  Format.fprintf out "%s@." (Exp_common.header e);
+  let tables = e.Exp_common.run ~quick in
+  List.iter (fun t -> Format.fprintf out "%s@." (Owp_util.Tablefmt.render t)) tables
+
+let run_all ?(quick = false) ~out () = List.iter (print_exp ~quick out) all
+
+let run_one ?(quick = false) ~out id =
+  match find id with
+  | None -> false
+  | Some e ->
+      print_exp ~quick out e;
+      true

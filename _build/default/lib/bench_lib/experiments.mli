@@ -1,0 +1,14 @@
+(** Registry of all reproduction experiments (see DESIGN.md's
+    per-experiment index and EXPERIMENTS.md for paper-vs-measured). *)
+
+val all : Exp_common.exp list
+(** E1–E16 in order. *)
+
+val find : string -> Exp_common.exp option
+(** Lookup by case-insensitive id, e.g. "e3". *)
+
+val run_all : ?quick:bool -> out:Format.formatter -> unit -> unit
+(** Execute every experiment and print its tables. *)
+
+val run_one : ?quick:bool -> out:Format.formatter -> string -> bool
+(** Execute a single experiment by id; [false] if the id is unknown. *)

@@ -1,0 +1,107 @@
+module Prng = Owp_util.Prng
+
+type family =
+  | Gnp of float
+  | Gnm_avg_deg of float
+  | Ba of int
+  | Ws of int * float
+  | Geometric of float
+  | Torus
+  | Power_law of float * int
+
+let family_name = function
+  | Gnp p -> Printf.sprintf "G(n,p=%.3g)" p
+  | Gnm_avg_deg d -> Printf.sprintf "G(n,m) deg=%.1f" d
+  | Ba m -> Printf.sprintf "BA(m=%d)" m
+  | Ws (k, beta) -> Printf.sprintf "WS(k=%d,b=%.2f)" k beta
+  | Geometric r -> Printf.sprintf "RGG(r=%.3g)" r
+  | Torus -> "Torus"
+  | Power_law (e, d) -> Printf.sprintf "PL(g=%.1f,d=%d)" e d
+
+let standard_families = [ Gnm_avg_deg 8.0; Ba 4; Ws (4, 0.1); Geometric 0.08 ]
+
+type pref_model =
+  | Random_prefs
+  | Latency_prefs
+  | Interest_prefs of int
+  | Bandwidth_prefs
+  | Transaction_prefs
+
+let pref_model_name = function
+  | Random_prefs -> "random"
+  | Latency_prefs -> "latency"
+  | Interest_prefs d -> Printf.sprintf "interest(%d)" d
+  | Bandwidth_prefs -> "bandwidth"
+  | Transaction_prefs -> "transactions"
+
+type instance = {
+  label : string;
+  graph : Graph.t;
+  prefs : Preference.t;
+  weights : Weights.t;
+  capacity : int array;
+}
+
+let build_graph rng family n =
+  match family with
+  | Gnp p -> (Gen.gnp rng ~n ~p, None)
+  | Gnm_avg_deg d ->
+      let m = min (n * (n - 1) / 2) (int_of_float (float_of_int n *. d /. 2.0)) in
+      (Gen.gnm rng ~n ~m, None)
+  | Ba m -> (Gen.barabasi_albert rng ~n ~m, None)
+  | Ws (k, beta) -> (Gen.watts_strogatz rng ~n ~k ~beta, None)
+  | Geometric r ->
+      let g, pts = Gen.random_geometric rng ~n ~radius:r in
+      (g, Some pts)
+  | Torus ->
+      let w = max 3 (int_of_float (sqrt (float_of_int n))) in
+      (Gen.torus ~width:w ~height:w, None)
+  | Power_law (exponent, min_degree) ->
+      (Gen.configuration_power_law rng ~n ~exponent ~min_degree, None)
+
+let build_prefs rng ~seed g pts pref_model quota =
+  match pref_model with
+  | Random_prefs -> Preference.random rng g ~quota
+  | Latency_prefs ->
+      let pts =
+        match pts with
+        | Some pts -> pts
+        | None ->
+            (* virtual coordinates for non-geometric families *)
+            Array.init (Graph.node_count g) (fun _ ->
+                (Prng.float rng 1.0, Prng.float rng 1.0))
+      in
+      Preference.of_metric g ~quota (Metric.latency pts)
+  | Interest_prefs dims -> Preference.of_metric g ~quota (Metric.interest ~seed ~dims)
+  | Bandwidth_prefs -> Preference.of_metric g ~quota (Metric.bandwidth ~seed)
+  | Transaction_prefs -> Preference.of_metric g ~quota (Metric.transaction_history ~seed)
+
+let make ~seed ~family ~pref_model ~n ~quota =
+  let rng = Prng.create seed in
+  let g, pts = build_graph rng family n in
+  let q = Preference.uniform_quota g quota in
+  let prefs = build_prefs rng ~seed g pts pref_model q in
+  let weights = Weights.of_preference prefs in
+  let capacity = Array.init (Graph.node_count g) (Preference.quota prefs) in
+  {
+    label =
+      Printf.sprintf "%s/%s n=%d b=%d s=%d" (family_name family)
+        (pref_model_name pref_model) n quota seed;
+    graph = g;
+    prefs;
+    weights;
+    capacity;
+  }
+
+let small_instances ~seeds ~n ~quota =
+  let families = [ Gnp 0.5; Gnp 0.35; Ba 3 ] in
+  let models = [ Random_prefs; Latency_prefs; Bandwidth_prefs ] in
+  List.concat_map
+    (fun seed ->
+      List.concat_map
+        (fun family ->
+          List.map
+            (fun pref_model -> make ~seed ~family ~pref_model ~n ~quota)
+            models)
+        families)
+    seeds

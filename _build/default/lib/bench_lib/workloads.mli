@@ -1,0 +1,43 @@
+(** Workload generation for the experiment harness: named graph
+    families × preference-list models, as used across E2–E12. *)
+
+type family =
+  | Gnp of float  (** Erdős–Rényi with the given edge probability *)
+  | Gnm_avg_deg of float  (** uniform random graph with given average degree *)
+  | Ba of int  (** Barabási–Albert with attachment m *)
+  | Ws of int * float  (** Watts–Strogatz (k, beta) *)
+  | Geometric of float  (** random geometric with radius *)
+  | Torus  (** 2-D torus (width ≈ sqrt n) *)
+  | Power_law of float * int  (** configuration model (exponent, min degree) *)
+
+val family_name : family -> string
+
+val standard_families : family list
+(** The four families the experiment tables sweep by default. *)
+
+type pref_model =
+  | Random_prefs  (** uniformly random lists — adversarial, cyclic *)
+  | Latency_prefs  (** geometric distance metric (requires coordinates) *)
+  | Interest_prefs of int  (** interest profiles with the given dims *)
+  | Bandwidth_prefs  (** global capacity ranking — acyclic *)
+  | Transaction_prefs  (** asymmetric pseudo-random history — cyclic *)
+
+val pref_model_name : pref_model -> string
+
+type instance = {
+  label : string;
+  graph : Graph.t;
+  prefs : Preference.t;
+  weights : Weights.t;
+  capacity : int array;
+}
+
+val make :
+  seed:int -> family:family -> pref_model:pref_model -> n:int -> quota:int -> instance
+(** Build a full instance; coordinates are generated internally when the
+    pref model needs them (latency on a non-geometric family samples
+    virtual coordinates). *)
+
+val small_instances : seeds:int list -> n:int -> quota:int -> instance list
+(** Dense-enough small instances across families/models for the exact
+    comparisons (E3/E6/E11). *)

@@ -1,0 +1,1 @@
+lib/core/hoepman.ml: Array Graph Hashtbl Owp_matching Owp_simnet Weights

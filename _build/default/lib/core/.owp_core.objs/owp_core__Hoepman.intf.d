@@ -1,0 +1,1 @@
+lib/core/hoepman.mli: Owp_matching Owp_simnet Weights

@@ -1,0 +1,1 @@
+lib/core/improve.ml: Graph List Option Owp_matching Preference

@@ -1,0 +1,1 @@
+lib/core/improve.mli: Owp_matching Preference

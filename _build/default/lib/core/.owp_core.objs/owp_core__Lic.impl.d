@@ -1,0 +1,1 @@
+lib/core/lic.ml: Array Graph List Owp_matching Owp_util Weights

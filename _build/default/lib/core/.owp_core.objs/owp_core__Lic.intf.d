@@ -1,0 +1,1 @@
+lib/core/lic.mli: Owp_matching Owp_util Weights

@@ -1,0 +1,1 @@
+lib/core/lid.ml: Array Graph Hashtbl Owp_matching Owp_simnet Weights

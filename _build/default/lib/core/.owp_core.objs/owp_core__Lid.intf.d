@@ -1,0 +1,1 @@
+lib/core/lid.mli: Owp_matching Owp_simnet Weights

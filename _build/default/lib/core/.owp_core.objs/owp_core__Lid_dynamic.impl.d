@@ -1,0 +1,1 @@
+lib/core/lid_dynamic.ml: Array Graph Hashtbl List Owp_matching Owp_simnet Preference Weights

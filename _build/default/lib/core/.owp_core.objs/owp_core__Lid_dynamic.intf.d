@@ -1,0 +1,1 @@
+lib/core/lid_dynamic.mli: Owp_matching Owp_simnet Preference

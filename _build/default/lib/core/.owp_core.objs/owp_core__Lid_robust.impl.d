@@ -1,0 +1,1 @@
+lib/core/lid_robust.ml: Array Graph Hashtbl Owp_matching Owp_simnet Weights

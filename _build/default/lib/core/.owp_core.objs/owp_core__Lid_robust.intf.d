@@ -1,0 +1,1 @@
+lib/core/lid_robust.mli: Owp_matching Owp_simnet Weights

@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Array Graph Lic Lid Owp_matching Owp_stable Preference Theory Weights

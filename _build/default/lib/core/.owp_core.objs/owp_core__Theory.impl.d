@@ -1,0 +1,1 @@
+lib/core/theory.ml: Graph Owp_matching Preference Weights

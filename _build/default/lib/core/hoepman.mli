@@ -1,0 +1,26 @@
+(** Hoepman's distributed weighted matching protocol (paper ref [6]).
+
+    The classic one-to-one distributed ½-approximation: every node
+    requests its heaviest surviving neighbour (REQ); mutual requests
+    match, and a matched node drops all other neighbours (DROP), who
+    then re-aim at their next candidate.  LID generalises this shape to
+    quotas b_i > 1; running both at b = 1 lets experiment E11 compare
+    edge sets (identical) and message bills.
+
+    Runs on {!Owp_simnet.Simnet} like LID. *)
+
+type message = Req | Drop
+
+type report = {
+  matching : Owp_matching.Bmatching.t;  (** 1-regular *)
+  req_count : int;
+  drop_count : int;
+  completion_time : float;
+  all_terminated : bool;
+}
+
+val run :
+  ?seed:int ->
+  ?delay:Owp_simnet.Simnet.delay_model ->
+  Weights.t ->
+  report

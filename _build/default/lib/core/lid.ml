@@ -1,0 +1,163 @@
+module Simnet = Owp_simnet.Simnet
+module Bmatching = Owp_matching.Bmatching
+
+type message = Prop | Rej
+
+type report = {
+  matching : Bmatching.t;
+  prop_count : int;
+  rej_count : int;
+  delivered : int;
+  completion_time : float;
+  all_terminated : bool;
+}
+
+(* Per-node protocol state.  The paper's four sets are represented as:
+   U_i = u_set, P_i = in_p (all proposals, locked included) with
+   P_i \ K_i = pending, A_i = a_set, K_i = k_set.  wsorted is the
+   node's weight list: incident neighbours by decreasing edge weight. *)
+type node_state = {
+  wsorted : (int * int) array; (* (neighbour, edge id), heaviest first *)
+  u_set : (int, unit) Hashtbl.t;
+  in_p : (int, unit) Hashtbl.t;
+  pending : (int, unit) Hashtbl.t;
+  a_set : (int, unit) Hashtbl.t;
+  k_set : (int, unit) Hashtbl.t;
+  mutable ptr : int; (* scan position for topRanked(U \ P) *)
+  mutable finished : bool;
+}
+
+let run ?(seed = 0x11D) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
+    ?(faults = Simnet.no_faults) ?(on_lock = fun _ _ _ -> ()) w ~capacity =
+  let g = Weights.graph w in
+  let n = Graph.node_count g in
+  Array.iter (fun b -> if b < 0 then invalid_arg "Lid.run: negative capacity") capacity;
+  let quota = Array.mapi (fun i b -> min b (Graph.degree g i)) capacity in
+  let net = Simnet.create ~seed ~fifo ~faults ~nodes:(max n 1) ~delay () in
+  let prop_count = ref 0 and rej_count = ref 0 in
+  let send_prop src dst =
+    incr prop_count;
+    Simnet.send net ~src ~dst Prop
+  in
+  let send_rej src dst =
+    incr rej_count;
+    Simnet.send net ~src ~dst Rej
+  in
+  let state =
+    Array.init n (fun i ->
+        let ws = Array.copy (Graph.neighbors g i) in
+        Array.sort (fun (_, e) (_, f) -> Weights.compare_edges w f e) ws;
+        let u_set = Hashtbl.create 16 in
+        Array.iter (fun (v, _) -> Hashtbl.replace u_set v ()) ws;
+        {
+          wsorted = ws;
+          u_set;
+          in_p = Hashtbl.create 8;
+          pending = Hashtbl.create 8;
+          a_set = Hashtbl.create 8;
+          k_set = Hashtbl.create 8;
+          ptr = 0;
+          finished = false;
+        })
+  in
+  (* line 15–16: all proposals answered — decline everyone left *)
+  let check_done i =
+    let s = state.(i) in
+    if (not s.finished) && Hashtbl.length s.pending = 0 then begin
+      Hashtbl.iter (fun v () -> send_rej i v) s.u_set;
+      Hashtbl.reset s.u_set;
+      s.finished <- true
+    end
+  in
+  (* line 12–14: mutual proposal — lock the connection *)
+  let lock i v =
+    let s = state.(i) in
+    Hashtbl.remove s.u_set v;
+    Hashtbl.remove s.a_set v;
+    Hashtbl.remove s.pending v;
+    Hashtbl.replace s.k_set v ();
+    on_lock (Simnet.now net) i v
+  in
+  (* lines 9–11: propose to the next-ranked neighbour still in U \ P *)
+  let propose_next i =
+    let s = state.(i) in
+    let len = Array.length s.wsorted in
+    let rec advance () =
+      if s.ptr >= len then None
+      else begin
+        let v, _ = s.wsorted.(s.ptr) in
+        if Hashtbl.mem s.u_set v && not (Hashtbl.mem s.in_p v) then Some v
+        else begin
+          s.ptr <- s.ptr + 1;
+          advance ()
+        end
+      end
+    in
+    match advance () with
+    | None -> ()
+    | Some v ->
+        Hashtbl.replace s.in_p v ();
+        Hashtbl.replace s.pending v ();
+        send_prop i v;
+        (* the candidate may have proposed to us already *)
+        if Hashtbl.mem s.a_set v then lock i v
+  in
+  let handle ~src ~dst m =
+    let i = dst and u = src in
+    let s = state.(i) in
+    if not s.finished then begin
+      (match m with
+      | Prop ->
+          Hashtbl.replace s.a_set u ();
+          if Hashtbl.mem s.pending u then lock i u
+      | Rej ->
+          Hashtbl.remove s.u_set u;
+          if Hashtbl.mem s.pending u then begin
+            Hashtbl.remove s.pending u;
+            (* u stays in in_p: it was proposed to and must not be
+               proposed to again *)
+            propose_next i
+          end);
+      check_done i
+    end
+    (* a finished node already declined everyone still unanswered, so a
+       late PROP needs no reply and a late REJ changes nothing *)
+  in
+  Simnet.set_handler net handle;
+  (* lines 1–3: initial proposals to the top b_i of the weight list *)
+  for i = 0 to n - 1 do
+    let s = state.(i) in
+    let target = quota.(i) in
+    let made = ref 0 in
+    while !made < target && s.ptr < Array.length s.wsorted do
+      let v, _ = s.wsorted.(s.ptr) in
+      if (not (Hashtbl.mem s.in_p v)) && Hashtbl.mem s.u_set v then begin
+        Hashtbl.replace s.in_p v ();
+        Hashtbl.replace s.pending v ();
+        send_prop i v;
+        incr made
+      end;
+      s.ptr <- s.ptr + 1
+    done;
+    (* reset the scan pointer: later proposals rescan from the top,
+       skipping anything already proposed to or no longer in U *)
+    s.ptr <- 0;
+    check_done i
+  done;
+  Simnet.run net;
+  let all_terminated = Array.for_all (fun s -> s.finished) state in
+  (* assemble the matching from the locked sets; K is symmetric on a
+     clean run, and intersection keeps the result feasible otherwise *)
+  let ids = ref [] in
+  Graph.iter_edges g (fun eid a b ->
+      if Hashtbl.mem state.(a).k_set b && Hashtbl.mem state.(b).k_set a then
+        ids := eid :: !ids);
+  let matching = Bmatching.of_edge_ids g ~capacity !ids in
+  {
+    matching;
+    prop_count = !prop_count;
+    rej_count = !rej_count;
+    delivered = Simnet.messages_delivered net;
+    completion_time = Simnet.now net;
+    all_terminated;
+  }

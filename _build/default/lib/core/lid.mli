@@ -1,0 +1,43 @@
+(** LID — Local Information-based Distributed algorithm (paper Alg. 1).
+
+    Every node ranks its incident edges by the symmetric weight of
+    eq. 9 (its "weight list") and proposes (PROP) to its top [b_i]
+    neighbours.  A mutual proposal locks the connection; a node whose
+    proposal is declined (REJ) proposes to its next-ranked neighbour; a
+    node with all proposals locked declines everyone left.  The paper
+    proves: termination (Lemma 5), equivalence with LIC's edge set
+    (Lemmas 3, 4, 6), a ½-approximation of the maximum-weight
+    many-to-many matching (Theorem 2 + Lemma 6) and a ¼(1 + 1/b_max)
+    approximation of the maximizing-satisfaction b-matching (Theorem 3).
+
+    The protocol runs on {!Owp_simnet.Simnet}, so delays, message order
+    and faults are controlled by the caller. *)
+
+type message = Prop | Rej
+
+type report = {
+  matching : Owp_matching.Bmatching.t;
+  prop_count : int;  (** PROP messages sent *)
+  rej_count : int;  (** REJ messages sent *)
+  delivered : int;  (** total deliveries processed *)
+  completion_time : float;  (** virtual time of the last event *)
+  all_terminated : bool;  (** every node reached U_i = ∅ (Lemma 5) *)
+}
+
+val run :
+  ?seed:int ->
+  ?delay:Owp_simnet.Simnet.delay_model ->
+  ?fifo:bool ->
+  ?faults:Owp_simnet.Simnet.faults ->
+  ?on_lock:(float -> int -> int -> unit) ->
+  Weights.t ->
+  capacity:int array ->
+  report
+(** Simulate the protocol to quiescence.  Default delay model is
+    [Uniform (0.5, 1.5)]; with faults enabled the protocol may fail to
+    terminate cleanly, which the report exposes instead of raising.
+    [on_lock time i v] is invoked every time node [i] locks the
+    connection to [v] (so once per direction per locked edge), at the
+    virtual time of the lock — the hook behind the anytime-satisfaction
+    experiment (E19).
+    @raise Invalid_argument on negative capacities. *)

@@ -1,0 +1,38 @@
+(** LID under unresponsive peers — the §7 "disruptive nodes" direction.
+
+    Static LID relies on every neighbour eventually answering (Lemma 5's
+    setting: reliable channels, correct peers).  A fail-silent peer —
+    crashed, overloaded, or deliberately stonewalling — would leave its
+    neighbours waiting forever.  This variant adds the standard remedy:
+    a timeout per outstanding wait; a neighbour that stays silent past
+    the timeout is treated as having declined (implicit REJ), locally
+    and conservatively.
+
+    Guarantees kept: termination (now unconditional), capacity
+    feasibility, and — among the correct peers that actually answer —
+    the mutual-proposal locking discipline.  Guarantee traded away: with
+    aggressive timeouts a slow-but-correct peer can be misclassified, so
+    the edge set may deviate from LIC's; experiment E15 measures the
+    satisfaction degradation as a function of the fraction of silent
+    peers and of the timeout. *)
+
+type report = {
+  matching : Owp_matching.Bmatching.t;
+  prop_count : int;
+  rej_count : int;
+  timeouts_fired : int;
+  completion_time : float;
+  all_correct_terminated : bool;  (** every responsive node reached U=∅ *)
+}
+
+val run :
+  ?seed:int ->
+  ?delay:Owp_simnet.Simnet.delay_model ->
+  ?timeout:float ->
+  silent:bool array ->
+  Weights.t ->
+  capacity:int array ->
+  report
+(** [silent.(v)] marks a fail-silent peer: it receives traffic but never
+    sends anything.  [timeout] (default 10.0 virtual time units) is the
+    patience per outstanding proposal/wait. *)

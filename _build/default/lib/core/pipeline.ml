@@ -1,0 +1,61 @@
+module Bmatching = Owp_matching.Bmatching
+
+type algorithm = Lid_distributed | Lic_centralized | Global_greedy | Stable_dynamics
+
+type outcome = {
+  matching : Bmatching.t;
+  total_satisfaction : float;
+  mean_satisfaction : float;
+  total_weight : float;
+  guarantee : float option;
+  messages : int option;
+}
+
+let weights prefs = Weights.of_preference prefs
+
+let capacity_of prefs =
+  let g = Preference.graph prefs in
+  Array.init (Graph.node_count g) (Preference.quota prefs)
+
+let satisfaction_profile prefs m =
+  let g = Preference.graph prefs in
+  Array.init (Graph.node_count g) (fun i -> Preference.satisfaction prefs i (Bmatching.connections m i))
+
+let stable_dynamics prefs =
+  let outcome = Owp_stable.Fixtures.solve prefs in
+  outcome.Owp_stable.Fixtures.matching
+
+let run ?(seed = 7) algorithm prefs =
+  let w = weights prefs in
+  let capacity = capacity_of prefs in
+  let bmax = Preference.max_quota prefs in
+  let matching, messages, guarantee =
+    match algorithm with
+    | Lid_distributed ->
+        let r = Lid.run ~seed w ~capacity in
+        (r.Lid.matching, Some (r.Lid.prop_count + r.Lid.rej_count),
+         Some (Theory.theorem3_bound ~bmax))
+    | Lic_centralized ->
+        (Lic.run w ~capacity, None, Some (Theory.theorem3_bound ~bmax))
+    | Global_greedy -> (Owp_matching.Greedy.run w ~capacity, None, None)
+    | Stable_dynamics -> (stable_dynamics prefs, None, None)
+  in
+  let profile = satisfaction_profile prefs matching in
+  let g = Preference.graph prefs in
+  let nodes_with_lists = ref 0 and total = ref 0.0 in
+  Array.iteri
+    (fun i s ->
+      if Graph.degree g i > 0 then begin
+        incr nodes_with_lists;
+        total := !total +. s
+      end)
+    profile;
+  {
+    matching;
+    total_satisfaction = !total;
+    mean_satisfaction =
+      (if !nodes_with_lists = 0 then 0.0 else !total /. float_of_int !nodes_with_lists);
+    total_weight = Bmatching.weight matching w;
+    guarantee;
+    messages;
+  }

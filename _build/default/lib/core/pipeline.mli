@@ -1,0 +1,31 @@
+(** High-level entry point: from a preference system to a matched
+    overlay.
+
+    This is the API an application uses: it derives the eq. 9 weights,
+    runs the chosen algorithm and reports the achieved satisfaction
+    together with the guarantee that applies (Theorem 3 for LID/LIC). *)
+
+type algorithm =
+  | Lid_distributed  (** Algorithm 1 on the simulated network *)
+  | Lic_centralized  (** Algorithm 2 *)
+  | Global_greedy  (** the paper's OPT comparator *)
+  | Stable_dynamics  (** blocking-pair dynamics (fixtures baseline) *)
+
+type outcome = {
+  matching : Owp_matching.Bmatching.t;
+  total_satisfaction : float;  (** Σ_i S_i, eq. 1 *)
+  mean_satisfaction : float;  (** over nodes with non-empty lists *)
+  total_weight : float;  (** under eq. 9 weights *)
+  guarantee : float option;
+      (** the proven lower bound on the satisfaction ratio vs optimum,
+          when the algorithm has one: ¼(1+1/b_max) for LID/LIC *)
+  messages : int option;  (** PROP+REJ for LID, None otherwise *)
+}
+
+val weights : Preference.t -> Weights.t
+(** Eq. 9 weights of the preference system. *)
+
+val run : ?seed:int -> algorithm -> Preference.t -> outcome
+
+val satisfaction_profile : Preference.t -> Owp_matching.Bmatching.t -> float array
+(** Per-node satisfaction values of a matching. *)

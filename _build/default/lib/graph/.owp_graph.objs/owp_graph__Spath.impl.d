@@ -1,0 +1,1 @@
+lib/graph/spath.ml: Array Graph Hashtbl List Option Owp_util

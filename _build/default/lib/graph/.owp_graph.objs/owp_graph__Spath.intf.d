@@ -1,0 +1,1 @@
+lib/graph/spath.mli: Graph

@@ -1,0 +1,85 @@
+let to_string g =
+  let buf = Buffer.create (16 * Graph.edge_count g) in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Graph.node_count g) (Graph.edge_count g));
+  Graph.iter_edges g (fun _ u v -> Buffer.add_string buf (Printf.sprintf "%d %d\n" u v));
+  Buffer.contents buf
+
+let write path g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let significant_lines s =
+  String.split_on_char '\n' s
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None else Some line)
+
+let of_string s =
+  match significant_lines s with
+  | [] -> failwith "Graph_io.of_string: empty input"
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ sn; sm ] ->
+          let n = int_of_string sn and m = int_of_string sm in
+          let b = Graph.Builder.create n in
+          List.iter
+            (fun line ->
+              match String.split_on_char ' ' line with
+              | u :: v :: _ ->
+                  ignore (Graph.Builder.add_edge b (int_of_string u) (int_of_string v))
+              | _ -> failwith "Graph_io.of_string: malformed edge line")
+            rest;
+          let g = Graph.Builder.build b in
+          if Graph.edge_count g <> m then
+            failwith "Graph_io.of_string: edge count mismatch with header";
+          g
+      | _ -> failwith "Graph_io.of_string: malformed header")
+
+let read path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))
+
+let weights_to_string g w =
+  if Array.length w <> Graph.edge_count g then
+    invalid_arg "Graph_io.weights_to_string: weight arity mismatch";
+  let buf = Buffer.create (24 * Graph.edge_count g) in
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Graph.node_count g) (Graph.edge_count g));
+  Graph.iter_edges g (fun eid u v ->
+      Buffer.add_string buf (Printf.sprintf "%d %d %.17g\n" u v w.(eid)));
+  Buffer.contents buf
+
+let weights_of_string s =
+  match significant_lines s with
+  | [] -> failwith "Graph_io.weights_of_string: empty input"
+  | header :: rest -> (
+      match String.split_on_char ' ' header with
+      | [ sn; sm ] ->
+          let n = int_of_string sn and m = int_of_string sm in
+          let b = Graph.Builder.create n in
+          let triples =
+            List.map
+              (fun line ->
+                match String.split_on_char ' ' line with
+                | [ u; v; w ] -> (int_of_string u, int_of_string v, float_of_string w)
+                | _ -> failwith "Graph_io.weights_of_string: malformed line")
+              rest
+          in
+          List.iter (fun (u, v, _) -> ignore (Graph.Builder.add_edge b u v)) triples;
+          let g = Graph.Builder.build b in
+          if Graph.edge_count g <> m then
+            failwith "Graph_io.weights_of_string: edge count mismatch";
+          let w = Array.make m 0.0 in
+          List.iter
+            (fun (u, v, x) ->
+              match Graph.find_edge g u v with
+              | Some eid -> w.(eid) <- x
+              | None -> assert false)
+            triples;
+          (g, w)
+      | _ -> failwith "Graph_io.weights_of_string: malformed header")

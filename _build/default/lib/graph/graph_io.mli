@@ -1,0 +1,18 @@
+(** Plain edge-list serialisation.
+
+    Format: a header line ["n m"], then one ["u v"] line per edge.
+    Lines starting with ['#'] are comments.  This is the interchange
+    format used by the CLI ([bin/owp generate] / [bin/owp run]). *)
+
+val to_string : Graph.t -> string
+val write : string -> Graph.t -> unit
+
+val of_string : string -> Graph.t
+(** @raise Failure on malformed input. *)
+
+val read : string -> Graph.t
+
+val weights_to_string : Graph.t -> float array -> string
+(** Edge list with a third weight column (same ordering as edge ids). *)
+
+val weights_of_string : string -> Graph.t * float array

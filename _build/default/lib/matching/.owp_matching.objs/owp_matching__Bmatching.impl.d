@@ -1,0 +1,1 @@
+lib/matching/bmatching.ml: Array Format Graph Int List Set Weights

@@ -1,0 +1,1 @@
+lib/matching/bmatching.mli: Format Graph Weights

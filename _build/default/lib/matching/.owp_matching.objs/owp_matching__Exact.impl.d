@@ -1,0 +1,1 @@
+lib/matching/exact.ml: Array Bmatching Float Graph List Mcmf Preference Printf Weights

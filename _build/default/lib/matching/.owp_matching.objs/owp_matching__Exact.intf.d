@@ -1,0 +1,1 @@
+lib/matching/exact.mli: Bmatching Preference Weights

@@ -1,0 +1,1 @@
+lib/matching/greedy.ml: Array Bmatching Graph List Weights

@@ -1,0 +1,1 @@
+lib/matching/onetoone.ml: Array Bmatching Graph Greedy List Weights

@@ -1,0 +1,1 @@
+lib/matching/onetoone.mli: Bmatching Weights

@@ -1,0 +1,104 @@
+module IntSet = Set.Make (Int)
+
+type t = {
+  graph : Graph.t;
+  capacity : int array;
+  selected : IntSet.t; (* edge ids *)
+  deg : int array; (* matched degree per node *)
+}
+
+let check_capacity_array g capacity =
+  if Array.length capacity <> Graph.node_count g then
+    invalid_arg "Bmatching: capacity arity mismatch";
+  Array.iter (fun b -> if b < 0 then invalid_arg "Bmatching: negative capacity") capacity
+
+let empty g ~capacity =
+  check_capacity_array g capacity;
+  {
+    graph = g;
+    capacity = Array.copy capacity;
+    selected = IntSet.empty;
+    deg = Array.make (Graph.node_count g) 0;
+  }
+
+let add t eid =
+  if eid < 0 || eid >= Graph.edge_count t.graph then
+    invalid_arg "Bmatching.add: edge id out of range";
+  if IntSet.mem eid t.selected then invalid_arg "Bmatching.add: edge already selected";
+  let u, v = Graph.edge_endpoints t.graph eid in
+  if t.deg.(u) >= t.capacity.(u) || t.deg.(v) >= t.capacity.(v) then
+    invalid_arg "Bmatching.add: capacity exceeded";
+  let deg = Array.copy t.deg in
+  deg.(u) <- deg.(u) + 1;
+  deg.(v) <- deg.(v) + 1;
+  { t with selected = IntSet.add eid t.selected; deg }
+
+let remove t eid =
+  if not (IntSet.mem eid t.selected) then invalid_arg "Bmatching.remove: edge not selected";
+  let u, v = Graph.edge_endpoints t.graph eid in
+  let deg = Array.copy t.deg in
+  deg.(u) <- deg.(u) - 1;
+  deg.(v) <- deg.(v) - 1;
+  { t with selected = IntSet.remove eid t.selected; deg }
+
+(* Single mutable pass: [add] copies the degree array for functional
+   updates, which would make bulk construction quadratic. *)
+let of_edge_ids g ~capacity ids =
+  check_capacity_array g capacity;
+  let deg = Array.make (Graph.node_count g) 0 in
+  let selected = ref IntSet.empty in
+  List.iter
+    (fun eid ->
+      if eid < 0 || eid >= Graph.edge_count g then
+        invalid_arg "Bmatching.of_edge_ids: edge id out of range";
+      if IntSet.mem eid !selected then
+        invalid_arg "Bmatching.of_edge_ids: duplicate edge id";
+      let u, v = Graph.edge_endpoints g eid in
+      if deg.(u) >= capacity.(u) || deg.(v) >= capacity.(v) then
+        invalid_arg "Bmatching.of_edge_ids: capacity exceeded";
+      deg.(u) <- deg.(u) + 1;
+      deg.(v) <- deg.(v) + 1;
+      selected := IntSet.add eid !selected)
+    ids;
+  { graph = g; capacity = Array.copy capacity; selected = !selected; deg }
+
+let graph t = t.graph
+let capacity t i = t.capacity.(i)
+let size t = IntSet.cardinal t.selected
+let mem t eid = IntSet.mem eid t.selected
+let edge_ids t = IntSet.elements t.selected
+let degree t i = t.deg.(i)
+let residual t i = t.capacity.(i) - t.deg.(i)
+let saturated t i = residual t i <= 0
+
+let connections t i =
+  Graph.neighbors t.graph i
+  |> Array.to_list
+  |> List.filter_map (fun (v, eid) -> if IntSet.mem eid t.selected then Some v else None)
+
+let connection_lists t = Array.init (Graph.node_count t.graph) (connections t)
+
+let weight t w =
+  IntSet.fold (fun eid acc -> acc +. Weights.weight w eid) t.selected 0.0
+
+let is_maximal t =
+  let ok = ref true in
+  Graph.iter_edges t.graph (fun eid u v ->
+      if (not (IntSet.mem eid t.selected)) && residual t u > 0 && residual t v > 0 then
+        ok := false);
+  !ok
+
+let equal a b = IntSet.equal a.selected b.selected
+
+let symmetric_difference a b =
+  IntSet.elements
+    (IntSet.union (IntSet.diff a.selected b.selected) (IntSet.diff b.selected a.selected))
+
+let pp ppf t =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf eid ->
+         let u, v = Graph.edge_endpoints t.graph eid in
+         Format.fprintf ppf "%d-%d" u v))
+    (edge_ids t)

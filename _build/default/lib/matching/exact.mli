@@ -1,0 +1,33 @@
+(** Exact solvers for small instances.
+
+    These provide the ground truth the approximation experiments (E3,
+    E6) measure against.  The general-graph solvers are exponential
+    (branch & bound / exhaustive search) and refuse instances above
+    [max_edges]; the bipartite solver is polynomial via min-cost flow.
+
+    All weights produced by eq. 9 are positive, but the weight solver
+    also handles arbitrary signs (it simply never selects a
+    non-positive edge, which is optimal for matchings). *)
+
+val max_weight_bmatching : ?max_edges:int -> Weights.t -> capacity:int array -> Bmatching.t
+(** Exact maximum-weight many-to-many matching by branch & bound over
+    edges in decreasing weight order, pruning with the per-node
+    half-sum capacity bound.  Default [max_edges] = 64.
+    @raise Invalid_argument when the instance exceeds [max_edges]. *)
+
+val max_weight_value : ?max_edges:int -> Weights.t -> capacity:int array -> float
+
+val max_satisfaction_bmatching :
+  ?max_edges:int -> Preference.t -> Bmatching.t * float
+(** Exact optimum of the {e original} maximizing-satisfaction b-matching
+    problem (total eq.-1 satisfaction; objective is not edge-separable
+    because of the dynamic term, so this is an exhaustive search over
+    feasible b-matchings with satisfaction-slack pruning).  Default
+    [max_edges] = 24.  Returns the optimal matching and its total
+    satisfaction. *)
+
+val max_weight_bipartite :
+  Weights.t -> capacity:int array -> left:int -> Bmatching.t
+(** Exact maximum-weight b-matching when the graph is bipartite with
+    parts [{0..left-1}] and [{left..n-1}], via min-cost flow.
+    @raise Invalid_argument if some edge lies inside a part. *)

@@ -1,0 +1,125 @@
+let ones g = Array.make (Graph.node_count g) 1
+
+let global_greedy w = Greedy.run w ~capacity:(ones (Weights.graph w))
+
+(* Preis-style: take any locally heaviest edge among the surviving ones,
+   delete it with all incident edges, repeat.  Finding a locally
+   heaviest edge walks uphill along the "heavier incident edge"
+   relation, which terminates because weights are totally ordered. *)
+let preis w =
+  let g = Weights.graph w in
+  let alive_node = Array.make (Graph.node_count g) true in
+  let matched = ref [] in
+  let heaviest_incident u ~excluding =
+    let best = ref (-1) in
+    Graph.iter_neighbors g u (fun v eid ->
+        if alive_node.(v) && eid <> excluding then
+          if !best < 0 || Weights.heavier w eid !best then best := eid);
+    !best
+  in
+  let rec climb eid =
+    let u, v = Graph.edge_endpoints g eid in
+    let cu = heaviest_incident u ~excluding:eid in
+    let cv = heaviest_incident v ~excluding:eid in
+    let challenger =
+      if cu >= 0 && cv >= 0 then if Weights.heavier w cu cv then cu else cv
+      else if cu >= 0 then cu
+      else cv
+    in
+    if challenger >= 0 && Weights.heavier w challenger eid then climb challenger
+    else eid
+  in
+  for start = 0 to Graph.node_count g - 1 do
+    if alive_node.(start) then begin
+      let seed = heaviest_incident start ~excluding:(-1) in
+      if seed >= 0 then begin
+        let u, _ = Graph.edge_endpoints g seed in
+        if alive_node.(u) then begin
+          let eid = climb seed in
+          let a, b = Graph.edge_endpoints g eid in
+          if alive_node.(a) && alive_node.(b) then begin
+            matched := eid :: !matched;
+            alive_node.(a) <- false;
+            alive_node.(b) <- false
+          end
+        end
+      end
+    end
+  done;
+  (* the outer scan may leave matchable edges when a climb killed the
+     scan node's neighbourhood: sweep until maximal *)
+  let residual_pass () =
+    let again = ref false in
+    Graph.iter_edges g (fun eid u v ->
+        if alive_node.(u) && alive_node.(v) then begin
+          let e = climb eid in
+          let a, b = Graph.edge_endpoints g e in
+          if alive_node.(a) && alive_node.(b) then begin
+            matched := e :: !matched;
+            alive_node.(a) <- false;
+            alive_node.(b) <- false;
+            again := true
+          end
+        end);
+    !again
+  in
+  while residual_pass () do () done;
+  Bmatching.of_edge_ids g ~capacity:(ones g) !matched
+
+let path_growing w =
+  let g = Weights.graph w in
+  let n = Graph.node_count g in
+  let used = Array.make n false in
+  (* grow a path from every unused node, alternately assigning edges to
+     two candidate matchings; keep the heavier of the two per path *)
+  let m1 = ref [] and m2 = ref [] and w1 = ref 0.0 and w2 = ref 0.0 in
+  let all1 = ref [] in
+  for start = 0 to n - 1 do
+    if not used.(start) then begin
+      m1 := [];
+      m2 := [];
+      w1 := 0.0;
+      w2 := 0.0;
+      let current = ref start and side = ref true and continue = ref true in
+      while !continue do
+        used.(!current) <- true;
+        let best = ref (-1) and best_v = ref (-1) in
+        Graph.iter_neighbors g !current (fun v eid ->
+            if (not used.(v)) && (!best < 0 || Weights.heavier w eid !best) then begin
+              best := eid;
+              best_v := v
+            end);
+        if !best < 0 then continue := false
+        else begin
+          if !side then begin
+            m1 := !best :: !m1;
+            w1 := !w1 +. Weights.weight w !best
+          end
+          else begin
+            m2 := !best :: !m2;
+            w2 := !w2 +. Weights.weight w !best
+          end;
+          side := not !side;
+          current := !best_v
+        end
+      done;
+      if !w1 >= !w2 then all1 := !m1 @ !all1 else all1 := !m2 @ !all1
+    end
+  done;
+  (* edges within a path alternate, so the kept side is a matching; a
+     final feasibility filter guards cross-path interactions *)
+  let capacity = ones g in
+  let residual = Array.make n 1 in
+  let chosen =
+    List.filter
+      (fun eid ->
+        let u, v = Graph.edge_endpoints g eid in
+        if residual.(u) > 0 && residual.(v) > 0 then begin
+          residual.(u) <- 0;
+          residual.(v) <- 0;
+          true
+        end
+        else false)
+      (List.sort (fun e f -> Weights.compare_edges w f e) !all1)
+  in
+  Bmatching.of_edge_ids g ~capacity chosen

@@ -1,0 +1,17 @@
+(** One-to-one weighted matching baselines.
+
+    The LID/LIC algorithms specialise to the classic maximum weighted
+    matching when every quota is 1; these are the standard
+    ½-approximation baselines from the literature they are compared
+    against in experiment E11:
+
+    - {!preis}: repeatedly pick a locally heaviest edge (Preis, STACS'99
+      — the proof template the paper reuses for Theorem 2);
+    - {!path_growing}: Drake–Hougardy path-growing;
+    - {!global_greedy}: heaviest-edge-first scan.
+
+    All return 1-regular {!Bmatching.t} values (capacity 1 everywhere). *)
+
+val preis : Weights.t -> Bmatching.t
+val path_growing : Weights.t -> Bmatching.t
+val global_greedy : Weights.t -> Bmatching.t

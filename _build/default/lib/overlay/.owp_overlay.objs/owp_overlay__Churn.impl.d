@@ -1,0 +1,1 @@
+lib/overlay/churn.ml: Array Fun Graph List Owp_util Preference Seq Weights

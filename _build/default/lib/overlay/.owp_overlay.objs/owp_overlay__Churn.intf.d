@@ -1,0 +1,1 @@
+lib/overlay/churn.mli: Graph Owp_util Preference

@@ -1,0 +1,1 @@
+lib/overlay/overlay.ml: Array Graph Metric Owp_core Preference

@@ -1,0 +1,1 @@
+lib/overlay/overlay.mli: Graph Metric Owp_core Preference

@@ -1,0 +1,1 @@
+lib/overlay/quality.ml: Array Format Graph Owp_matching Owp_util Preference

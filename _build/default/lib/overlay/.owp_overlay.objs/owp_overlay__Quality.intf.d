@@ -1,0 +1,1 @@
+lib/overlay/quality.mli: Format Owp_matching Preference

@@ -1,0 +1,170 @@
+module Prng = Owp_util.Prng
+
+type event = Join of int | Leave of int
+
+type repair = Full_rebuild | Incremental
+
+type step = {
+  event : event;
+  active_nodes : int;
+  total_satisfaction : float;
+  weight : float;
+  added : int;
+  removed : int;
+}
+
+let random_events rng ~universe ~initially_active ~steps =
+  let n = Graph.node_count universe in
+  let active = Array.copy initially_active in
+  let active_count = ref (Array.fold_left (fun a b -> if b then a + 1 else a) 0 active) in
+  let events = ref [] in
+  for _ = 1 to steps do
+    let want_leave = Prng.bool rng && !active_count > 2 in
+    let candidates =
+      Array.of_seq
+        (Seq.filter
+           (fun v -> if want_leave then active.(v) else not active.(v))
+           (Seq.init n Fun.id))
+    in
+    if Array.length candidates > 0 then begin
+      let v = Prng.pick rng candidates in
+      if want_leave then begin
+        active.(v) <- false;
+        decr active_count;
+        events := Leave v :: !events
+      end
+      else begin
+        active.(v) <- true;
+        incr active_count;
+        events := Join v :: !events
+      end
+    end
+  done;
+  List.rev !events
+
+(* Mutable matching state over the universe graph. *)
+type state = {
+  g : Graph.t;
+  w : Weights.t;
+  active : bool array;
+  selected : bool array; (* per edge id *)
+  residual : int array;
+  order : int array; (* all edges, heaviest first *)
+}
+
+let remove_edge st eid =
+  if st.selected.(eid) then begin
+    let u, v = Graph.edge_endpoints st.g eid in
+    st.selected.(eid) <- false;
+    st.residual.(u) <- st.residual.(u) + 1;
+    st.residual.(v) <- st.residual.(v) + 1
+  end
+
+let add_pass st =
+  (* heaviest-first extension over active residual-capacity edges: this
+     is LIC (Heaviest_first) seeded with the surviving matching *)
+  let added = ref 0 in
+  Array.iter
+    (fun eid ->
+      if not st.selected.(eid) then begin
+        let u, v = Graph.edge_endpoints st.g eid in
+        if
+          st.active.(u) && st.active.(v) && st.residual.(u) > 0 && st.residual.(v) > 0
+        then begin
+          st.selected.(eid) <- true;
+          st.residual.(u) <- st.residual.(u) - 1;
+          st.residual.(v) <- st.residual.(v) - 1;
+          incr added
+        end
+      end)
+    st.order;
+  !added
+
+let clear st =
+  Graph.iter_edges st.g (fun eid _ _ -> remove_edge st eid)
+
+let measure prefs st event =
+  let n = Graph.node_count st.g in
+  let active_nodes = ref 0 and sat = ref 0.0 and weight = ref 0.0 in
+  for v = 0 to n - 1 do
+    if st.active.(v) then begin
+      incr active_nodes;
+      let conns = ref [] in
+      Graph.iter_neighbors st.g v (fun u eid -> if st.selected.(eid) then conns := u :: !conns);
+      sat := !sat +. Preference.satisfaction prefs v !conns
+    end
+  done;
+  Graph.iter_edges st.g (fun eid _ _ ->
+      if st.selected.(eid) then weight := !weight +. Weights.weight st.w eid);
+  fun ~added ~removed ->
+    {
+      event;
+      active_nodes = !active_nodes;
+      total_satisfaction = !sat;
+      weight = !weight;
+      added;
+      removed;
+    }
+
+let simulate ~prefs ~initially_active ~events ~repair =
+  let g = Preference.graph prefs in
+  let n = Graph.node_count g in
+  if Array.length initially_active <> n then
+    invalid_arg "Churn.simulate: active mask arity mismatch";
+  let w = Weights.of_preference prefs in
+  let order = Array.init (Graph.edge_count g) Fun.id in
+  Array.sort (fun e f -> Weights.compare_edges w f e) order;
+  let st =
+    {
+      g;
+      w;
+      active = Array.copy initially_active;
+      selected = Array.make (Graph.edge_count g) false;
+      residual = Array.init n (Preference.quota prefs);
+      order;
+    }
+  in
+  (* initial construction *)
+  ignore (add_pass st);
+  let snapshot () = Array.copy st.selected in
+  let steps = ref [] in
+  List.iter
+    (fun event ->
+      let before = snapshot () in
+      let removed = ref 0 in
+      (match event with
+      | Leave v ->
+          if not st.active.(v) then invalid_arg "Churn.simulate: leaving inactive peer";
+          st.active.(v) <- false;
+          Graph.iter_neighbors g v (fun _ eid ->
+              if st.selected.(eid) then begin
+                remove_edge st eid;
+                incr removed
+              end)
+      | Join v ->
+          if st.active.(v) then invalid_arg "Churn.simulate: joining active peer";
+          st.active.(v) <- true);
+      (match repair with
+      | Incremental -> ignore (add_pass st)
+      | Full_rebuild ->
+          clear st;
+          ignore (add_pass st));
+      (* count churn-induced changes against the pre-event matching *)
+      let added_total = ref 0 and removed_total = ref !removed in
+      Array.iteri
+        (fun eid was ->
+          let is = st.selected.(eid) in
+          if was && not is then ()
+          else if (not was) && is then incr added_total)
+        before;
+      (match repair with
+      | Full_rebuild ->
+          removed_total := 0;
+          Array.iteri
+            (fun eid was -> if was && not st.selected.(eid) then incr removed_total)
+            before
+      | Incremental -> ());
+      let mk = measure prefs st event in
+      steps := mk ~added:!added_total ~removed:!removed_total :: !steps)
+    events;
+  List.rev !steps

@@ -1,0 +1,39 @@
+(** Dynamicity ablation — the paper's stated future work (§7).
+
+    The universe of peers and their (static) preference lists live on a
+    fixed potential graph; peers join and leave over time.  After each
+    event the overlay is repaired either by rebuilding the matching from
+    scratch or by the incremental greedy rule the paper's conclusion
+    conjectures ("can the same greedy strategy tackle joins/leaves?"):
+    keep all surviving locked edges and let freed capacity re-match
+    locally, heaviest edge first.  Experiment E10 compares satisfaction,
+    solution weight and disruption (edges changed) between the two. *)
+
+type event = Join of int | Leave of int
+
+type repair = Full_rebuild | Incremental
+
+type step = {
+  event : event;
+  active_nodes : int;
+  total_satisfaction : float;  (** over active nodes, eq. 1 *)
+  weight : float;  (** eq. 9 weight of the current matching *)
+  added : int;  (** edges added by the repair *)
+  removed : int;  (** matched edges lost (peer departure + rebuild changes) *)
+}
+
+val random_events :
+  Owp_util.Prng.t -> universe:Graph.t -> initially_active:bool array -> steps:int -> event list
+(** Alternates plausible joins and leaves (only leaves active peers,
+    only joins inactive ones); keeps at least two peers active. *)
+
+val simulate :
+  prefs:Preference.t ->
+  initially_active:bool array ->
+  events:event list ->
+  repair:repair ->
+  step list
+(** Run the event sequence and return per-step measurements.  The
+    initial matching is built by the repair strategy from an empty
+    state.  @raise Invalid_argument on malformed events (leaving an
+    inactive peer, joining an active one). *)

@@ -1,0 +1,17 @@
+(** Connection-quality reporting for a matched overlay. *)
+
+type t = {
+  nodes : int;  (** nodes with a non-empty preference list *)
+  total : float;  (** Σ S_i *)
+  mean : float;
+  min : float;
+  p05 : float;
+  median : float;
+  jain : float;  (** Jain fairness index of the satisfaction profile *)
+  saturated_fraction : float;  (** nodes that filled their whole quota *)
+  fully_satisfied_fraction : float;  (** nodes with S_i = 1 (top-b set) *)
+}
+
+val measure : Preference.t -> Owp_matching.Bmatching.t -> t
+
+val pp : Format.formatter -> t -> unit

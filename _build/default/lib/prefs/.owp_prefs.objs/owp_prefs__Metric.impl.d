@@ -1,0 +1,1 @@
+lib/prefs/metric.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/prefs/metric.mli:

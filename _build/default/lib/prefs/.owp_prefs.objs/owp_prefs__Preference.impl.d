@@ -1,0 +1,1 @@
+lib/prefs/preference.ml: Array Graph List Metric Owp_util Satisfaction

@@ -1,0 +1,1 @@
+lib/prefs/preference.mli: Graph Metric Owp_util

@@ -1,0 +1,1 @@
+lib/prefs/weights.ml: Array Float Graph Hashtbl Preference Satisfaction

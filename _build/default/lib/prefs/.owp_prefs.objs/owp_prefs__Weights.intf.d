@@ -1,0 +1,1 @@
+lib/prefs/weights.mli: Graph Preference

@@ -1,0 +1,54 @@
+let check_basic ~quota ~list_len =
+  if quota <= 0 then invalid_arg "Satisfaction: quota must be positive";
+  if list_len <= 0 then invalid_arg "Satisfaction: list_len must be positive"
+
+let delta ~quota ~list_len ~rank ~position =
+  check_basic ~quota ~list_len;
+  if rank < 0 || rank >= list_len then invalid_arg "Satisfaction.delta: rank out of range";
+  if position < 0 || position >= quota then
+    invalid_arg "Satisfaction.delta: position out of range";
+  let b = float_of_int quota and l = float_of_int list_len in
+  (1.0 /. b) -. (float_of_int (rank - position) /. (b *. l))
+
+let static_delta ~quota ~list_len ~rank =
+  check_basic ~quota ~list_len;
+  if rank < 0 || rank >= list_len then
+    invalid_arg "Satisfaction.static_delta: rank out of range";
+  let b = float_of_int quota and l = float_of_int list_len in
+  (1.0 /. b) -. (float_of_int rank /. (b *. l))
+
+let dynamic_delta ~quota ~list_len ~position =
+  check_basic ~quota ~list_len;
+  if position < 0 || position >= quota then
+    invalid_arg "Satisfaction.dynamic_delta: position out of range";
+  float_of_int position /. (float_of_int quota *. float_of_int list_len)
+
+let checked_ranks ~quota ~list_len ranks =
+  check_basic ~quota ~list_len;
+  let c = List.length ranks in
+  if c > quota then invalid_arg "Satisfaction: more connections than quota";
+  List.iter
+    (fun r ->
+      if r < 0 || r >= list_len then invalid_arg "Satisfaction: rank out of range")
+    ranks;
+  c
+
+let of_ranks ~quota ~list_len ranks =
+  let c = checked_ranks ~quota ~list_len ranks in
+  let b = float_of_int quota and l = float_of_int list_len and cf = float_of_int c in
+  let rank_sum = float_of_int (List.fold_left ( + ) 0 ranks) in
+  (cf /. b) +. (cf *. (cf -. 1.0) /. (2.0 *. b *. l)) -. (rank_sum /. (b *. l))
+
+let static_of_ranks ~quota ~list_len ranks =
+  let c = checked_ranks ~quota ~list_len ranks in
+  let b = float_of_int quota and l = float_of_int list_len and cf = float_of_int c in
+  let rank_sum = float_of_int (List.fold_left ( + ) 0 ranks) in
+  (cf /. b) -. (rank_sum /. (b *. l))
+
+let perfect ~quota ~list_len =
+  of_ranks ~quota ~list_len (List.init quota (fun r -> r))
+
+(* Figure 1 of the paper: b_i = 4, L_i = 7 and connections occupying
+   preference ranks 0, 1, 3 and 5; the paper reports S_i = 0.893
+   (exactly 25/28). *)
+let figure1_example () = of_ranks ~quota:4 ~list_len:7 [ 0; 1; 3; 5 ]

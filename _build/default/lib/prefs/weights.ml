@@ -1,0 +1,63 @@
+type combiner = Sum | Min | Product
+
+type t = { graph : Graph.t; w : float array }
+
+let side_delta prefs i j =
+  let l = Preference.list_len prefs i and b = Preference.quota prefs i in
+  if l = 0 || b = 0 then 0.0
+  else Satisfaction.static_delta ~quota:b ~list_len:l ~rank:(Preference.rank prefs i j)
+
+let of_preference ?(combiner = Sum) prefs =
+  let g = Preference.graph prefs in
+  let w = Array.make (Graph.edge_count g) 0.0 in
+  Graph.iter_edges g (fun eid u v ->
+      let a = side_delta prefs u v and b = side_delta prefs v u in
+      w.(eid) <-
+        (match combiner with Sum -> a +. b | Min -> Float.min a b | Product -> a *. b));
+  { graph = g; w }
+
+let of_array g w =
+  if Array.length w <> Graph.edge_count g then
+    invalid_arg "Weights.of_array: arity mismatch";
+  { graph = g; w = Array.copy w }
+
+let graph t = t.graph
+let weight t e = t.w.(e)
+
+let weight_uv t u v =
+  match Graph.find_edge t.graph u v with
+  | Some e -> t.w.(e)
+  | None -> raise Not_found
+
+let compare_edges t e f =
+  if e = f then 0
+  else begin
+    let c = Float.compare t.w.(e) t.w.(f) in
+    if c <> 0 then c
+    else begin
+      (* deterministic identity tie-break so the order is total *)
+      let ue, ve = Graph.edge_endpoints t.graph e in
+      let uf, vf = Graph.edge_endpoints t.graph f in
+      compare (ue, ve, e) (uf, vf, f)
+    end
+  end
+
+let heavier t e f = compare_edges t e f > 0
+
+let total t edges = Array.fold_left (fun acc e -> acc +. t.w.(e)) 0.0 edges
+
+let distinct_weights t =
+  let tbl = Hashtbl.create (Array.length t.w) in
+  Array.iter (fun x -> Hashtbl.replace tbl x ()) t.w;
+  Hashtbl.length tbl
+
+let max_weight_edge t =
+  let m = Array.length t.w in
+  if m = 0 then None
+  else begin
+    let best = ref 0 in
+    for e = 1 to m - 1 do
+      if heavier t e !best then best := e
+    done;
+    Some !best
+  end

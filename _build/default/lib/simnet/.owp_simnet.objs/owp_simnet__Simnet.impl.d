@@ -1,0 +1,1 @@
+lib/simnet/simnet.ml: Float Hashtbl Option Owp_util

@@ -1,0 +1,172 @@
+module Prng = Owp_util.Prng
+
+type delay_model =
+  | Unit
+  | Uniform of float * float
+  | Exponential of float
+  | PerLink of (int -> int -> float)
+
+type faults = { drop_probability : float; duplicate_probability : float }
+
+let no_faults = { drop_probability = 0.0; duplicate_probability = 0.0 }
+
+type 'm event_kind = Deliver of int * int * 'm | Callback of (unit -> unit)
+
+type 'm event = { at : float; seq : int; kind : 'm event_kind }
+
+module Queue_elt = struct
+  type t = { at : float; seq : int }
+
+  let compare a b =
+    let c = Float.compare a.at b.at in
+    if c <> 0 then c else compare a.seq b.seq
+end
+
+module Equeue = Owp_util.Heap.Make (Queue_elt)
+
+type 'm t = {
+  nodes : int;
+  rng : Prng.t;
+  fifo : bool;
+  faults : faults;
+  delay : delay_model;
+  queue : Equeue.t;
+  events : (int, 'm event) Hashtbl.t; (* seq -> event payload *)
+  link_clock : (int * int, float) Hashtbl.t; (* last scheduled delivery per directed link *)
+  mutable handler : (src:int -> dst:int -> 'm -> unit) option;
+  mutable trace : (float -> src:int -> dst:int -> 'm -> unit) option;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable processed : int;
+}
+
+let create ?(seed = 0xC0FFEE) ?(fifo = true) ?(faults = no_faults) ~nodes ~delay () =
+  if nodes < 0 then invalid_arg "Simnet.create: negative node count";
+  if faults.drop_probability < 0.0 || faults.drop_probability > 1.0 then
+    invalid_arg "Simnet.create: drop_probability out of range";
+  if faults.duplicate_probability < 0.0 || faults.duplicate_probability > 1.0 then
+    invalid_arg "Simnet.create: duplicate_probability out of range";
+  {
+    nodes;
+    rng = Prng.create seed;
+    fifo;
+    faults;
+    delay;
+    queue = Equeue.create ();
+    events = Hashtbl.create 1024;
+    link_clock = Hashtbl.create 1024;
+    handler = None;
+    trace = None;
+    clock = 0.0;
+    next_seq = 0;
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    processed = 0;
+  }
+
+let node_count t = t.nodes
+let now t = t.clock
+let set_handler t h = t.handler <- Some h
+let set_trace t tr = t.trace <- tr
+
+let sample_delay t src dst =
+  let d =
+    match t.delay with
+    | Unit -> 1.0
+    | Uniform (lo, hi) ->
+        if hi < lo then invalid_arg "Simnet: bad uniform delay bounds";
+        lo +. Prng.float t.rng (hi -. lo)
+    | Exponential mean -> Prng.exponential t.rng mean
+    | PerLink f -> f src dst
+  in
+  if d < 0.0 then invalid_arg "Simnet: negative delay";
+  (* strictly positive so a message never arrives "now" *)
+  Float.max d 1e-9
+
+let push t at kind =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  Hashtbl.replace t.events seq { at; seq; kind };
+  Equeue.add t.queue { Queue_elt.at; seq }
+
+let enqueue_delivery t ~src ~dst m =
+  let base = t.clock +. sample_delay t src dst in
+  let at =
+    if t.fifo then begin
+      let key = (src, dst) in
+      let prev = Option.value (Hashtbl.find_opt t.link_clock key) ~default:neg_infinity in
+      let at = if base <= prev then prev +. 1e-9 else base in
+      Hashtbl.replace t.link_clock key at;
+      at
+    end
+    else base
+  in
+  push t at (Deliver (src, dst, m))
+
+let send t ~src ~dst m =
+  if src < 0 || src >= t.nodes || dst < 0 || dst >= t.nodes then
+    invalid_arg "Simnet.send: endpoint out of range";
+  t.sent <- t.sent + 1;
+  if t.faults.drop_probability > 0.0 && Prng.bernoulli t.rng t.faults.drop_probability
+  then t.dropped <- t.dropped + 1
+  else begin
+    enqueue_delivery t ~src ~dst m;
+    if
+      t.faults.duplicate_probability > 0.0
+      && Prng.bernoulli t.rng t.faults.duplicate_probability
+    then enqueue_delivery t ~src ~dst m
+  end
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Simnet.schedule: negative delay";
+  push t (t.clock +. delay) (Callback f)
+
+let dispatch t ev =
+  t.clock <- ev.at;
+  t.processed <- t.processed + 1;
+  match ev.kind with
+  | Callback f -> f ()
+  | Deliver (src, dst, m) -> (
+      t.delivered <- t.delivered + 1;
+      (match t.trace with Some tr -> tr ev.at ~src ~dst m | None -> ());
+      match t.handler with
+      | Some h -> h ~src ~dst m
+      | None -> failwith "Simnet: message due but no handler installed")
+
+let step t =
+  match Equeue.pop_min_opt t.queue with
+  | None -> false
+  | Some { Queue_elt.seq; _ } ->
+      let ev = Hashtbl.find t.events seq in
+      Hashtbl.remove t.events seq;
+      dispatch t ev;
+      true
+
+let run t = while step t do () done
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match Equeue.pop_min_opt t.queue with
+    | None -> continue := false
+    | Some ({ Queue_elt.at; seq } as top) ->
+        if at > horizon then begin
+          (* put it back; heap has no peek-without-pop for this path *)
+          Equeue.add t.queue top;
+          continue := false
+        end
+        else begin
+          let ev = Hashtbl.find t.events seq in
+          Hashtbl.remove t.events seq;
+          dispatch t ev
+        end
+  done
+
+let messages_sent t = t.sent
+let messages_delivered t = t.delivered
+let messages_dropped t = t.dropped
+let events_processed t = t.processed

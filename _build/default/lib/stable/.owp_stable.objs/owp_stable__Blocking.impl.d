@@ -1,0 +1,1 @@
+lib/stable/blocking.ml: Graph List Owp_matching Preference

@@ -1,0 +1,1 @@
+lib/stable/blocking.mli: Owp_matching Preference

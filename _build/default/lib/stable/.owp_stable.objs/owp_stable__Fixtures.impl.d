@@ -1,0 +1,1 @@
+lib/stable/fixtures.ml: Array Blocking Graph Option Owp_matching Owp_util Preference

@@ -1,0 +1,1 @@
+lib/stable/fixtures.mli: Owp_matching Owp_util Preference

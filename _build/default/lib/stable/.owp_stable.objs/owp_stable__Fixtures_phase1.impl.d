@@ -1,0 +1,1 @@
+lib/stable/fixtures_phase1.ml: Array Fixtures Graph Hashtbl List Owp_matching Preference Queue

@@ -1,0 +1,1 @@
+lib/stable/fixtures_phase1.mli: Fixtures Owp_matching Owp_util Preference

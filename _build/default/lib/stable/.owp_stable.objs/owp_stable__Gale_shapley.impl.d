@@ -1,0 +1,1 @@
+lib/stable/gale_shapley.ml: Array Graph List Owp_matching Preference Queue

@@ -1,0 +1,1 @@
+lib/stable/gale_shapley.mli: Owp_matching Preference

@@ -1,0 +1,1 @@
+lib/stable/roommates.ml: Array Fun Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/stable/roommates.mli:

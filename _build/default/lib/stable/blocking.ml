@@ -1,0 +1,37 @@
+module Bmatching = Owp_matching.Bmatching
+
+let worst_partner prefs m i =
+  match Bmatching.connections m i with
+  | [] -> None
+  | conns ->
+      Some
+        (List.fold_left
+           (fun worst j ->
+             if Preference.rank prefs i j > Preference.rank prefs i worst then j
+             else worst)
+           (List.hd conns) (List.tl conns))
+
+let would_accept prefs m i j =
+  if Bmatching.residual m i > 0 then Bmatching.capacity m i > 0
+  else
+    match worst_partner prefs m i with
+    | None -> false (* saturated with residual 0 and no partner: capacity 0 *)
+    | Some worst -> Preference.preferred prefs i j worst
+
+let blocks prefs m i j =
+  let g = Bmatching.graph m in
+  match Graph.find_edge g i j with
+  | None -> false
+  | Some eid ->
+      (not (Bmatching.mem m eid)) && would_accept prefs m i j && would_accept prefs m j i
+
+let blocking_pairs prefs m =
+  let g = Bmatching.graph m in
+  let acc = ref [] in
+  Graph.iter_edges g (fun eid u v ->
+      if (not (Bmatching.mem m eid)) && blocks prefs m u v then acc := (u, v) :: !acc);
+  List.rev !acc
+
+let count_blocking_pairs prefs m = List.length (blocking_pairs prefs m)
+
+let is_stable prefs m = blocking_pairs prefs m = []

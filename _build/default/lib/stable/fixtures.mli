@@ -1,0 +1,33 @@
+(** Stable fixtures (many-to-many stable matching) via blocking-pair
+    dynamics.
+
+    The paper frames overlay construction as the stable fixtures
+    problem [Irving–Scott 2007].  Solving fixtures exactly requires the
+    full rotation machinery; what the overlay literature actually runs —
+    and what the paper's reference [13] (Mathieu) analyses — is
+    {e better-response dynamics}: repeatedly satisfy a blocking pair
+    (connect the two nodes, each dropping its worst partner if
+    saturated).  On acyclic preference systems this provably converges
+    to the unique stable solution; on cyclic systems it may loop, which
+    is precisely the paper's motivation for switching the objective to
+    satisfaction maximisation.  The iteration cap makes divergence
+    observable instead of fatal (experiment E8). *)
+
+type outcome = {
+  matching : Owp_matching.Bmatching.t;
+  stable : bool;  (** no blocking pair remained *)
+  rounds : int;  (** blocking-pair satisfactions performed *)
+}
+
+val satisfy_blocking_pairs :
+  ?max_rounds:int ->
+  ?rng:Owp_util.Prng.t ->
+  Preference.t ->
+  Owp_matching.Bmatching.t ->
+  outcome
+(** Run the dynamics from a given matching.  [max_rounds] defaults to
+    [50 · m]; [rng], when provided, randomises the choice of blocking
+    pair (first-found otherwise). *)
+
+val solve : ?max_rounds:int -> ?rng:Owp_util.Prng.t -> Preference.t -> outcome
+(** Dynamics from the empty matching using the preference quotas. *)

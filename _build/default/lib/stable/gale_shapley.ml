@@ -1,0 +1,81 @@
+module Bmatching = Owp_matching.Bmatching
+
+let check_bipartite g proposers_mask =
+  Graph.iter_edges g (fun _ u v ->
+      if proposers_mask.(u) = proposers_mask.(v) then
+        invalid_arg "Gale_shapley.run: edge does not cross the bipartition")
+
+let run_with_capacity prefs ~proposers ~capacity =
+  let g = Preference.graph prefs in
+  let n = Graph.node_count g in
+  let is_proposer = Array.make n false in
+  Array.iter (fun p -> is_proposer.(p) <- true) proposers;
+  check_bipartite g is_proposer;
+  (* pointer into each proposer's preference list; reviewers hold their
+     current proposals in a per-node set with the worst cached *)
+  let next = Array.make n 0 in
+  let held = Array.make n [] in
+  (* reviewer side: list of held proposers *)
+  let held_count = Array.make n 0 in
+  let free = Queue.create () in
+  Array.iter (fun p -> if capacity.(p) > 0 then Queue.push p free) proposers;
+  let deficit = Array.map (fun b -> b) capacity in
+  (* deficit.(p): proposals proposer p still wants to place *)
+  while not (Queue.is_empty free) do
+    let p = Queue.pop free in
+    let list = Preference.list prefs p in
+    while deficit.(p) > 0 && next.(p) < Array.length list do
+      let r = list.(next.(p)) in
+      next.(p) <- next.(p) + 1;
+      (* p proposes to r *)
+      if held_count.(r) < capacity.(r) then begin
+        held.(r) <- p :: held.(r);
+        held_count.(r) <- held_count.(r) + 1;
+        deficit.(p) <- deficit.(p) - 1
+      end
+      else if capacity.(r) > 0 then begin
+        (* find r's worst held proposer *)
+        let worst =
+          List.fold_left
+            (fun acc q -> if Preference.rank prefs r q > Preference.rank prefs r acc then q else acc)
+            (List.hd held.(r))
+            (List.tl held.(r))
+        in
+        if Preference.preferred prefs r p worst then begin
+          held.(r) <- p :: List.filter (fun q -> q <> worst) held.(r);
+          deficit.(p) <- deficit.(p) - 1;
+          deficit.(worst) <- deficit.(worst) + 1;
+          (* the bumped proposer resumes proposing *)
+          Queue.push worst free
+        end
+      end
+    done
+  done;
+  let ids = ref [] in
+  for r = 0 to n - 1 do
+    if not is_proposer.(r) then
+      List.iter
+        (fun p ->
+          match Graph.find_edge g p r with
+          | Some eid -> ids := eid :: !ids
+          | None -> assert false)
+        held.(r)
+  done;
+  Bmatching.of_edge_ids g ~capacity !ids
+
+let run prefs ~proposers =
+  let g = Preference.graph prefs in
+  let capacity = Array.init (Graph.node_count g) (Preference.quota prefs) in
+  run_with_capacity prefs ~proposers ~capacity
+
+let marriage prefs ~proposers =
+  let g = Preference.graph prefs in
+  let capacity = Array.make (Graph.node_count g) 1 in
+  let m = run_with_capacity prefs ~proposers ~capacity in
+  let is_proposer = Array.make (Graph.node_count g) false in
+  Array.iter (fun p -> is_proposer.(p) <- true) proposers;
+  List.filter_map
+    (fun eid ->
+      let u, v = Graph.edge_endpoints g eid in
+      if is_proposer.(u) then Some (u, v) else Some (v, u))
+    (Bmatching.edge_ids m)

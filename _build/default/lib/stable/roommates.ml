@@ -1,0 +1,206 @@
+type result = Stable of int array | No_stable_matching
+
+let validate prefs =
+  let n = Array.length prefs in
+  Array.iteri
+    (fun i list ->
+      if Array.length list <> n - 1 then
+        invalid_arg "Roommates.solve: list is not complete";
+      let seen = Array.make n false in
+      Array.iter
+        (fun j ->
+          if j < 0 || j >= n || j = i || seen.(j) then
+            invalid_arg "Roommates.solve: list is not a permutation of the others";
+          seen.(j) <- true)
+        list)
+    prefs
+
+(* The working "table": alive.(x).(y) says y is still on x's list.
+   Removal is always symmetric.  rank.(x).(y) is y's position in x's
+   original list (lower = better). *)
+type table = {
+  n : int;
+  rank : int array array;
+  prefs : int array array;
+  alive : bool array array;
+  len : int array;
+}
+
+let make_table prefs =
+  let n = Array.length prefs in
+  let rank = Array.make_matrix n n max_int in
+  Array.iteri (fun i list -> Array.iteri (fun r j -> rank.(i).(j) <- r) list) prefs;
+  {
+    n;
+    rank;
+    prefs;
+    alive = Array.init n (fun i -> Array.init n (fun j -> j <> i));
+    len = Array.make n (n - 1);
+  }
+
+let remove_pair t x y =
+  if t.alive.(x).(y) then begin
+    t.alive.(x).(y) <- false;
+    t.alive.(y).(x) <- false;
+    t.len.(x) <- t.len.(x) - 1;
+    t.len.(y) <- t.len.(y) - 1
+  end
+
+let first t x =
+  let list = t.prefs.(x) in
+  let rec go i = if i >= Array.length list then -1 else if t.alive.(x).(list.(i)) then list.(i) else go (i + 1) in
+  go 0
+
+let second t x =
+  let list = t.prefs.(x) in
+  let rec go i found_first =
+    if i >= Array.length list then -1
+    else if t.alive.(x).(list.(i)) then
+      if found_first then list.(i) else go (i + 1) true
+    else go (i + 1) found_first
+  in
+  go 0 false
+
+let last t x =
+  let list = t.prefs.(x) in
+  let rec go i = if i < 0 then -1 else if t.alive.(x).(list.(i)) then list.(i) else go (i - 1) in
+  go (Array.length list - 1)
+
+(* y holds x: everyone y likes strictly less than x leaves y's list. *)
+let reject_worse_than t y x =
+  let rx = t.rank.(y).(x) in
+  Array.iter (fun z -> if t.alive.(y).(z) && t.rank.(y).(z) > rx then remove_pair t y z) t.prefs.(y)
+
+let phase1 t =
+  let holds = Array.make t.n (-1) in
+  (* holds.(y) = proposer y currently holds *)
+  let next = Array.make t.n 0 in
+  let free = Queue.create () in
+  for x = 0 to t.n - 1 do
+    Queue.push x free
+  done;
+  let ok = ref true in
+  while !ok && not (Queue.is_empty free) do
+    let x = Queue.pop free in
+    (* x proposes down his list until someone holds him *)
+    let placed = ref false in
+    while (not !placed) && next.(x) < Array.length t.prefs.(x) do
+      let y = t.prefs.(x).(next.(x)) in
+      next.(x) <- next.(x) + 1;
+      if t.alive.(x).(y) then begin
+        let h = holds.(y) in
+        if h < 0 then begin
+          holds.(y) <- x;
+          placed := true
+        end
+        else if t.rank.(y).(x) < t.rank.(y).(h) then begin
+          holds.(y) <- x;
+          remove_pair t y h;
+          Queue.push h free;
+          placed := true
+        end
+        else remove_pair t y x
+      end
+    done;
+    if not !placed then ok := false
+  done;
+  if not !ok then None
+  else begin
+    (* table reduction: y holding x rejects everyone worse than x *)
+    for y = 0 to t.n - 1 do
+      if holds.(y) >= 0 then reject_worse_than t y holds.(y)
+    done;
+    if Array.exists (fun l -> l = 0) t.len then None else Some ()
+  end
+
+(* Phase 2: find and eliminate rotations until all lists are singletons. *)
+let phase2 t =
+  let ok = ref true in
+  let find_long () =
+    let rec go x = if x >= t.n then -1 else if t.len.(x) > 1 then x else go (x + 1) in
+    go 0
+  in
+  let continue = ref (find_long ()) in
+  while !ok && !continue >= 0 do
+    (* walk p -> last(second(p)) until a repeat, collecting the cycle *)
+    let pos = Hashtbl.create 16 in
+    let seq = ref [] and idx = ref 0 and p = ref !continue and cycle_start = ref (-1) in
+    while !cycle_start < 0 && !ok do
+      match Hashtbl.find_opt pos !p with
+      | Some i -> cycle_start := i
+      | None ->
+          Hashtbl.add pos !p !idx;
+          seq := !p :: !seq;
+          incr idx;
+          let s = second t !p in
+          if s < 0 then ok := false
+          else begin
+            let nxt = last t s in
+            if nxt < 0 then ok := false else p := nxt
+          end
+    done;
+    if !ok then begin
+      let arr = Array.of_list (List.rev !seq) in
+      let k = Array.length arr in
+      let rot = Array.sub arr !cycle_start (k - !cycle_start) in
+      (* eliminate: each y_{i+1} = second(x_i) holds x_i and rejects all
+         worse; additionally y_i rejects x_i *)
+      let kk = Array.length rot in
+      let seconds = Array.map (fun x -> second t x) rot in
+      let firsts = Array.map (fun x -> first t x) rot in
+      if Array.exists (fun v -> v < 0) seconds || Array.exists (fun v -> v < 0) firsts
+      then ok := false
+      else begin
+        for i = 0 to kk - 1 do
+          remove_pair t rot.(i) firsts.(i)
+        done;
+        for i = 0 to kk - 1 do
+          let y = seconds.(i) and x = rot.(i) in
+          if t.alive.(y).(x) then reject_worse_than t y x else ok := false
+        done;
+        if Array.exists (fun l -> l = 0) t.len then ok := false
+      end
+    end;
+    if !ok then continue := find_long ()
+  done;
+  !ok
+
+let solve prefs =
+  validate prefs;
+  let n = Array.length prefs in
+  if n = 0 then Stable [||]
+  else begin
+    let t = make_table prefs in
+    match phase1 t with
+    | None -> No_stable_matching
+    | Some () ->
+        if not (phase2 t) then No_stable_matching
+        else begin
+          let partner = Array.make n (-1) in
+          let consistent = ref true in
+          for x = 0 to n - 1 do
+            let y = first t x in
+            if y < 0 then consistent := false else partner.(x) <- y
+          done;
+          if !consistent && Array.for_all (fun y -> y >= 0 && partner.(y) >= 0) partner
+             && Array.mapi (fun x y -> partner.(y) = x) partner |> Array.for_all Fun.id
+          then Stable partner
+          else No_stable_matching
+        end
+  end
+
+let is_stable_assignment prefs partner =
+  let n = Array.length prefs in
+  let rank = Array.make_matrix n n max_int in
+  Array.iteri (fun i list -> Array.iteri (fun r j -> rank.(i).(j) <- r) list) prefs;
+  let blocking = ref false in
+  for x = 0 to n - 1 do
+    for y = x + 1 to n - 1 do
+      if partner.(x) <> y then begin
+        let x_wants = partner.(x) < 0 || rank.(x).(y) < rank.(x).(partner.(x)) in
+        let y_wants = partner.(y) < 0 || rank.(y).(x) < rank.(y).(partner.(y)) in
+        if x_wants && y_wants then blocking := true
+      end
+    done
+  done;
+  not !blocking

@@ -1,0 +1,20 @@
+(** Disjoint-set union (union–find) with path compression and union by
+    rank.  Used for connected-component computations on generated graphs. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets labelled [0..n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative of the element's set. *)
+
+val union : t -> int -> int -> bool
+(** Merges two sets; returns [true] iff they were distinct. *)
+
+val same : t -> int -> int -> bool
+val size : t -> int -> int
+(** Size of the set containing the element. *)
+
+val count_sets : t -> int
+(** Number of distinct sets currently. *)

@@ -1,0 +1,116 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* SplitMix64: used only to expand a user seed into the 256-bit xoshiro
+   state, as recommended by the xoshiro authors. *)
+let splitmix_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix_next state in
+  let s1 = splitmix_next state in
+  let s2 = splitmix_next state in
+  let s3 = splitmix_next state in
+  { s0; s1; s2; s3 }
+
+let copy g = { s0 = g.s0; s1 = g.s1; s2 = g.s2; s3 = g.s3 }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 g =
+  let open Int64 in
+  let result = mul (rotl (mul g.s1 5L) 7) 9L in
+  let t = shift_left g.s1 17 in
+  g.s2 <- logxor g.s2 g.s0;
+  g.s3 <- logxor g.s3 g.s1;
+  g.s1 <- logxor g.s1 g.s2;
+  g.s0 <- logxor g.s0 g.s3;
+  g.s2 <- logxor g.s2 t;
+  g.s3 <- rotl g.s3 45;
+  result
+
+let split g =
+  let seed = Int64.to_int (bits64 g) in
+  create (seed lxor 0x5851F42D)
+
+(* Lemire-style rejection-free-enough bounded int: take the high bits and
+   use rejection sampling to remove modulo bias. *)
+let int g bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  if bound land (bound - 1) = 0 then
+    (* power of two: mask the top bits *)
+    Int64.to_int (Int64.logand (bits64 g) (Int64.of_int (bound - 1)))
+  else begin
+    let rec draw () =
+      (* 62 usable bits: OCaml ints are 63-bit, so taking 62 keeps the
+         value non-negative after Int64.to_int *)
+      let r = Int64.to_int (Int64.shift_right_logical (bits64 g) 2) in
+      let v = r mod bound in
+      if r - v > max_int - bound + 1 then draw () else v
+    in
+    draw ()
+  end
+
+let int_in g lo hi =
+  if hi < lo then invalid_arg "Prng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  (* 53 random bits into [0,1) then scale *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 g) 11) in
+  r *. (1.0 /. 9007199254740992.0) *. bound
+
+let bool g = Int64.compare (Int64.logand (bits64 g) 1L) 0L <> 0
+
+let bernoulli g p = float g 1.0 < p
+
+let exponential g mean =
+  if mean <= 0.0 then invalid_arg "Prng.exponential: mean must be positive";
+  let u = 1.0 -. float g 1.0 in
+  -.mean *. log u
+
+let gaussian g ~mu ~sigma =
+  let u1 = 1.0 -. float g 1.0 and u2 = float g 1.0 in
+  mu +. (sigma *. sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2))
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation g n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place g a;
+  a
+
+let sample_without_replacement g k n =
+  if k < 0 || k > n then invalid_arg "Prng.sample_without_replacement";
+  if 2 * k >= n then Array.sub (permutation g n) 0 k
+  else begin
+    (* hash-set based rejection sampling: fast when k << n *)
+    let seen = Hashtbl.create (2 * k) in
+    let out = Array.make k 0 in
+    let filled = ref 0 in
+    while !filled < k do
+      let v = int g n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        out.(!filled) <- v;
+        incr filled
+      end
+    done;
+    out
+  end
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))

@@ -1,0 +1,67 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title cols =
+  { title; headers = List.map fst cols; aligns = List.map snd cols; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg "Tablefmt.add_row: arity mismatch";
+  t.rows <- Cells cells :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let ncols = List.length t.headers in
+  let widths = Array.make ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Separator -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let padding = String.make (max 0 (width - String.length s)) ' ' in
+    match align with Left -> s ^ padding | Right -> padding ^ s
+  in
+  let rule () =
+    Array.iter (fun w -> Buffer.add_string buf ("+" ^ String.make (w + 2) '-')) widths;
+    Buffer.add_string buf "+\n"
+  in
+  let line cells =
+    List.iteri
+      (fun i c ->
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad (List.nth t.aligns i) widths.(i) c);
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter (function Cells c -> line c | Separator -> rule ()) rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let fcell x = Printf.sprintf "%.4f" x
+let fcell2 x = Printf.sprintf "%.2f" x
+let icell = string_of_int
+let pct x = Printf.sprintf "%.1f%%" (100.0 *. x)

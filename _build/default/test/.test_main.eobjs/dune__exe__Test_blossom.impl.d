@@ -1,0 +1,1 @@
+test/test_blossom.ml: Alcotest Array Gen Graph Owp_matching Owp_util QCheck2 QCheck_alcotest Weights

@@ -1,0 +1,1 @@
+test/test_bmatching.ml: Alcotest Array Gen Graph List Owp_matching Owp_util QCheck2 QCheck_alcotest Weights

@@ -1,0 +1,1 @@
+test/test_churn.ml: Alcotest Array Gen Graph List Owp_matching Owp_overlay Owp_util Preference Weights

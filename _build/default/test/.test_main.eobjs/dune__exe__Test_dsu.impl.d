@@ -1,0 +1,1 @@
+test/test_dsu.ml: Alcotest Array Fun List Owp_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Gen Graph List Metric Owp_core Owp_matching Owp_overlay Owp_stable Owp_util Preference QCheck2 QCheck_alcotest Weights

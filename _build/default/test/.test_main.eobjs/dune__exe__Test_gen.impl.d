@@ -1,0 +1,1 @@
+test/test_gen.ml: Alcotest Array Float Gen Graph Metrics Owp_util

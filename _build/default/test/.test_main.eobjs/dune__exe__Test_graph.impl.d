@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Graph List QCheck2 QCheck_alcotest

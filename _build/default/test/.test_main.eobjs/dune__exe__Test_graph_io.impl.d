@@ -1,0 +1,1 @@
+test/test_graph_io.ml: Alcotest Array Filename Fun Gen Graph Graph_io Owp_util Sys

@@ -1,0 +1,1 @@
+test/test_graph_metrics.ml: Alcotest Array Gen Graph Metrics Owp_util

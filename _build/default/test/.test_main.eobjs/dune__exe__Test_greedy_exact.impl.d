@@ -1,0 +1,1 @@
+test/test_greedy_exact.ml: Alcotest Array Float Gen Graph List Owp_matching Owp_util Preference QCheck2 QCheck_alcotest Weights

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Array Int List Owp_util QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Gen Graph List Owp_core Owp_matching Owp_stable Owp_util Preference QCheck2 QCheck_alcotest Weights

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Array Float Gen Graph List Owp_core Owp_matching Owp_overlay Owp_simnet Owp_util Preference QCheck2 QCheck_alcotest Weights

@@ -1,0 +1,1 @@
+test/test_lic.ml: Alcotest Array Gen Graph Owp_core Owp_matching Owp_util Preference QCheck2 QCheck_alcotest Weights

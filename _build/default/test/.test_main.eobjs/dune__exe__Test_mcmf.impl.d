@@ -1,0 +1,1 @@
+test/test_mcmf.ml: Alcotest Owp_matching

@@ -1,0 +1,1 @@
+test/test_onetoone.ml: Alcotest Array Gen Graph Owp_core Owp_matching Owp_util QCheck2 QCheck_alcotest Weights

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array Gen Graph Metric Owp_core Owp_matching Owp_overlay Owp_util Preference

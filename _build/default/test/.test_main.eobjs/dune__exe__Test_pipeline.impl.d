@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Float Gen Owp_core Owp_matching Owp_util Preference

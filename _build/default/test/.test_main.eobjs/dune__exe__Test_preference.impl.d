@@ -1,0 +1,1 @@
+test/test_preference.ml: Alcotest Array Gen Graph List Metric Owp_util Preference

@@ -1,0 +1,1 @@
+test/test_satisfaction.ml: Alcotest Float Fun List QCheck2 QCheck_alcotest Satisfaction

@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest List Owp_simnet

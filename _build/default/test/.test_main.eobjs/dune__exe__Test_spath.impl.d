@@ -1,0 +1,1 @@
+test/test_spath.ml: Alcotest Array Gen Graph List Metrics Owp_graph Owp_util

@@ -1,0 +1,1 @@
+test/test_stable.ml: Alcotest Array Fun Gen Graph List Metric Owp_matching Owp_stable Owp_util Preference QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Owp_util QCheck2 QCheck_alcotest

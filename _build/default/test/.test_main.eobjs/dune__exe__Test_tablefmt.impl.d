@@ -1,0 +1,1 @@
+test/test_tablefmt.ml: Alcotest List Owp_util String

@@ -1,0 +1,1 @@
+test/test_weights.ml: Alcotest Array Fun Gen Graph List Option Owp_util Preference Weights

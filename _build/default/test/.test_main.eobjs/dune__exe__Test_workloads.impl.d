@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Graph List Owp_bench Owp_util Preference String Weights

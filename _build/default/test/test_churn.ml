@@ -1,0 +1,128 @@
+module Churn = Owp_overlay.Churn
+module Prng = Owp_util.Prng
+
+let setup seed n =
+  let rng = Prng.create seed in
+  let g = Gen.gnm rng ~n ~m:(3 * n) in
+  let prefs = Preference.random rng g ~quota:(Preference.uniform_quota g 2) in
+  (g, prefs)
+
+let test_random_events_consistency () =
+  let g, _ = setup 1 40 in
+  let rng = Prng.create 2 in
+  let active = Array.make 40 true in
+  let events = Churn.random_events rng ~universe:g ~initially_active:active ~steps:60 in
+  (* replay: leaves only target active peers, joins only inactive ones *)
+  let state = Array.copy active in
+  List.iter
+    (function
+      | Churn.Leave v ->
+          Alcotest.(check bool) "leave active" true state.(v);
+          state.(v) <- false
+      | Churn.Join v ->
+          Alcotest.(check bool) "join inactive" false state.(v);
+          state.(v) <- true)
+    events
+
+let test_simulate_step_per_event () =
+  let g, prefs = setup 3 30 in
+  let rng = Prng.create 4 in
+  let active = Array.make 30 true in
+  let events = Churn.random_events rng ~universe:g ~initially_active:active ~steps:25 in
+  let steps =
+    Churn.simulate ~prefs ~initially_active:active ~events ~repair:Churn.Incremental
+  in
+  Alcotest.(check int) "one step per event" (List.length events) (List.length steps);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "satisfaction non-negative" true (s.Churn.total_satisfaction >= 0.0);
+      Alcotest.(check bool) "weight non-negative" true (s.Churn.weight >= 0.0);
+      Alcotest.(check bool) "counts non-negative" true (s.Churn.added >= 0 && s.Churn.removed >= 0);
+      Alcotest.(check bool) "active in range" true
+        (s.Churn.active_nodes >= 0 && s.Churn.active_nodes <= 30))
+    steps
+
+let test_rebuild_matches_fresh_greedy () =
+  (* after every event, the full-rebuild matching must weigh exactly as
+     much as a from-scratch global greedy restricted to active peers *)
+  let g, prefs = setup 5 40 in
+  let rng = Prng.create 6 in
+  let active = Array.init 40 (fun _ -> Prng.bernoulli rng 0.8) in
+  let events = Churn.random_events rng ~universe:g ~initially_active:active ~steps:30 in
+  let full = Churn.simulate ~prefs ~initially_active:active ~events ~repair:Churn.Full_rebuild in
+  let w = Weights.of_preference prefs in
+  let capacity = Array.init 40 (Preference.quota prefs) in
+  let state = Array.copy active in
+  List.iter2
+    (fun event step ->
+      (match event with
+      | Churn.Leave v -> state.(v) <- false
+      | Churn.Join v -> state.(v) <- true);
+      let fresh =
+        Owp_matching.Greedy.run_restricted w ~capacity ~allowed:(fun eid ->
+            let u, v = Graph.edge_endpoints g eid in
+            state.(u) && state.(v))
+      in
+      Alcotest.(check (float 1e-9)) "rebuild = fresh greedy"
+        (Owp_matching.Bmatching.weight fresh w)
+        step.Churn.weight)
+    events full
+
+let test_leave_inactive_rejected () =
+  let _, prefs = setup 7 10 in
+  let active = Array.make 10 false in
+  active.(0) <- true;
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Churn.simulate ~prefs ~initially_active:active ~events:[ Churn.Leave 5 ]
+            ~repair:Churn.Incremental);
+       false
+     with Invalid_argument _ -> true)
+
+let test_join_active_rejected () =
+  let _, prefs = setup 8 10 in
+  let active = Array.make 10 true in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore
+         (Churn.simulate ~prefs ~initially_active:active ~events:[ Churn.Join 5 ]
+            ~repair:Churn.Incremental);
+       false
+     with Invalid_argument _ -> true)
+
+let test_leave_removes_connections () =
+  let g = Gen.star 5 in
+  let prefs = Preference.random (Prng.create 9) g ~quota:(Preference.uniform_quota g 4) in
+  let active = Array.make 5 true in
+  let steps =
+    Churn.simulate ~prefs ~initially_active:active ~events:[ Churn.Leave 0 ]
+      ~repair:Churn.Incremental
+  in
+  let s = List.hd steps in
+  (* the hub left: no edges can survive in a star *)
+  Alcotest.(check (float 1e-9)) "no weight left" 0.0 s.Churn.weight;
+  Alcotest.(check int) "hub's edges removed" 4 s.Churn.removed
+
+let test_join_recovers () =
+  let g = Gen.star 5 in
+  let prefs = Preference.random (Prng.create 10) g ~quota:(Preference.uniform_quota g 4) in
+  let active = Array.make 5 true in
+  let steps =
+    Churn.simulate ~prefs ~initially_active:active
+      ~events:[ Churn.Leave 0; Churn.Join 0 ] ~repair:Churn.Incremental
+  in
+  let after_rejoin = List.nth steps 1 in
+  Alcotest.(check int) "hub re-matched fully" 4 after_rejoin.Churn.added;
+  Alcotest.(check bool) "satisfaction restored" true (after_rejoin.Churn.total_satisfaction > 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "random events consistency" `Quick test_random_events_consistency;
+    Alcotest.test_case "one step per event" `Quick test_simulate_step_per_event;
+    Alcotest.test_case "rebuild matches fresh greedy" `Quick test_rebuild_matches_fresh_greedy;
+    Alcotest.test_case "leave inactive rejected" `Quick test_leave_inactive_rejected;
+    Alcotest.test_case "join active rejected" `Quick test_join_active_rejected;
+    Alcotest.test_case "leave removes connections" `Quick test_leave_removes_connections;
+    Alcotest.test_case "join recovers" `Quick test_join_recovers;
+  ]

@@ -1,0 +1,68 @@
+module Dsu = Owp_util.Dsu
+
+let test_singletons () =
+  let d = Dsu.create 5 in
+  Alcotest.(check int) "sets" 5 (Dsu.count_sets d);
+  for i = 0 to 4 do
+    Alcotest.(check int) "self root" i (Dsu.find d i);
+    Alcotest.(check int) "size 1" 1 (Dsu.size d i)
+  done
+
+let test_union () =
+  let d = Dsu.create 6 in
+  Alcotest.(check bool) "new union" true (Dsu.union d 0 1);
+  Alcotest.(check bool) "repeat union" false (Dsu.union d 1 0);
+  Alcotest.(check bool) "same" true (Dsu.same d 0 1);
+  Alcotest.(check bool) "not same" false (Dsu.same d 0 2);
+  Alcotest.(check int) "sets" 5 (Dsu.count_sets d);
+  Alcotest.(check int) "size" 2 (Dsu.size d 0)
+
+let test_chain () =
+  let n = 100 in
+  let d = Dsu.create n in
+  for i = 0 to n - 2 do
+    ignore (Dsu.union d i (i + 1))
+  done;
+  Alcotest.(check int) "one set" 1 (Dsu.count_sets d);
+  Alcotest.(check int) "full size" n (Dsu.size d 42);
+  Alcotest.(check bool) "ends joined" true (Dsu.same d 0 (n - 1))
+
+let test_two_components () =
+  let d = Dsu.create 8 in
+  List.iter (fun (a, b) -> ignore (Dsu.union d a b)) [ (0, 1); (1, 2); (4, 5); (5, 6) ];
+  Alcotest.(check int) "four sets" 4 (Dsu.count_sets d);
+  Alcotest.(check bool) "split" false (Dsu.same d 0 4);
+  Alcotest.(check int) "sizes" 3 (Dsu.size d 2);
+  Alcotest.(check int) "singleton stays" 1 (Dsu.size d 3)
+
+let prop_union_find_vs_naive =
+  QCheck2.Test.make ~name:"dsu agrees with naive labelling" ~count:100
+    QCheck2.Gen.(list_size (int_range 0 60) (pair (int_range 0 19) (int_range 0 19)))
+    (fun unions ->
+      let d = Dsu.create 20 in
+      let label = Array.init 20 Fun.id in
+      let relabel a b =
+        let la = label.(a) and lb = label.(b) in
+        if la <> lb then Array.iteri (fun i l -> if l = lb then label.(i) <- la) label
+      in
+      List.iter
+        (fun (a, b) ->
+          ignore (Dsu.union d a b);
+          relabel a b)
+        unions;
+      let ok = ref true in
+      for i = 0 to 19 do
+        for j = 0 to 19 do
+          if Dsu.same d i j <> (label.(i) = label.(j)) then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "singletons" `Quick test_singletons;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "chain" `Quick test_chain;
+    Alcotest.test_case "two components" `Quick test_two_components;
+    QCheck_alcotest.to_alcotest prop_union_find_vs_naive;
+  ]

@@ -1,0 +1,215 @@
+module BM = Owp_matching.Bmatching
+module Greedy = Owp_matching.Greedy
+module Exact = Owp_matching.Exact
+module Prng = Owp_util.Prng
+
+let path3_weights wts =
+  (* path 0-1-2-3 with given weights *)
+  let g = Graph.of_edge_list 4 [ (0, 1); (1, 2); (2, 3) ] in
+  (g, Weights.of_array g wts)
+
+let test_greedy_picks_heavier () =
+  let _, w = path3_weights [| 1.0; 5.0; 1.0 |] in
+  let m = Greedy.run w ~capacity:[| 1; 1; 1; 1 |] in
+  Alcotest.(check (list int)) "middle edge only" [ 1 ] (BM.edge_ids m)
+
+let test_greedy_maximal () =
+  let _, w = path3_weights [| 3.0; 2.0; 3.0 |] in
+  let m = Greedy.run w ~capacity:[| 1; 1; 1; 1 |] in
+  Alcotest.(check (list int)) "both ends" [ 0; 2 ] (BM.edge_ids m);
+  Alcotest.(check bool) "maximal" true (BM.is_maximal m)
+
+let test_greedy_capacity () =
+  let g = Gen.star 6 in
+  let w = Weights.of_array g [| 5.0; 4.0; 3.0; 2.0; 1.0 |] in
+  let m = Greedy.run w ~capacity:[| 2; 1; 1; 1; 1; 1 |] in
+  Alcotest.(check int) "hub limited to 2" 2 (BM.size m);
+  Alcotest.(check (list int)) "two heaviest" [ 0; 1 ] (BM.edge_ids m)
+
+let test_greedy_restricted () =
+  let _, w = path3_weights [| 1.0; 5.0; 1.0 |] in
+  let m = Greedy.run_restricted w ~capacity:[| 1; 1; 1; 1 |] ~allowed:(fun e -> e <> 1) in
+  Alcotest.(check (list int)) "skips forbidden" [ 0; 2 ] (BM.edge_ids m)
+
+let test_exact_simple () =
+  (* greedy is suboptimal here: greedy takes 5, exact takes 4+4 *)
+  let _, w = path3_weights [| 4.0; 5.0; 4.0 |] in
+  let opt = Exact.max_weight_bmatching w ~capacity:[| 1; 1; 1; 1 |] in
+  Alcotest.(check (list int)) "exact both ends" [ 0; 2 ] (BM.edge_ids opt);
+  Alcotest.(check (float 1e-9)) "value" 8.0 (Exact.max_weight_value w ~capacity:[| 1; 1; 1; 1 |])
+
+let test_exact_capacity2 () =
+  let g = Graph.of_edge_list 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let w = Weights.of_array g [| 3.0; 2.0; 1.0 |] in
+  (* b=1: best single... triangle with unit caps: any one edge + none -> best edge pair
+     shares vertices, so optimum is one edge of weight 3 *)
+  let opt1 = Exact.max_weight_bmatching w ~capacity:[| 1; 1; 1 |] in
+  Alcotest.(check (float 1e-9)) "triangle b=1" 3.0 (BM.weight opt1 w);
+  (* b=2 everywhere: all three edges fit *)
+  let opt2 = Exact.max_weight_bmatching w ~capacity:[| 2; 2; 2 |] in
+  Alcotest.(check (float 1e-9)) "triangle b=2" 6.0 (BM.weight opt2 w)
+
+let test_exact_budget () =
+  let g = Gen.complete 10 in
+  let w = Weights.of_array g (Array.make 45 1.0) in
+  Alcotest.(check bool) "refuses big" true
+    (try
+       ignore (Exact.max_weight_bmatching ~max_edges:10 w ~capacity:(Array.make 10 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_exact_negative_weights () =
+  let _, w = path3_weights [| -1.0; 2.0; -3.0 |] in
+  let opt = Exact.max_weight_bmatching w ~capacity:[| 1; 1; 1; 1 |] in
+  Alcotest.(check (list int)) "only positive edge" [ 1 ] (BM.edge_ids opt)
+
+let random_small seed =
+  let rng = Prng.create seed in
+  let g = Gen.gnp rng ~n:8 ~p:0.45 in
+  let p = Preference.random rng g ~quota:(Preference.uniform_quota g 2) in
+  (g, p, Weights.of_preference p)
+
+let prop_greedy_half_of_exact =
+  QCheck2.Test.make ~name:"greedy >= 1/2 exact (small random)" ~count:60
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g, p, w = random_small seed in
+      ignore p;
+      if Graph.edge_count g > 30 then true
+      else begin
+        let capacity = Array.make 8 2 in
+        let greedy = Greedy.run w ~capacity in
+        let opt = Exact.max_weight_bmatching ~max_edges:30 w ~capacity in
+        BM.weight greedy w >= (0.5 *. BM.weight opt w) -. 1e-9
+      end)
+
+let prop_exact_at_least_greedy =
+  QCheck2.Test.make ~name:"exact >= greedy" ~count:60
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g, _, w = random_small seed in
+      if Graph.edge_count g > 30 then true
+      else begin
+        let capacity = Array.make 8 2 in
+        let greedy = Greedy.run w ~capacity in
+        let opt = Exact.max_weight_bmatching ~max_edges:30 w ~capacity in
+        BM.weight opt w >= BM.weight greedy w -. 1e-9
+      end)
+
+let test_exact_satisfaction_small () =
+  let g = Graph.of_edge_list 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let lists = [| [| 1 |]; [| 0; 2 |]; [| 3; 1 |]; [| 2 |] |] in
+  let p = Preference.create g ~quota:[| 1; 1; 1; 1 |] ~lists in
+  let opt, s = Exact.max_satisfaction_bmatching p in
+  (* matching {0-1, 2-3} gives S = 1 + 1 + 1 + 1 = 4 (all top choices) *)
+  Alcotest.(check (float 1e-9)) "optimal satisfaction" 4.0 s;
+  Alcotest.(check (list int)) "edges" [ 0; 2 ] (BM.edge_ids opt)
+
+let prop_satisfaction_opt_dominates_weight_opt =
+  QCheck2.Test.make ~name:"satisfaction optimum >= satisfaction of weight optimum"
+    ~count:40
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let g, p, w = random_small seed in
+      if Graph.edge_count g > 20 then true
+      else begin
+        let capacity = Array.init 8 (Preference.quota p) in
+        let wopt = Exact.max_weight_bmatching ~max_edges:20 w ~capacity in
+        let _, s_opt = Exact.max_satisfaction_bmatching ~max_edges:20 p in
+        let s_w = Preference.total_satisfaction p (BM.connection_lists wopt) in
+        ignore g;
+        s_opt >= s_w -. 1e-9
+      end)
+
+(* Pruning-free exhaustive reference for the satisfaction optimum. *)
+let brute_force_satisfaction prefs =
+  let g = Preference.graph prefs in
+  let n = Graph.node_count g and m = Graph.edge_count g in
+  let capacity = Array.init n (Preference.quota prefs) in
+  let residual = Array.copy capacity in
+  let conns = Array.make n [] in
+  let best = ref 0.0 in
+  let total () =
+    let acc = ref 0.0 in
+    for v = 0 to n - 1 do
+      acc := !acc +. Preference.satisfaction prefs v conns.(v)
+    done;
+    !acc
+  in
+  let rec go k =
+    if k = m then best := Float.max !best (total ())
+    else begin
+      let u, v = Graph.edge_endpoints g k in
+      if residual.(u) > 0 && residual.(v) > 0 then begin
+        residual.(u) <- residual.(u) - 1;
+        residual.(v) <- residual.(v) - 1;
+        conns.(u) <- v :: conns.(u);
+        conns.(v) <- u :: conns.(v);
+        go (k + 1);
+        conns.(u) <- List.tl conns.(u);
+        conns.(v) <- List.tl conns.(v);
+        residual.(u) <- residual.(u) + 1;
+        residual.(v) <- residual.(v) + 1
+      end;
+      go (k + 1)
+    end
+  in
+  go 0;
+  !best
+
+let prop_satisfaction_bb_equals_bruteforce =
+  QCheck2.Test.make ~name:"satisfaction B&B equals pruning-free exhaustive" ~count:30
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Gen.gnp rng ~n:7 ~p:0.4 in
+      if Graph.edge_count g > 12 then true
+      else begin
+        let p = Preference.random rng g ~quota:(Preference.uniform_quota g 2) in
+        let _, s = Exact.max_satisfaction_bmatching ~max_edges:12 p in
+        Float.abs (s -. brute_force_satisfaction p) < 1e-9
+      end)
+
+let test_bipartite_matches_bb () =
+  for seed = 1 to 8 do
+    let rng = Prng.create seed in
+    let g = Gen.random_bipartite rng ~left:4 ~right:5 ~p:0.6 in
+    if Graph.edge_count g <= 24 && Graph.edge_count g > 0 then begin
+      let w =
+        Weights.of_array g
+          (Array.init (Graph.edge_count g) (fun _ -> Prng.float rng 10.0))
+      in
+      let capacity = Array.make 9 2 in
+      let flow = Exact.max_weight_bipartite w ~capacity ~left:4 in
+      let bb = Exact.max_weight_bmatching ~max_edges:24 w ~capacity in
+      Alcotest.(check (float 1e-6)) "flow = b&b" (BM.weight bb w) (BM.weight flow w)
+    end
+  done
+
+let test_bipartite_rejects_nonbipartite () =
+  let g = Graph.of_edge_list 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let w = Weights.of_array g [| 1.0; 1.0; 1.0 |] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Exact.max_weight_bipartite w ~capacity:[| 1; 1; 1 |] ~left:2);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "greedy picks heavier" `Quick test_greedy_picks_heavier;
+    Alcotest.test_case "greedy maximal" `Quick test_greedy_maximal;
+    Alcotest.test_case "greedy capacity" `Quick test_greedy_capacity;
+    Alcotest.test_case "greedy restricted" `Quick test_greedy_restricted;
+    Alcotest.test_case "exact simple" `Quick test_exact_simple;
+    Alcotest.test_case "exact capacity 2" `Quick test_exact_capacity2;
+    Alcotest.test_case "exact budget" `Quick test_exact_budget;
+    Alcotest.test_case "exact negative weights" `Quick test_exact_negative_weights;
+    QCheck_alcotest.to_alcotest prop_greedy_half_of_exact;
+    QCheck_alcotest.to_alcotest prop_exact_at_least_greedy;
+    Alcotest.test_case "exact satisfaction small" `Quick test_exact_satisfaction_small;
+    QCheck_alcotest.to_alcotest prop_satisfaction_opt_dominates_weight_opt;
+    QCheck_alcotest.to_alcotest prop_satisfaction_bb_equals_bruteforce;
+    Alcotest.test_case "bipartite flow = b&b" `Quick test_bipartite_matches_bb;
+    Alcotest.test_case "bipartite rejects triangle" `Quick test_bipartite_rejects_nonbipartite;
+  ]

@@ -1,0 +1,89 @@
+module Lic = Owp_core.Lic
+module Theory = Owp_core.Theory
+module BM = Owp_matching.Bmatching
+module Exact = Owp_matching.Exact
+module Prng = Owp_util.Prng
+
+let random_instance seed n avg_deg quota =
+  let rng = Prng.create seed in
+  let m = n * avg_deg / 2 in
+  let g = Gen.gnm rng ~n ~m in
+  let p = Preference.random rng g ~quota:(Preference.uniform_quota g quota) in
+  let w = Weights.of_preference p in
+  let capacity = Array.init n (Preference.quota p) in
+  (g, p, w, capacity)
+
+let test_path_example () =
+  let g = Graph.of_edge_list 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let w = Weights.of_array g [| 4.0; 5.0; 4.0 |] in
+  let m = Lic.run w ~capacity:[| 1; 1; 1; 1 |] in
+  (* greedy takes the middle edge: LIC is a 1/2-approximation, not exact *)
+  Alcotest.(check (list int)) "locally heaviest first" [ 1 ] (BM.edge_ids m)
+
+let test_capacity_respected () =
+  let _, _, w, capacity = random_instance 1 60 8 3 in
+  let m = Lic.run w ~capacity in
+  for v = 0 to 59 do
+    Alcotest.(check bool) "quota" true (BM.degree m v <= capacity.(v))
+  done
+
+let test_zero_capacity_nodes () =
+  let g = Graph.of_edge_list 3 [ (0, 1); (1, 2) ] in
+  let w = Weights.of_array g [| 1.0; 2.0 |] in
+  let m = Lic.run w ~capacity:[| 0; 1; 1 |] in
+  Alcotest.(check (list int)) "skips capacity-0 node" [ 1 ] (BM.edge_ids m)
+
+let test_empty_graph () =
+  let g = Graph.of_edge_list 3 [] in
+  let w = Weights.of_array g [||] in
+  let m = Lic.run w ~capacity:[| 1; 1; 1 |] in
+  Alcotest.(check int) "empty" 0 (BM.size m)
+
+let prop_strategies_agree =
+  QCheck2.Test.make ~name:"LIC strategies select the same edge set (Lemma 6)" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let _, _, w, capacity = random_instance seed 30 6 2 in
+      let a = Lic.run ~strategy:Lic.Heaviest_first w ~capacity in
+      let b = Lic.run ~strategy:Lic.Climbing w ~capacity in
+      let c = Lic.run ~strategy:(Lic.Random_climb (Prng.create (seed + 1))) w ~capacity in
+      BM.equal a b && BM.equal b c)
+
+let prop_output_greedy_stable =
+  QCheck2.Test.make ~name:"LIC output is maximal and greedy-stable" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let _, _, w, capacity = random_instance seed 40 6 3 in
+      let m = Lic.run w ~capacity in
+      BM.is_maximal m && Theory.is_greedy_stable w m)
+
+let prop_half_approx_small =
+  QCheck2.Test.make ~name:"LIC >= 1/2 OPT weight (Theorem 2, exact check)" ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g, _, w, capacity = random_instance seed 9 4 2 in
+      if Graph.edge_count g > 26 then true
+      else begin
+        let lic = Lic.run w ~capacity in
+        let opt = Exact.max_weight_bmatching ~max_edges:26 w ~capacity in
+        BM.weight lic w >= (0.5 *. BM.weight opt w) -. 1e-9
+      end)
+
+let prop_deterministic =
+  QCheck2.Test.make ~name:"LIC deterministic for fixed input" ~count:20
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let _, _, w, capacity = random_instance seed 30 6 2 in
+      BM.equal (Lic.run w ~capacity) (Lic.run w ~capacity))
+
+let suite =
+  [
+    Alcotest.test_case "path example" `Quick test_path_example;
+    Alcotest.test_case "capacity respected" `Quick test_capacity_respected;
+    Alcotest.test_case "zero capacity nodes" `Quick test_zero_capacity_nodes;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    QCheck_alcotest.to_alcotest prop_strategies_agree;
+    QCheck_alcotest.to_alcotest prop_output_greedy_stable;
+    QCheck_alcotest.to_alcotest prop_half_approx_small;
+    QCheck_alcotest.to_alcotest prop_deterministic;
+  ]

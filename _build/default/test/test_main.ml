@@ -1,0 +1,37 @@
+(* Aggregated test runner: one alcotest section per module. *)
+
+let () =
+  Alcotest.run "owp"
+    [
+      ("util.prng", Test_prng.suite);
+      ("util.heap", Test_heap.suite);
+      ("util.dsu", Test_dsu.suite);
+      ("util.stats", Test_stats.suite);
+      ("util.tablefmt", Test_tablefmt.suite);
+      ("graph.core", Test_graph.suite);
+      ("graph.gen", Test_gen.suite);
+      ("graph.metrics", Test_graph_metrics.suite);
+      ("graph.io", Test_graph_io.suite);
+      ("graph.spath", Test_spath.suite);
+      ("prefs.satisfaction", Test_satisfaction.suite);
+      ("prefs.metric", Test_metric.suite);
+      ("prefs.preference", Test_preference.suite);
+      ("prefs.weights", Test_weights.suite);
+      ("simnet", Test_simnet.suite);
+      ("matching.bmatching", Test_bmatching.suite);
+      ("matching.greedy+exact", Test_greedy_exact.suite);
+      ("matching.mcmf", Test_mcmf.suite);
+      ("matching.onetoone", Test_onetoone.suite);
+      ("matching.blossom", Test_blossom.suite);
+      ("stable", Test_stable.suite);
+      ("core.lic", Test_lic.suite);
+      ("core.lid", Test_lid.suite);
+      ("core.theory", Test_theory.suite);
+      ("core.pipeline", Test_pipeline.suite);
+      ("extensions", Test_extensions.suite);
+      ("integration", Test_integration.suite);
+      ("invariants", Test_invariants.suite);
+      ("overlay", Test_overlay.suite);
+      ("overlay.churn", Test_churn.suite);
+      ("bench.workloads", Test_workloads.suite);
+    ]

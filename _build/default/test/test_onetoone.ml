@@ -1,0 +1,74 @@
+module BM = Owp_matching.Bmatching
+module One = Owp_matching.Onetoone
+module Exact = Owp_matching.Exact
+module Prng = Owp_util.Prng
+
+let random_weights seed n m =
+  let rng = Prng.create seed in
+  let g = Gen.gnm rng ~n ~m in
+  let w = Weights.of_array g (Array.init m (fun _ -> 0.1 +. Prng.float rng 10.0)) in
+  (g, w)
+
+let is_matching m =
+  let g = BM.graph m in
+  let ok = ref true in
+  for v = 0 to Graph.node_count g - 1 do
+    if BM.degree m v > 1 then ok := false
+  done;
+  !ok
+
+let test_preis_path () =
+  let g = Graph.of_edge_list 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let w = Weights.of_array g [| 1.0; 5.0; 1.0 |] in
+  let m = One.preis w in
+  Alcotest.(check (list int)) "locally heaviest" [ 1 ] (BM.edge_ids m)
+
+let test_path_growing_path () =
+  let g = Graph.of_edge_list 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let w = Weights.of_array g [| 3.0; 2.0; 3.0 |] in
+  let m = One.path_growing w in
+  Alcotest.(check bool) "valid matching" true (is_matching m);
+  Alcotest.(check bool) "at least half" true (BM.weight m w >= 3.0)
+
+let prop_all_produce_matchings =
+  QCheck2.Test.make ~name:"one-to-one algorithms produce valid matchings" ~count:80
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let _, w = random_weights seed 14 40 in
+      is_matching (One.preis w) && is_matching (One.path_growing w)
+      && is_matching (One.global_greedy w))
+
+let prop_preis_equals_lic_b1 =
+  QCheck2.Test.make ~name:"Preis edge set = LIC with b = 1" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g, w = random_weights seed 14 40 in
+      let lic = Owp_core.Lic.run w ~capacity:(Array.make (Graph.node_count g) 1) in
+      BM.equal (One.preis w) lic)
+
+let prop_half_approx =
+  QCheck2.Test.make ~name:"preis & path-growing are 1/2-approx of exact" ~count:40
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let g, w = random_weights seed 10 20 in
+      let capacity = Array.make (Graph.node_count g) 1 in
+      let opt = Exact.max_weight_bmatching ~max_edges:20 w ~capacity in
+      let half = (0.5 *. BM.weight opt w) -. 1e-9 in
+      BM.weight (One.preis w) w >= half && BM.weight (One.path_growing w) w >= half)
+
+let prop_preis_maximal =
+  QCheck2.Test.make ~name:"preis output is maximal" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let _, w = random_weights seed 14 40 in
+      BM.is_maximal (One.preis w))
+
+let suite =
+  [
+    Alcotest.test_case "preis path" `Quick test_preis_path;
+    Alcotest.test_case "path growing path" `Quick test_path_growing_path;
+    QCheck_alcotest.to_alcotest prop_all_produce_matchings;
+    QCheck_alcotest.to_alcotest prop_preis_equals_lic_b1;
+    QCheck_alcotest.to_alcotest prop_half_approx;
+    QCheck_alcotest.to_alcotest prop_preis_maximal;
+  ]

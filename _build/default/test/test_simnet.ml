@@ -1,0 +1,163 @@
+module Sim = Owp_simnet.Simnet
+
+let test_single_delivery () =
+  let net = Sim.create ~nodes:2 ~delay:Sim.Unit () in
+  let got = ref [] in
+  Sim.set_handler net (fun ~src ~dst m -> got := (src, dst, m) :: !got);
+  Sim.send net ~src:0 ~dst:1 "hello";
+  Sim.run net;
+  Alcotest.(check int) "one delivery" 1 (List.length !got);
+  Alcotest.(check bool) "payload" true (List.hd !got = (0, 1, "hello"));
+  Alcotest.(check (float 1e-9)) "unit delay" 1.0 (Sim.now net);
+  Alcotest.(check int) "counter sent" 1 (Sim.messages_sent net);
+  Alcotest.(check int) "counter delivered" 1 (Sim.messages_delivered net)
+
+let test_handler_chaining () =
+  (* ping-pong k times *)
+  let net = Sim.create ~nodes:2 ~delay:Sim.Unit () in
+  let hops = ref 0 in
+  Sim.set_handler net (fun ~src ~dst m ->
+      incr hops;
+      if m > 0 then Sim.send net ~src:dst ~dst:src (m - 1));
+  Sim.send net ~src:0 ~dst:1 5;
+  Sim.run net;
+  Alcotest.(check int) "six deliveries" 6 !hops;
+  Alcotest.(check (float 1e-9)) "time is hops" 6.0 (Sim.now net)
+
+let test_fifo_ordering () =
+  let net = Sim.create ~fifo:true ~nodes:2 ~delay:(Sim.Uniform (0.1, 10.0)) () in
+  let got = ref [] in
+  Sim.set_handler net (fun ~src:_ ~dst:_ m -> got := m :: !got);
+  for i = 1 to 50 do
+    Sim.send net ~src:0 ~dst:1 i
+  done;
+  Sim.run net;
+  Alcotest.(check (list int)) "in order" (List.init 50 (fun i -> 50 - i)) !got
+
+let test_no_fifo_can_reorder () =
+  let net = Sim.create ~fifo:false ~seed:5 ~nodes:2 ~delay:(Sim.Uniform (0.1, 10.0)) () in
+  let got = ref [] in
+  Sim.set_handler net (fun ~src:_ ~dst:_ m -> got := m :: !got);
+  for i = 1 to 50 do
+    Sim.send net ~src:0 ~dst:1 i
+  done;
+  Sim.run net;
+  Alcotest.(check bool) "some reordering" true (!got <> List.init 50 (fun i -> 50 - i))
+
+let test_schedule () =
+  let net : unit Sim.t = Sim.create ~nodes:1 ~delay:Sim.Unit () in
+  let fired = ref [] in
+  Sim.schedule net ~delay:3.0 (fun () -> fired := 3 :: !fired);
+  Sim.schedule net ~delay:1.0 (fun () -> fired := 1 :: !fired);
+  Sim.run net;
+  Alcotest.(check (list int)) "ordered callbacks" [ 3; 1 ] !fired;
+  Alcotest.(check (float 1e-9)) "clock at last" 3.0 (Sim.now net)
+
+let test_run_until () =
+  let net : unit Sim.t = Sim.create ~nodes:1 ~delay:Sim.Unit () in
+  let fired = ref 0 in
+  List.iter (fun d -> Sim.schedule net ~delay:d (fun () -> incr fired)) [ 1.0; 2.0; 5.0 ];
+  Sim.run_until net 2.5;
+  Alcotest.(check int) "only early" 2 !fired;
+  Alcotest.(check bool) "clock <= horizon" true (Sim.now net <= 2.5);
+  Sim.run net;
+  Alcotest.(check int) "rest delivered" 3 !fired
+
+let test_step () =
+  let net : unit Sim.t = Sim.create ~nodes:1 ~delay:Sim.Unit () in
+  Sim.schedule net ~delay:1.0 (fun () -> ());
+  Alcotest.(check bool) "one event" true (Sim.step net);
+  Alcotest.(check bool) "empty" false (Sim.step net)
+
+let test_drop_faults () =
+  let faults = { Sim.drop_probability = 1.0; duplicate_probability = 0.0 } in
+  let net = Sim.create ~faults ~nodes:2 ~delay:Sim.Unit () in
+  Sim.set_handler net (fun ~src:_ ~dst:_ _ -> Alcotest.fail "should have been dropped");
+  for _ = 1 to 20 do
+    Sim.send net ~src:0 ~dst:1 ()
+  done;
+  Sim.run net;
+  Alcotest.(check int) "all dropped" 20 (Sim.messages_dropped net);
+  Alcotest.(check int) "none delivered" 0 (Sim.messages_delivered net)
+
+let test_duplicate_faults () =
+  let faults = { Sim.drop_probability = 0.0; duplicate_probability = 1.0 } in
+  let net = Sim.create ~faults ~nodes:2 ~delay:Sim.Unit () in
+  let count = ref 0 in
+  Sim.set_handler net (fun ~src:_ ~dst:_ _ -> incr count);
+  for _ = 1 to 10 do
+    Sim.send net ~src:0 ~dst:1 ()
+  done;
+  Sim.run net;
+  Alcotest.(check int) "each duplicated" 20 !count
+
+let test_partial_drop_rate () =
+  let faults = { Sim.drop_probability = 0.5; duplicate_probability = 0.0 } in
+  let net = Sim.create ~seed:9 ~faults ~nodes:2 ~delay:Sim.Unit () in
+  Sim.set_handler net (fun ~src:_ ~dst:_ _ -> ());
+  for _ = 1 to 2000 do
+    Sim.send net ~src:0 ~dst:1 ()
+  done;
+  Sim.run net;
+  let d = Sim.messages_dropped net in
+  Alcotest.(check bool) "about half dropped" true (d > 900 && d < 1100)
+
+let test_trace () =
+  let net = Sim.create ~nodes:2 ~delay:Sim.Unit () in
+  let traced = ref 0 in
+  Sim.set_handler net (fun ~src:_ ~dst:_ _ -> ());
+  Sim.set_trace net (Some (fun _t ~src:_ ~dst:_ _ -> incr traced));
+  Sim.send net ~src:0 ~dst:1 ();
+  Sim.send net ~src:1 ~dst:0 ();
+  Sim.run net;
+  Alcotest.(check int) "traced both" 2 !traced
+
+let test_send_range_check () =
+  let net : unit Sim.t = Sim.create ~nodes:2 ~delay:Sim.Unit () in
+  Alcotest.check_raises "range" (Invalid_argument "Simnet.send: endpoint out of range")
+    (fun () -> Sim.send net ~src:0 ~dst:5 ())
+
+let test_no_handler_fails () =
+  let net : unit Sim.t = Sim.create ~nodes:2 ~delay:Sim.Unit () in
+  Sim.send net ~src:0 ~dst:1 ();
+  Alcotest.check_raises "no handler" (Failure "Simnet: message due but no handler installed")
+    (fun () -> Sim.run net)
+
+let test_exponential_delay_positive () =
+  let net = Sim.create ~nodes:2 ~delay:(Sim.Exponential 2.0) () in
+  Sim.set_handler net (fun ~src:_ ~dst:_ _ -> ());
+  for _ = 1 to 100 do
+    Sim.send net ~src:0 ~dst:1 ()
+  done;
+  Sim.run net;
+  Alcotest.(check bool) "clock advanced" true (Sim.now net > 0.0)
+
+let test_per_link_delay () =
+  let net = Sim.create ~fifo:false ~nodes:3 ~delay:(Sim.PerLink (fun s d -> float_of_int (s + d))) () in
+  let order = ref [] in
+  Sim.set_handler net (fun ~src ~dst:_ _ -> order := src :: !order);
+  Sim.send net ~src:2 ~dst:0 ();
+  (* delay 2 *)
+  Sim.send net ~src:1 ~dst:0 ();
+  (* delay 1 *)
+  Sim.run net;
+  Alcotest.(check (list int)) "shorter link first" [ 2; 1 ] !order
+
+let suite =
+  [
+    Alcotest.test_case "single delivery" `Quick test_single_delivery;
+    Alcotest.test_case "handler chaining" `Quick test_handler_chaining;
+    Alcotest.test_case "fifo ordering" `Quick test_fifo_ordering;
+    Alcotest.test_case "non-fifo reorders" `Quick test_no_fifo_can_reorder;
+    Alcotest.test_case "schedule" `Quick test_schedule;
+    Alcotest.test_case "run_until" `Quick test_run_until;
+    Alcotest.test_case "step" `Quick test_step;
+    Alcotest.test_case "drop faults" `Quick test_drop_faults;
+    Alcotest.test_case "duplicate faults" `Quick test_duplicate_faults;
+    Alcotest.test_case "partial drop rate" `Quick test_partial_drop_rate;
+    Alcotest.test_case "trace" `Quick test_trace;
+    Alcotest.test_case "send range check" `Quick test_send_range_check;
+    Alcotest.test_case "no handler fails" `Quick test_no_handler_fails;
+    Alcotest.test_case "exponential delay" `Quick test_exponential_delay_positive;
+    Alcotest.test_case "per-link delay" `Quick test_per_link_delay;
+  ]

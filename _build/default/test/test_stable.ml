@@ -1,0 +1,232 @@
+module GS = Owp_stable.Gale_shapley
+module RM = Owp_stable.Roommates
+module FX = Owp_stable.Fixtures
+module BL = Owp_stable.Blocking
+module BM = Owp_matching.Bmatching
+module Prng = Owp_util.Prng
+
+(* ---------- Gale–Shapley ---------- *)
+
+let bipartite_prefs seed ~left ~right ~p ~quota =
+  let rng = Prng.create seed in
+  let g = Gen.random_bipartite rng ~left ~right ~p in
+  let prefs = Preference.random rng g ~quota:(Preference.uniform_quota g quota) in
+  (g, prefs)
+
+let test_gs_classic () =
+  (* 2x2: both proposers prefer reviewer 2; reviewer 2 prefers proposer 0 *)
+  let g = Graph.of_edge_list 4 [ (0, 2); (0, 3); (1, 2); (1, 3) ] in
+  let lists = [| [| 2; 3 |]; [| 2; 3 |]; [| 0; 1 |]; [| 0; 1 |] |] in
+  let p = Preference.create g ~quota:[| 1; 1; 1; 1 |] ~lists in
+  let pairs = GS.marriage p ~proposers:[| 0; 1 |] in
+  Alcotest.(check int) "perfect" 2 (List.length pairs);
+  Alcotest.(check bool) "0 gets favourite" true (List.mem (0, 2) pairs);
+  Alcotest.(check bool) "1 gets the other" true (List.mem (1, 3) pairs)
+
+let test_gs_stability_unit () =
+  for seed = 1 to 10 do
+    let _, prefs = bipartite_prefs seed ~left:8 ~right:8 ~p:0.7 ~quota:1 in
+    let m = GS.run prefs ~proposers:(Array.init 8 Fun.id) in
+    Alcotest.(check bool) "stable" true (BL.is_stable prefs m)
+  done
+
+let test_gs_stability_capacitated () =
+  for seed = 1 to 10 do
+    let _, prefs = bipartite_prefs (100 + seed) ~left:6 ~right:9 ~p:0.6 ~quota:3 in
+    let m = GS.run prefs ~proposers:(Array.init 6 Fun.id) in
+    Alcotest.(check bool) "many-to-many stable" true (BL.is_stable prefs m)
+  done
+
+let test_gs_rejects_nonbipartite () =
+  let g = Graph.of_edge_list 3 [ (0, 1); (1, 2); (0, 2) ] in
+  let p = Preference.random (Prng.create 1) g ~quota:(Preference.uniform_quota g 1) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (GS.run p ~proposers:[| 0 |]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---------- Roommates ---------- *)
+
+(* Brute-force stability oracle for small n: enumerate all perfect
+   matchings and check whether any is stable. *)
+let exists_stable_bruteforce prefs =
+  let n = Array.length prefs in
+  let partner = Array.make n (-1) in
+  let rec go i =
+    if i = n then RM.is_stable_assignment prefs partner
+    else if partner.(i) >= 0 then go (i + 1)
+    else begin
+      let found = ref false in
+      let j = ref (i + 1) in
+      while (not !found) && !j < n do
+        if partner.(!j) < 0 then begin
+          partner.(i) <- !j;
+          partner.(!j) <- i;
+          if go (i + 1) then found := true;
+          partner.(i) <- -1;
+          partner.(!j) <- -1
+        end;
+        incr j
+      done;
+      !found
+    end
+  in
+  go 0
+
+
+let test_roommates_solvable () =
+  (* mutual-top pairs: 0-1 and 2-3 rank each other first *)
+  let prefs = [| [| 1; 2; 3 |]; [| 0; 2; 3 |]; [| 3; 0; 1 |]; [| 2; 0; 1 |] |] in
+  match RM.solve prefs with
+  | RM.No_stable_matching -> Alcotest.fail "expected stable"
+  | RM.Stable partner ->
+      Alcotest.(check (array int)) "mutual tops paired" [| 1; 0; 3; 2 |] partner;
+      Alcotest.(check bool) "stable" true (RM.is_stable_assignment prefs partner)
+
+let test_roommates_unsolvable () =
+  (* the classic cyclic no-stable-matching instance: agents 0,1,2 each
+     rank the next in the cycle first and the pariah 3 last *)
+  let unsolvable = [| [| 1; 2; 3 |]; [| 2; 0; 3 |]; [| 0; 1; 3 |]; [| 0; 1; 2 |] |] in
+  (match RM.solve unsolvable with
+  | RM.No_stable_matching -> ()
+  | RM.Stable partner ->
+      Alcotest.(check bool) "claimed stable must verify" true
+        (RM.is_stable_assignment unsolvable partner);
+      Alcotest.fail "instance is known to be unsolvable");
+  (* solvable instance with non-trivial phase 2: Irving's 6-person
+     example (Gusfield & Irving, 0-indexed) *)
+  let six =
+    [|
+      [| 3; 5; 1; 4; 2 |];
+      [| 5; 4; 3; 0; 2 |];
+      [| 1; 3; 4; 5; 0 |];
+      [| 2; 4; 1; 0; 5 |];
+      [| 0; 2; 5; 3; 1 |];
+      [| 4; 1; 0; 2; 3 |];
+    |]
+  in
+  match RM.solve six with
+  | RM.No_stable_matching ->
+      Alcotest.(check bool) "brute force agrees it is unsolvable" false
+        (exists_stable_bruteforce six)
+  | RM.Stable partner ->
+      Alcotest.(check bool) "stable" true (RM.is_stable_assignment six partner)
+
+let test_roommates_validation () =
+  Alcotest.(check bool) "incomplete list rejected" true
+    (try
+       ignore (RM.solve [| [| 1 |]; [| 0 |]; [| 0; 1 |] |]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_roommates_n2 () =
+  match RM.solve [| [| 1 |]; [| 0 |] |] with
+  | RM.Stable partner -> Alcotest.(check (array int)) "paired" [| 1; 0 |] partner
+  | RM.No_stable_matching -> Alcotest.fail "trivially stable"
+
+let prop_roommates_output_stable =
+  QCheck2.Test.make ~name:"roommates: claimed solutions are stable" ~count:100
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let n = 8 in
+      let rng = Prng.create seed in
+      let prefs =
+        Array.init n (fun i ->
+            let others = Array.of_list (List.filter (fun j -> j <> i) (List.init n Fun.id)) in
+            Prng.shuffle_in_place rng others;
+            others)
+      in
+      match RM.solve prefs with
+      | RM.No_stable_matching -> true (* verified separately on known instances *)
+      | RM.Stable partner ->
+          RM.is_stable_assignment prefs partner
+          && Array.for_all Fun.id (Array.mapi (fun x y -> partner.(y) = x) partner))
+
+let prop_roommates_complete =
+  QCheck2.Test.make ~name:"roommates agrees with brute force (n=6)" ~count:60
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let n = 6 in
+      let rng = Prng.create seed in
+      let prefs =
+        Array.init n (fun i ->
+            let others = Array.of_list (List.filter (fun j -> j <> i) (List.init n Fun.id)) in
+            Prng.shuffle_in_place rng others;
+            others)
+      in
+      let brute = exists_stable_bruteforce prefs in
+      match RM.solve prefs with
+      | RM.Stable partner -> brute && RM.is_stable_assignment prefs partner
+      | RM.No_stable_matching -> not brute)
+
+(* ---------- Fixtures / blocking dynamics ---------- *)
+
+let test_blocking_pairs_basic () =
+  let g = Graph.of_edge_list 4 [ (0, 1); (1, 2); (2, 3); (0, 3) ] in
+  let lists = [| [| 1; 3 |]; [| 0; 2 |]; [| 1; 3 |]; [| 2; 0 |] |] in
+  let p = Preference.create g ~quota:[| 1; 1; 1; 1 |] ~lists in
+  let empty = BM.empty g ~capacity:[| 1; 1; 1; 1 |] in
+  (* on an empty matching every edge blocks *)
+  Alcotest.(check int) "all block" 4 (BL.count_blocking_pairs p empty);
+  let m = BM.of_edge_ids g ~capacity:[| 1; 1; 1; 1 |] [ 0; 2 ] in
+  (* 0-1 and 2-3: everyone has their top choice -> stable *)
+  Alcotest.(check bool) "stable" true (BL.is_stable p m);
+  Alcotest.(check (option int)) "worst partner" (Some 1) (BL.worst_partner p m 0)
+
+let test_fixtures_converges_acyclic () =
+  let g = Gen.gnm (Prng.create 4) ~n:40 ~m:120 in
+  let p =
+    Preference.of_metric g
+      ~quota:(Preference.uniform_quota g 3)
+      (Metric.bandwidth ~seed:2)
+  in
+  let out = FX.solve p in
+  Alcotest.(check bool) "converged" true out.FX.stable;
+  Alcotest.(check bool) "verified stable" true (BL.is_stable p out.FX.matching)
+
+let test_fixtures_stable_flag_honest () =
+  for seed = 1 to 8 do
+    let g = Gen.gnm (Prng.create seed) ~n:20 ~m:60 in
+    let p = Preference.random (Prng.create (seed * 7)) g ~quota:(Preference.uniform_quota g 2) in
+    let out = FX.solve ~max_rounds:5000 p in
+    if out.FX.stable then
+      Alcotest.(check bool) "flag implies no blocking pair" true
+        (BL.is_stable p out.FX.matching)
+  done
+
+let test_fixtures_respects_quota () =
+  let g = Gen.gnm (Prng.create 77) ~n:25 ~m:80 in
+  let p = Preference.random (Prng.create 78) g ~quota:(Preference.uniform_quota g 2) in
+  let out = FX.solve ~max_rounds:2000 p in
+  for v = 0 to 24 do
+    Alcotest.(check bool) "quota" true (BM.degree out.FX.matching v <= 2)
+  done
+
+let test_satisfy_improves () =
+  let g = Graph.of_edge_list 2 [ (0, 1) ] in
+  let p = Preference.random (Prng.create 1) g ~quota:(Preference.uniform_quota g 1) in
+  let start = BM.empty g ~capacity:[| 1; 1 |] in
+  let out = FX.satisfy_blocking_pairs p start in
+  Alcotest.(check bool) "stable" true out.FX.stable;
+  Alcotest.(check int) "one round" 1 out.FX.rounds;
+  Alcotest.(check int) "edge added" 1 (BM.size out.FX.matching)
+
+let suite =
+  [
+    Alcotest.test_case "GS classic 2x2" `Quick test_gs_classic;
+    Alcotest.test_case "GS stability unit" `Quick test_gs_stability_unit;
+    Alcotest.test_case "GS stability capacitated" `Quick test_gs_stability_capacitated;
+    Alcotest.test_case "GS rejects non-bipartite" `Quick test_gs_rejects_nonbipartite;
+    Alcotest.test_case "roommates solvable" `Quick test_roommates_solvable;
+    Alcotest.test_case "roommates unsolvable" `Quick test_roommates_unsolvable;
+    Alcotest.test_case "roommates validation" `Quick test_roommates_validation;
+    Alcotest.test_case "roommates n=2" `Quick test_roommates_n2;
+    QCheck_alcotest.to_alcotest prop_roommates_output_stable;
+    QCheck_alcotest.to_alcotest prop_roommates_complete;
+    Alcotest.test_case "blocking pairs basic" `Quick test_blocking_pairs_basic;
+    Alcotest.test_case "fixtures converges on acyclic" `Quick test_fixtures_converges_acyclic;
+    Alcotest.test_case "fixtures stable flag honest" `Quick test_fixtures_stable_flag_honest;
+    Alcotest.test_case "fixtures respects quota" `Quick test_fixtures_respects_quota;
+    Alcotest.test_case "satisfy improves" `Quick test_satisfy_improves;
+  ]

@@ -1,0 +1,86 @@
+module Stats = Owp_util.Stats
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_mean () =
+  feq "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  feq "empty mean" 0.0 (Stats.mean [||]);
+  feq "single" 7.0 (Stats.mean [| 7.0 |])
+
+let test_variance () =
+  feq "variance" 2.5 (Stats.variance [| 1.0; 2.0; 3.0; 4.0; 5.0 |]);
+  feq "constant" 0.0 (Stats.variance [| 3.0; 3.0; 3.0 |]);
+  feq "short sample" 0.0 (Stats.variance [| 3.0 |])
+
+let test_stddev () = feq "stddev" (sqrt 2.5) (Stats.stddev [| 1.0; 2.0; 3.0; 4.0; 5.0 |])
+
+let test_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0 |] in
+  feq "p0" 10.0 (Stats.percentile xs 0.0);
+  feq "p100" 40.0 (Stats.percentile xs 1.0);
+  feq "median interp" 25.0 (Stats.percentile xs 0.5);
+  feq "p25" 17.5 (Stats.percentile xs 0.25);
+  feq "singleton" 5.0 (Stats.percentile [| 5.0 |] 0.9)
+
+let test_percentile_unsorted_input () =
+  feq "order independent" 25.0 (Stats.percentile [| 40.0; 10.0; 30.0; 20.0 |] 0.5)
+
+let test_percentile_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty sample")
+    (fun () -> ignore (Stats.percentile [||] 0.5))
+
+let test_summarize () =
+  let s = Stats.summarize [| 4.0; 1.0; 3.0; 2.0 |] in
+  Alcotest.(check int) "n" 4 s.Stats.n;
+  feq "mean" 2.5 s.Stats.mean;
+  feq "min" 1.0 s.Stats.min;
+  feq "max" 4.0 s.Stats.max;
+  feq "median" 2.5 s.Stats.median
+
+let test_summarize_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.summarize: empty sample")
+    (fun () -> ignore (Stats.summarize [||]))
+
+let test_histogram () =
+  let bins = Stats.histogram [| 0.0; 0.1; 0.9; 1.0; 0.5 |] ~bins:2 in
+  Alcotest.(check int) "two bins" 2 (Array.length bins);
+  let _, _, c0 = bins.(0) and _, _, c1 = bins.(1) in
+  Alcotest.(check int) "total count" 5 (c0 + c1);
+  Alcotest.(check int) "low bin" 2 c0
+
+let test_histogram_constant () =
+  let bins = Stats.histogram [| 2.0; 2.0 |] ~bins:3 in
+  let total = Array.fold_left (fun a (_, _, c) -> a + c) 0 bins in
+  Alcotest.(check int) "all placed" 2 total
+
+let test_histogram_empty () =
+  Alcotest.(check int) "no bins" 0 (Array.length (Stats.histogram [||] ~bins:4))
+
+let prop_summary_invariants =
+  QCheck2.Test.make ~name:"summary invariants" ~count:300
+    QCheck2.Gen.(array_size (int_range 1 100) (float_range (-50.0) 50.0))
+    (fun xs ->
+      let s = Stats.summarize xs in
+      s.Stats.min <= s.Stats.median
+      && s.Stats.median <= s.Stats.max
+      && s.Stats.min <= s.Stats.mean
+      && s.Stats.mean <= s.Stats.max
+      && s.Stats.stddev >= 0.0
+      && s.Stats.p05 <= s.Stats.median
+      && s.Stats.median <= s.Stats.p95)
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "stddev" `Quick test_stddev;
+    Alcotest.test_case "percentile" `Quick test_percentile;
+    Alcotest.test_case "percentile unsorted" `Quick test_percentile_unsorted_input;
+    Alcotest.test_case "percentile empty" `Quick test_percentile_empty;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "summarize empty" `Quick test_summarize_empty;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram constant" `Quick test_histogram_constant;
+    Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+    QCheck_alcotest.to_alcotest prop_summary_invariants;
+  ]

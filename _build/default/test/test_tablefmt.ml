@@ -1,0 +1,59 @@
+module Tbl = Owp_util.Tablefmt
+
+let test_render_shape () =
+  let t = Tbl.create ~title:"T" [ ("a", Tbl.Left); ("bb", Tbl.Right) ] in
+  Tbl.add_row t [ "x"; "1" ];
+  Tbl.add_row t [ "yy"; "22" ];
+  let s = Tbl.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  (* title + 3 rules + header + 2 rows *)
+  Alcotest.(check int) "line count" 7 (List.length lines);
+  let widths = List.map String.length lines in
+  let data_widths = List.tl widths in
+  Alcotest.(check bool) "aligned" true
+    (List.for_all (fun w -> w = List.hd data_widths) data_widths)
+
+let test_arity_error () =
+  let t = Tbl.create [ ("a", Tbl.Left) ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Tablefmt.add_row: arity mismatch")
+    (fun () -> Tbl.add_row t [ "x"; "y" ])
+
+let test_alignment () =
+  let t = Tbl.create [ ("l", Tbl.Left); ("r", Tbl.Right) ] in
+  Tbl.add_row t [ "ab"; "cd" ];
+  Tbl.add_row t [ "a"; "c" ];
+  let s = Tbl.render t in
+  Alcotest.(check bool) "left pads right side" true
+    (String.length s > 0 &&
+     (* the short left cell is followed by a space, the short right cell
+        is preceded by one *)
+     let re_contains sub =
+       let rec go i = i + String.length sub <= String.length s && (String.sub s i (String.length sub) = sub || go (i+1)) in
+       go 0
+     in
+     re_contains "| a  |" && re_contains "|  c |")
+
+let test_separator_and_rows () =
+  let t = Tbl.create [ ("c", Tbl.Left) ] in
+  Tbl.add_rows t [ [ "1" ]; [ "2" ] ];
+  Tbl.add_separator t;
+  Tbl.add_row t [ "3" ];
+  let s = Tbl.render t in
+  let rules = List.filter (fun l -> l <> "" && l.[0] = '+') (String.split_on_char '\n' s) in
+  Alcotest.(check int) "4 rules" 4 (List.length rules)
+
+let test_cells () =
+  Alcotest.(check string) "fcell" "1.2346" (Tbl.fcell 1.23456);
+  Alcotest.(check string) "fcell2" "1.23" (Tbl.fcell2 1.234);
+  Alcotest.(check string) "icell" "42" (Tbl.icell 42);
+  Alcotest.(check string) "pct" "12.5%" (Tbl.pct 0.125)
+
+let suite =
+  [
+    Alcotest.test_case "render shape" `Quick test_render_shape;
+    Alcotest.test_case "arity error" `Quick test_arity_error;
+    Alcotest.test_case "alignment" `Quick test_alignment;
+    Alcotest.test_case "separator and rows" `Quick test_separator_and_rows;
+    Alcotest.test_case "cell formatting" `Quick test_cells;
+  ]

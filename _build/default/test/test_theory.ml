@@ -1,0 +1,76 @@
+module Theory = Owp_core.Theory
+module Lic = Owp_core.Lic
+module BM = Owp_matching.Bmatching
+module Prng = Owp_util.Prng
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_bound_formulas () =
+  feq "lemma1 b=1" 1.0 (Theory.lemma1_bound ~bmax:1);
+  feq "lemma1 b=2" 0.75 (Theory.lemma1_bound ~bmax:2);
+  feq "lemma1 b=4" 0.625 (Theory.lemma1_bound ~bmax:4);
+  feq "theorem3 b=1" 0.5 (Theory.theorem3_bound ~bmax:1);
+  feq "theorem3 b=2" 0.375 (Theory.theorem3_bound ~bmax:2);
+  Alcotest.check_raises "bad bmax" (Invalid_argument "Theory.lemma1_bound: bmax must be positive")
+    (fun () -> ignore (Theory.lemma1_bound ~bmax:0))
+
+let test_weighted_blocking_pair_detects () =
+  let g = Graph.of_edge_list 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let w = Weights.of_array g [| 1.0; 5.0; 1.0 |] in
+  (* matching the two light edges leaves the heavy middle edge blocking *)
+  let bad = BM.of_edge_ids g ~capacity:[| 1; 1; 1; 1 |] [ 0; 2 ] in
+  (match Theory.weighted_blocking_pair w bad with
+  | Some (1, 2) -> ()
+  | Some _ -> Alcotest.fail "wrong pair"
+  | None -> Alcotest.fail "should detect the heavy unmatched edge");
+  let good = BM.of_edge_ids g ~capacity:[| 1; 1; 1; 1 |] [ 1 ] in
+  Alcotest.(check bool) "greedy choice is stable" true (Theory.is_greedy_stable w good)
+
+let test_empty_matching_not_stable () =
+  let g = Graph.of_edge_list 2 [ (0, 1) ] in
+  let w = Weights.of_array g [| 1.0 |] in
+  let empty = BM.empty g ~capacity:[| 1; 1 |] in
+  Alcotest.(check bool) "free edge blocks" false (Theory.is_greedy_stable w empty);
+  Alcotest.(check bool) "certificate fails" false (Theory.half_approx_certificate w empty)
+
+let test_ratios () =
+  let g = Graph.of_edge_list 4 [ (0, 1); (2, 3) ] in
+  let w = Weights.of_array g [| 1.0; 3.0 |] in
+  let a = BM.of_edge_ids g ~capacity:[| 1; 1; 1; 1 |] [ 0 ] in
+  let b = BM.of_edge_ids g ~capacity:[| 1; 1; 1; 1 |] [ 0; 1 ] in
+  feq "weight ratio" 0.25 (Theory.weight_ratio w a b);
+  let empty = BM.empty g ~capacity:[| 1; 1; 1; 1 |] in
+  feq "0/0 ratio" 1.0 (Theory.weight_ratio w empty empty)
+
+let prop_lemma1_on_lic_matchings =
+  QCheck2.Test.make ~name:"static/full ratio of LIC matchings >= lemma 1 bound" ~count:50
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Gen.gnm rng ~n:30 ~m:90 in
+      let p = Preference.random rng g ~quota:(Preference.uniform_quota g 3) in
+      let w = Weights.of_preference p in
+      let m = Lic.run w ~capacity:(Array.init 30 (Preference.quota p)) in
+      let ratio = Theory.static_vs_full_ratio p m in
+      ratio >= Theory.lemma1_bound ~bmax:(Preference.max_quota p) -. 1e-9)
+
+let prop_certificate_on_lic =
+  QCheck2.Test.make ~name:"LIC always carries the half-approx certificate" ~count:50
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let g = Gen.gnm rng ~n:25 ~m:70 in
+      let p = Preference.random rng g ~quota:(Preference.uniform_quota g 2) in
+      let w = Weights.of_preference p in
+      let m = Lic.run w ~capacity:(Array.init 25 (Preference.quota p)) in
+      Theory.half_approx_certificate w m)
+
+let suite =
+  [
+    Alcotest.test_case "bound formulas" `Quick test_bound_formulas;
+    Alcotest.test_case "weighted blocking pair" `Quick test_weighted_blocking_pair_detects;
+    Alcotest.test_case "empty matching unstable" `Quick test_empty_matching_not_stable;
+    Alcotest.test_case "ratios" `Quick test_ratios;
+    QCheck_alcotest.to_alcotest prop_lemma1_on_lic_matchings;
+    QCheck_alcotest.to_alcotest prop_certificate_on_lic;
+  ]

@@ -1,0 +1,69 @@
+module W = Owp_bench.Workloads
+module E = Owp_bench.Experiments
+
+let test_make_families () =
+  List.iter
+    (fun family ->
+      let inst = W.make ~seed:1 ~family ~pref_model:W.Random_prefs ~n:64 ~quota:2 in
+      Alcotest.(check int) "node count" 64 (Graph.node_count inst.W.graph);
+      Alcotest.(check bool) "edges exist" true (Graph.edge_count inst.W.graph > 0);
+      Alcotest.(check int) "weights arity" (Graph.edge_count inst.W.graph)
+        (Array.length (Array.init (Graph.edge_count inst.W.graph) (Weights.weight inst.W.weights))))
+    W.standard_families
+
+let test_make_pref_models () =
+  List.iter
+    (fun model ->
+      let inst = W.make ~seed:2 ~family:(W.Gnp 0.1) ~pref_model:model ~n:50 ~quota:3 in
+      (* every preference list is a permutation of the neighbourhood *)
+      for v = 0 to 49 do
+        let l = Array.copy (Preference.list inst.W.prefs v) in
+        Array.sort compare l;
+        Alcotest.(check (array int)) "permutation" (Graph.neighbor_nodes inst.W.graph v) l
+      done)
+    [ W.Random_prefs; W.Latency_prefs; W.Interest_prefs 4; W.Bandwidth_prefs; W.Transaction_prefs ]
+
+let test_labels_unique () =
+  let a = W.make ~seed:1 ~family:(W.Gnp 0.1) ~pref_model:W.Random_prefs ~n:30 ~quota:2 in
+  let b = W.make ~seed:2 ~family:(W.Gnp 0.1) ~pref_model:W.Random_prefs ~n:30 ~quota:2 in
+  Alcotest.(check bool) "labels differ by seed" true (a.W.label <> b.W.label)
+
+let test_small_instances () =
+  let insts = W.small_instances ~seeds:[ 1; 2 ] ~n:8 ~quota:2 in
+  Alcotest.(check int) "3 families x 3 models x 2 seeds" 18 (List.length insts);
+  List.iter
+    (fun i -> Alcotest.(check int) "small n" 8 (Graph.node_count i.W.graph))
+    insts
+
+let test_registry () =
+  Alcotest.(check int) "twenty-one experiments" 21 (List.length E.all);
+  Alcotest.(check bool) "find e3" true (E.find "e3" <> None);
+  Alcotest.(check bool) "find E10" true (E.find "E10" <> None);
+  Alcotest.(check bool) "find e16" true (E.find "e16" <> None);
+  Alcotest.(check bool) "unknown" true (E.find "e99" = None)
+
+let test_experiment_tables_nonempty () =
+  (* E1 and E2 are cheap enough to execute inside the unit suite *)
+  List.iter
+    (fun id ->
+      match E.find id with
+      | None -> Alcotest.fail ("missing " ^ id)
+      | Some e ->
+          let tables = e.Owp_bench.Exp_common.run ~quick:true in
+          Alcotest.(check bool) (id ^ " has tables") true (List.length tables > 0);
+          List.iter
+            (fun t ->
+              Alcotest.(check bool) "renders" true
+                (String.length (Owp_util.Tablefmt.render t) > 0))
+            tables)
+    [ "e1"; "e2" ]
+
+let suite =
+  [
+    Alcotest.test_case "make families" `Quick test_make_families;
+    Alcotest.test_case "make pref models" `Quick test_make_pref_models;
+    Alcotest.test_case "labels unique" `Quick test_labels_unique;
+    Alcotest.test_case "small instances" `Quick test_small_instances;
+    Alcotest.test_case "experiment registry" `Quick test_registry;
+    Alcotest.test_case "experiment tables nonempty" `Quick test_experiment_tables_nonempty;
+  ]
