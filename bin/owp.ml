@@ -5,6 +5,7 @@
      owp stats       structural metrics of a graph file
      owp run         build an overlay matching with a chosen algorithm
      owp verify      check a saved matching against a graph and quota
+     owp check       run the invariant checkers / interleaving explorer
      owp experiment  regenerate a paper experiment table (E0..E20)
      owp list        list available experiments *)
 
@@ -142,10 +143,13 @@ let algo_conv =
   in
   Arg.conv (parse, print)
 
-let run_overlay seed family n quota model algo graph_file save =
-  let inst =
-    match graph_file with
-    | Some path ->
+(* shared by `owp run` and `owp check`: the instance is rebuilt
+   deterministically from (seed, family, n, quota, model) or from an
+   edge-list file, so a matching saved by `run` can be re-checked later
+   with the same flags *)
+let build_instance seed family n quota model graph_file =
+  match graph_file with
+  | Some path ->
         let g = Graph_io.read path in
         let q = Preference.uniform_quota g quota in
         let rng = Owp_util.Prng.create seed in
@@ -165,15 +169,17 @@ let run_overlay seed family n quota model algo graph_file save =
           | Owp_bench.Workloads.Transaction_prefs ->
               Preference.of_metric g ~quota:q (Metric.transaction_history ~seed)
         in
-        {
-          Owp_bench.Workloads.label = path;
-          graph = g;
-          prefs;
-          weights = Weights.of_preference prefs;
-          capacity = Array.init (Graph.node_count g) (Preference.quota prefs);
-        }
-    | None -> Owp_bench.Workloads.make ~seed ~family ~pref_model:model ~n ~quota
-  in
+      {
+        Owp_bench.Workloads.label = path;
+        graph = g;
+        prefs;
+        weights = Weights.of_preference prefs;
+        capacity = Array.init (Graph.node_count g) (Preference.quota prefs);
+      }
+  | None -> Owp_bench.Workloads.make ~seed ~family ~pref_model:model ~n ~quota
+
+let run_overlay seed family n quota model algo graph_file save =
+  let inst = build_instance seed family n quota model graph_file in
   let prefs = inst.Owp_bench.Workloads.prefs in
   let out = Owp_core.Pipeline.run ~seed algo prefs in
   let q = Owp_overlay.Quality.measure prefs out.Owp_core.Pipeline.matching in
@@ -273,6 +279,133 @@ let verify_cmd =
     Term.(const verify $ graph_file $ matching_file $ quota_arg)
 
 (* ------------------------------------------------------------------ *)
+(* check                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Checker = Owp_check.Checker
+module Explore = Owp_check.Explore
+
+let parse_matching_edges g path =
+  In_channel.with_open_text path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter_map (fun l ->
+         let l = String.trim l in
+         if l = "" || l.[0] = '#' then None
+         else
+           match String.split_on_char ' ' l with
+           | [ u; v ] -> Some (int_of_string u, int_of_string v)
+           | _ -> failwith "check: malformed matching line")
+  |> List.map (fun (u, v) ->
+         match Graph.find_edge g u v with
+         | Some eid -> eid
+         | None ->
+             failwith (Printf.sprintf "check: %d-%d is not an edge of the graph" u v))
+
+let check_explore inst max_configs =
+  let g = inst.Owp_bench.Workloads.graph in
+  let n = Graph.node_count g in
+  if n > 8 then begin
+    Printf.eprintf
+      "check --explore enumerates every FIFO schedule; instances must have n <= 8 \
+       (got n = %d)\n"
+      n;
+    2
+  end
+  else begin
+    let w = inst.Owp_bench.Workloads.weights in
+    let capacity = inst.Owp_bench.Workloads.capacity in
+    let verdict = Explore.explore ~max_configs (Owp_core.Lid.model w ~capacity) in
+    Format.printf "%a" Explore.pp_verdict verdict;
+    let lic = Owp_matching.Bmatching.edge_ids (Owp_core.Lic.run w ~capacity) in
+    let lemma6 =
+      match verdict.Explore.observations with [ obs ] -> obs = lic | _ -> false
+    in
+    Printf.printf "agrees with LIC    : %b (Lemma 6)\n" lemma6;
+    if Explore.ok verdict && lemma6 then 0 else 1
+  end
+
+let check_cmdline seed family n quota model algo graph_file matching_file explore
+    max_configs =
+  let inst = build_instance seed family n quota model graph_file in
+  if explore then check_explore inst max_configs
+  else begin
+    let report =
+      match matching_file with
+      | None ->
+          (* run the algorithm and check its own output *)
+          let out =
+            Owp_core.Pipeline.run ~seed ~check:true algo
+              inst.Owp_bench.Workloads.prefs
+          in
+          Option.get out.Owp_core.Pipeline.check_report
+      | Some path ->
+          (* check a saved (possibly corrupted) matching against the
+             deterministically rebuilt instance *)
+          let edges = parse_matching_edges inst.Owp_bench.Workloads.graph path in
+          Checker.run
+            (Checker.instance
+               ~prefs:inst.Owp_bench.Workloads.prefs
+               inst.Owp_bench.Workloads.weights
+               ~capacity:inst.Owp_bench.Workloads.capacity ~edges)
+    in
+    Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
+    print_string (Checker.report_to_string report);
+    if Checker.ok report then begin
+      print_endline "all invariants hold";
+      0
+    end
+    else begin
+      Printf.printf "%d invariant violation(s)\n" (Checker.violation_count report);
+      1
+    end
+  end
+
+let check_cmd =
+  let matching_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "matching" ] ~docv:"FILE"
+          ~doc:
+            "Check a saved matching (from run --save) instead of a fresh algorithm \
+             run; the instance is rebuilt from the same $(b,--seed)/$(b,--family)/\
+             $(b,--n)/$(b,--quota)/$(b,--prefs) flags (or $(b,--graph)).")
+  in
+  let explore =
+    Arg.(
+      value & flag
+      & info [ "explore" ]
+          ~doc:
+            "Exhaustively enumerate every per-link FIFO message schedule of the LID \
+             protocol on the instance (n <= 8) and verify termination (Lemma 5) and \
+             schedule-independence of the locked edge set (Lemma 6).")
+  in
+  let max_configs =
+    Arg.(
+      value & opt int 2_000_000
+      & info [ "max-configs" ] ~docv:"K"
+          ~doc:"State-space bound for --explore; the search reports truncation.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt algo_conv Owp_core.Pipeline.Lid_distributed
+      & info [ "algo" ] ~docv:"ALGO" ~doc:"Algorithm: lid, lic, greedy or dynamics.")
+  in
+  let graph_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "graph" ] ~docv:"FILE" ~doc:"Use an edge-list file instead of generating.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Run the structural invariant checkers or the interleaving explorer")
+    Term.(
+      const check_cmdline $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg $ algo
+      $ graph_file $ matching_file $ explore $ max_configs)
+
+(* ------------------------------------------------------------------ *)
 (* experiment                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -315,6 +448,6 @@ let main_cmd =
   Cmd.group
     (Cmd.info "owp" ~version:"1.0.0"
        ~doc:"Overlays with preferences: satisfaction-maximising b-matching (IPDPS 2010)")
-    [ generate_cmd; stats_cmd; run_cmd; verify_cmd; experiment_cmd; list_cmd ]
+    [ generate_cmd; stats_cmd; run_cmd; verify_cmd; check_cmd; experiment_cmd; list_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -43,6 +43,9 @@ let () =
   Printf.printf "LID assignments   : %d (messages %d, terminated %b)\n" (BM.size m)
     (lid.Owp_core.Lid.prop_count + lid.Owp_core.Lid.rej_count)
     lid.Owp_core.Lid.all_terminated;
+  List.iter
+    (fun v -> Printf.printf "  !! %s\n" (Owp_check.Violation.to_string v))
+    lid.Owp_core.Lid.quiescence;
   Printf.printf "exact assignments : %d (min-cost flow)\n" (BM.size opt);
   Printf.printf "weight ratio      : %.4f (proven floor 0.5)\n"
     (BM.weight m w /. BM.weight opt w);

@@ -27,9 +27,13 @@ let () =
   Printf.printf "swarm: %d peers (%d seeds), %d potential links\n" n
     (Array.fold_left (fun a b -> if b then a + 1 else a) 0 is_seed)
     (Graph.edge_count g);
-  Printf.printf "LID: %d links, %d msgs, terminated=%b\n\n" (BM.size m)
+  Printf.printf "LID: %d links, %d msgs, terminated=%b\n" (BM.size m)
     (lid.Owp_core.Lid.prop_count + lid.Owp_core.Lid.rej_count)
     lid.Owp_core.Lid.all_terminated;
+  List.iter
+    (fun v -> Printf.printf "  !! %s\n" (Owp_check.Violation.to_string v))
+    lid.Owp_core.Lid.quiescence;
+  print_newline ();
 
   let class_stats label keep =
     let sats = ref [] and filled = ref 0 and total = ref 0 in

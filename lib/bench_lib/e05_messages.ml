@@ -20,7 +20,7 @@ let row t (inst : Workloads.instance) b =
       Tbl.fcell2 (float_of_int total /. float_of_int n);
       Tbl.fcell2 (float_of_int total /. float_of_int (max m 1));
       Tbl.fcell2 r.Owp_core.Lid.completion_time;
-      (if r.Owp_core.Lid.all_terminated then "yes" else "NO");
+      Exp_common.quiescence_cell r;
     ]
 
 let run ~quick =

@@ -49,7 +49,7 @@ let run ~quick =
           Tbl.icell levels;
           Tbl.icell (Weights.distinct_weights wq);
           Tbl.icell (Graph.edge_count inst.graph);
-          (if lid.Owp_core.Lid.all_terminated then "yes" else "NO");
+          Exp_common.quiescence_cell lid;
           (if BM.equal lid.Owp_core.Lid.matching lic then "yes" else "NO");
         ])
     [ 1000; 100; 10; 2; 1 ];

@@ -20,6 +20,20 @@ let run_lic (inst : Workloads.instance) =
 let run_greedy (inst : Workloads.instance) =
   Owp_matching.Greedy.run inst.Workloads.weights ~capacity:inst.Workloads.capacity
 
+let quiescence_cell (r : Owp_core.Lid.report) =
+  if r.Owp_core.Lid.all_terminated then "yes"
+  else
+    let stragglers =
+      List.filter_map
+        (fun v ->
+          match v.Owp_check.Violation.subject with
+          | Owp_check.Violation.Node i -> Some (string_of_int i)
+          | _ -> None)
+        r.Owp_core.Lid.quiescence
+    in
+    Printf.sprintf "NO (%d stuck: %s)" (List.length stragglers)
+      (String.concat "," stragglers)
+
 let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

@@ -17,6 +17,10 @@ val run_lid : Workloads.instance -> Owp_core.Lid.report
 val run_lic : Workloads.instance -> Owp_matching.Bmatching.t
 val run_greedy : Workloads.instance -> Owp_matching.Bmatching.t
 
+val quiescence_cell : Owp_core.Lid.report -> string
+(** ["yes"] when every node quiesced (Lemma 5); otherwise the straggler
+    node ids from the report's structured quiescence violations. *)
+
 val mean : float list -> float
 val minimum : float list -> float
 val header : exp -> string

@@ -1,0 +1,434 @@
+module Bmatching = Owp_matching.Bmatching
+module Exact = Owp_matching.Exact
+
+type instance = {
+  graph : Graph.t;
+  weights : Weights.t;
+  capacity : int array;
+  prefs : Preference.t option;
+  edges : int list;
+}
+
+let instance ?prefs weights ~capacity ~edges =
+  { graph = Weights.graph weights; weights; capacity; prefs; edges }
+
+let of_matching ?prefs weights m =
+  let g = Bmatching.graph m in
+  {
+    graph = g;
+    weights;
+    capacity = Array.init (Graph.node_count g) (Bmatching.capacity m);
+    prefs;
+    edges = Bmatching.edge_ids m;
+  }
+
+type t = { name : string; doc : string; run : instance -> Violation.t list }
+
+(* ------------------------------------------------------------------ *)
+(* shared accounting over the raw edge set                              *)
+(* ------------------------------------------------------------------ *)
+
+let valid_id inst eid = eid >= 0 && eid < Graph.edge_count inst.graph
+
+(* per-node cover counts; invalid ids contribute nothing *)
+let degrees inst =
+  let d = Array.make (Graph.node_count inst.graph) 0 in
+  List.iter
+    (fun eid ->
+      if valid_id inst eid then begin
+        let u, v = Graph.edge_endpoints inst.graph eid in
+        d.(u) <- d.(u) + 1;
+        d.(v) <- d.(v) + 1
+      end)
+    inst.edges;
+  d
+
+let selected inst =
+  let s = Array.make (Graph.edge_count inst.graph) false in
+  List.iter (fun eid -> if valid_id inst eid then s.(eid) <- true) inst.edges;
+  s
+
+(* partner lists (with multiplicity, so corrupted duplicates surface in
+   the satisfaction accounting instead of disappearing) *)
+let connection_lists inst =
+  let c = Array.make (Graph.node_count inst.graph) [] in
+  List.iter
+    (fun eid ->
+      if valid_id inst eid then begin
+        let u, v = Graph.edge_endpoints inst.graph eid in
+        c.(u) <- v :: c.(u);
+        c.(v) <- u :: c.(v)
+      end)
+    inst.edges;
+  c
+
+let cap inst i = if i < Array.length inst.capacity then inst.capacity.(i) else 0
+
+let basic_feasible inst =
+  Array.length inst.capacity = Graph.node_count inst.graph
+  && List.for_all (fun eid -> valid_id inst eid) inst.edges
+  && (let seen = Hashtbl.create 64 in
+      List.for_all
+        (fun eid ->
+          if Hashtbl.mem seen eid then false
+          else begin
+            Hashtbl.add seen eid ();
+            true
+          end)
+        inst.edges)
+  &&
+  let d = degrees inst in
+  Array.for_all (fun x -> x) (Array.mapi (fun i di -> di <= cap inst i) d)
+
+let edge_subject inst eid =
+  if valid_id inst eid then begin
+    let u, v = Graph.edge_endpoints inst.graph eid in
+    Violation.Edge (u, v)
+  end
+  else Violation.Global
+
+(* ------------------------------------------------------------------ *)
+(* diagnostics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let edge_validity =
+  {
+    name = "edge-validity";
+    doc = "edge ids are in range and not duplicated";
+    run =
+      (fun inst ->
+        let m = Graph.edge_count inst.graph in
+        let seen = Hashtbl.create 64 in
+        List.rev
+          (List.fold_left
+             (fun acc eid ->
+               if not (valid_id inst eid) then
+                 Violation.v ~checker:"edge-validity" Violation.Global
+                   ~expected:(Printf.sprintf "edge id in [0, %d)" m)
+                   ~actual:(Printf.sprintf "id %d" eid)
+                 :: acc
+               else if Hashtbl.mem seen eid then
+                 Violation.v ~checker:"edge-validity" (edge_subject inst eid)
+                   ~expected:"each edge selected at most once"
+                   ~actual:(Printf.sprintf "edge id %d duplicated" eid)
+                 :: acc
+               else begin
+                 Hashtbl.add seen eid ();
+                 acc
+               end)
+             [] inst.edges));
+  }
+
+let quota_feasibility =
+  {
+    name = "quota";
+    doc = "every node covered at most capacity(i) times";
+    run =
+      (fun inst ->
+        let n = Graph.node_count inst.graph in
+        if Array.length inst.capacity <> n then
+          [
+            Violation.v ~checker:"quota" Violation.Global
+              ~expected:(Printf.sprintf "capacity vector of length %d" n)
+              ~actual:(Printf.sprintf "length %d" (Array.length inst.capacity));
+          ]
+        else begin
+          let d = degrees inst in
+          let out = ref [] in
+          for i = n - 1 downto 0 do
+            if inst.capacity.(i) < 0 then
+              out :=
+                Violation.v ~checker:"quota" (Violation.Node i)
+                  ~expected:"capacity >= 0"
+                  ~actual:(Printf.sprintf "capacity %d" inst.capacity.(i))
+                :: !out
+            else if d.(i) > inst.capacity.(i) then
+              out :=
+                Violation.v ~checker:"quota" (Violation.Node i)
+                  ~expected:(Printf.sprintf "at most %d connections" inst.capacity.(i))
+                  ~actual:(Printf.sprintf "%d connections" d.(i))
+                :: !out
+          done;
+          !out
+        end);
+  }
+
+let weight_symmetry =
+  {
+    name = "weight-symmetry";
+    doc = "w(i,j) = dS_i(j) + dS_j(i) (eq. 9), both orientations";
+    run =
+      (fun inst ->
+        match inst.prefs with
+        | None -> []
+        | Some prefs ->
+            let side i j =
+              let l = Preference.list_len prefs i and b = Preference.quota prefs i in
+              if l = 0 || b = 0 then 0.0
+              else
+                Satisfaction.static_delta ~quota:b ~list_len:l
+                  ~rank:(Preference.rank prefs i j)
+            in
+            let out = ref [] in
+            Graph.iter_edges inst.graph (fun eid u v ->
+                let expect = side u v +. side v u in
+                let got = Weights.weight inst.weights eid in
+                if Float.abs (expect -. got) > 1e-9 || Float.is_nan got then
+                  out :=
+                    Violation.v ~checker:"weight-symmetry" (Violation.Edge (u, v))
+                      ~expected:
+                        (Printf.sprintf "w(%d,%d) = %.6f = dS_%d(%d) + dS_%d(%d)" u v
+                           expect u v v u)
+                      ~actual:(Printf.sprintf "%.6f" got)
+                    :: !out);
+            List.rev !out);
+  }
+
+let satisfaction_range =
+  {
+    name = "satisfaction-range";
+    doc = "S_i in [0, 1] and finite (eq. 1)";
+    run =
+      (fun inst ->
+        match inst.prefs with
+        | None -> []
+        | Some prefs ->
+            let conns = connection_lists inst in
+            let out = ref [] in
+            for i = Graph.node_count inst.graph - 1 downto 0 do
+              match Preference.satisfaction prefs i conns.(i) with
+              | s ->
+                  if Float.is_nan s || s < -1e-9 || s > 1.0 +. 1e-9 then
+                    out :=
+                      Violation.v ~checker:"satisfaction-range" (Violation.Node i)
+                        ~expected:"S_i in [0, 1]"
+                        ~actual:(Printf.sprintf "S_i = %.6f" s)
+                      :: !out
+              | exception Invalid_argument msg ->
+                  (* eq. 1 is undefined on this connection list (e.g. it
+                     overflows the quota) — that is itself a violation *)
+                  out :=
+                    Violation.v ~checker:"satisfaction-range" (Violation.Node i)
+                      ~expected:"S_i in [0, 1]"
+                      ~actual:(Printf.sprintf "S_i undefined (%s)" msg)
+                    :: !out
+            done;
+            !out);
+  }
+
+(* greedy-stability core shared by no_blocking_pair / maximality /
+   theorem2_certificate *)
+let blocking_pairs inst =
+  let sel = selected inst in
+  let d = degrees inst in
+  let residual i = cap inst i - d.(i) in
+  let lightest_selected u =
+    let best = ref (-1) in
+    Graph.iter_neighbors inst.graph u (fun _ eid ->
+        if sel.(eid) then
+          if !best < 0 || Weights.heavier inst.weights !best eid then best := eid);
+    !best
+  in
+  let out = ref [] in
+  Graph.iter_edges inst.graph (fun eid u v ->
+      if not sel.(eid) then begin
+        let beats x =
+          if residual x > 0 then cap inst x > 0
+          else begin
+            let light = lightest_selected x in
+            light >= 0 && Weights.heavier inst.weights eid light
+          end
+        in
+        if beats u && beats v then out := (eid, u, v) :: !out
+      end);
+  List.rev !out
+
+let no_blocking_pair =
+  {
+    name = "blocking-pair";
+    doc = "no unselected edge beats the lightest selected edge at both endpoints";
+    run =
+      (fun inst ->
+        List.map
+          (fun (eid, u, v) ->
+            Violation.v ~checker:"blocking-pair" (Violation.Edge (u, v))
+              ~expected:"no weighted blocking pair (Lemma 4/6 invariant)"
+              ~actual:
+                (Printf.sprintf "unselected edge of weight %.6f blocks at both ends"
+                   (Weights.weight inst.weights eid)))
+          (blocking_pairs inst));
+  }
+
+let unmatched_augmenting inst =
+  let sel = selected inst in
+  let d = degrees inst in
+  let out = ref [] in
+  Graph.iter_edges inst.graph (fun eid u v ->
+      if
+        (not sel.(eid))
+        && cap inst u - d.(u) > 0
+        && cap inst v - d.(v) > 0
+      then out := (eid, u, v) :: !out);
+  List.rev !out
+
+let maximality =
+  {
+    name = "maximality";
+    doc = "no unselected edge has residual capacity at both endpoints";
+    run =
+      (fun inst ->
+        List.map
+          (fun (_, u, v) ->
+            Violation.v ~checker:"maximality" (Violation.Edge (u, v))
+              ~expected:"matching is maximal"
+              ~actual:"unselected edge with residual capacity at both endpoints")
+          (unmatched_augmenting inst));
+  }
+
+let exact_weight_limit = 24
+let exact_satisfaction_limit = 16
+
+let selected_weight inst =
+  List.fold_left
+    (fun acc eid ->
+      if valid_id inst eid then acc +. Weights.weight inst.weights eid else acc)
+    0.0 inst.edges
+
+let theorem2_certificate =
+  {
+    name = "theorem2";
+    doc = "w(M) >= 1/2 w(OPT) (measured when small, structural otherwise)";
+    run =
+      (fun inst ->
+        if not (basic_feasible inst) then []
+        else if Graph.edge_count inst.graph <= exact_weight_limit then begin
+          let opt =
+            Exact.max_weight_value ~max_edges:exact_weight_limit inst.weights
+              ~capacity:inst.capacity
+          in
+          let got = selected_weight inst in
+          if got +. 1e-9 < 0.5 *. opt then
+            [
+              Violation.v ~checker:"theorem2" Violation.Global
+                ~expected:(Printf.sprintf "w(M) >= 1/2 w(OPT) = %.6f" (0.5 *. opt))
+                ~actual:(Printf.sprintf "w(M) = %.6f" got);
+            ]
+          else []
+        end
+        else begin
+          (* structural certificate: maximal + greedy-stable is exactly
+             the premise of the Theorem 2 charging argument *)
+          let stable = blocking_pairs inst = [] in
+          let maximal = unmatched_augmenting inst = [] in
+          if stable && maximal then []
+          else
+            [
+              Violation.v ~checker:"theorem2" Violation.Global
+                ~expected:"maximality + greedy stability (Theorem 2 premise)"
+                ~actual:
+                  (Printf.sprintf "maximal=%b, greedy-stable=%b" maximal stable);
+            ]
+        end);
+  }
+
+let theorem3_certificate =
+  {
+    name = "theorem3";
+    doc = "S(M) >= 1/4 (1 + 1/b_max) S(OPT), measured on small instances";
+    run =
+      (fun inst ->
+        match inst.prefs with
+        | None -> []
+        | Some prefs ->
+            if
+              (not (basic_feasible inst))
+              || Graph.edge_count inst.graph > exact_satisfaction_limit
+            then []
+            else begin
+              let _, opt =
+                Exact.max_satisfaction_bmatching ~max_edges:exact_satisfaction_limit
+                  prefs
+              in
+              let got =
+                Preference.total_satisfaction prefs (connection_lists inst)
+              in
+              let bmax = Preference.max_quota prefs in
+              let bound = 0.25 *. (1.0 +. (1.0 /. float_of_int bmax)) in
+              if got +. 1e-9 < bound *. opt then
+                [
+                  Violation.v ~checker:"theorem3" Violation.Global
+                    ~expected:
+                      (Printf.sprintf "S(M) >= %.4f S(OPT) = %.6f" bound
+                         (bound *. opt))
+                    ~actual:(Printf.sprintf "S(M) = %.6f" got);
+                ]
+              else []
+            end);
+  }
+
+let all =
+  [
+    edge_validity;
+    quota_feasibility;
+    weight_symmetry;
+    satisfaction_range;
+    no_blocking_pair;
+    maximality;
+    theorem2_certificate;
+    theorem3_certificate;
+  ]
+
+let names = List.map (fun c -> c.name) all
+let find name = List.find_opt (fun c -> c.name = name) all
+
+(* ------------------------------------------------------------------ *)
+(* running and reporting                                                *)
+(* ------------------------------------------------------------------ *)
+
+type entry = { checker : t; violations : Violation.t list }
+type report = { entries : entry list }
+
+let run ?only inst =
+  let checkers =
+    match only with
+    | None -> all
+    | Some names ->
+        List.map
+          (fun n ->
+            match find n with
+            | Some c -> c
+            | None -> invalid_arg (Printf.sprintf "Checker.run: unknown checker %S" n))
+          names
+  in
+  { entries = List.map (fun c -> { checker = c; violations = c.run inst }) checkers }
+
+let ok r = List.for_all (fun e -> e.violations = []) r.entries
+let violations r = List.concat_map (fun e -> e.violations) r.entries
+let violation_count r = List.length (violations r)
+
+let pp_report ppf r =
+  List.iter
+    (fun e ->
+      match e.violations with
+      | [] -> Format.fprintf ppf "%-18s ok@." e.checker.name
+      | vs ->
+          Format.fprintf ppf "%-18s %d violation%s@." e.checker.name (List.length vs)
+            (if List.length vs = 1 then "" else "s");
+          List.iter (fun v -> Format.fprintf ppf "  %a@." Violation.pp v) vs)
+    r.entries
+
+exception Check_failed of report
+
+let () =
+  Printexc.register_printer (function
+    | Check_failed r ->
+        Some
+          (Format.asprintf "Check_failed: %d invariant violation(s)@.%a"
+             (violation_count r) pp_report r)
+    | _ -> None)
+
+let assert_ok ?only inst =
+  let r = run ?only inst in
+  if not (ok r) then raise (Check_failed r)
+
+let report_to_string r = Format.asprintf "%a" pp_report r

@@ -1,0 +1,104 @@
+(** Composable invariant diagnostics for overlay matchings.
+
+    A {!t} is a named diagnostic that inspects an {!instance} — a graph
+    with eq. 9 weights, a capacity vector, optionally the preference
+    system the weights came from, and a {e raw} candidate edge set — and
+    returns structured {!Violation.t} reports.  The edge set is a plain
+    id list rather than a validated {!Owp_matching.Bmatching.t} exactly
+    so that corrupted matchings (quota overflows, duplicated edges) can
+    be represented and diagnosed instead of rejected at construction.
+
+    The built-in registry covers the paper's structural guarantees:
+    quota feasibility, eq. 9 weight symmetry, satisfaction range
+    [S_i ∈ [0,1]], absence of weighted blocking pairs (the Lemma 4/6
+    invariant), maximality, and measured Theorem 2 / Theorem 3 bound
+    certificates against the exact optimum on small instances. *)
+
+type instance = {
+  graph : Graph.t;
+  weights : Weights.t;
+  capacity : int array;
+  prefs : Preference.t option;
+      (** needed by the eq. 9 / satisfaction / Theorem 3 checkers;
+          checkers that need it pass vacuously when absent *)
+  edges : int list;  (** candidate edge ids, possibly infeasible *)
+}
+
+val instance :
+  ?prefs:Preference.t -> Weights.t -> capacity:int array -> edges:int list -> instance
+
+val of_matching : ?prefs:Preference.t -> Weights.t -> Owp_matching.Bmatching.t -> instance
+(** Instance wrapping an already-validated matching (capacities are
+    taken from the matching). *)
+
+type t = {
+  name : string;
+  doc : string;
+  run : instance -> Violation.t list;
+}
+
+(** {2 Built-in diagnostics} *)
+
+val edge_validity : t
+(** Edge ids are in range and not duplicated. *)
+
+val quota_feasibility : t
+(** Every node is covered at most [capacity.(i)] times (§2 quotas). *)
+
+val weight_symmetry : t
+(** Eq. 9: [w(i,j) = ΔS̄_i(j) + ΔS̄_j(i)], recomputed from the
+    preference lists for both orientations — catches asymmetric or
+    corrupted weight tables.  Vacuous without [prefs]. *)
+
+val satisfaction_range : t
+(** Eq. 1: [S_i ∈ [0, 1]] and finite for every node, evaluated on the
+    candidate edge set.  Vacuous without [prefs]. *)
+
+val no_blocking_pair : t
+(** No unselected edge beats the lightest selected edge at both
+    endpoints (or finds residual capacity there) — the greedy-stability
+    invariant behind Lemmas 4 and 6.  Reports {e every} blocking pair. *)
+
+val maximality : t
+(** No unselected edge has residual capacity at both endpoints. *)
+
+val theorem2_certificate : t
+(** Theorem 2: [w(M) ≥ ½ · w(OPT)].  Measured against the exact
+    maximum-weight matching when the instance is small enough
+    (≤ {!exact_weight_limit} edges); on larger instances falls back to
+    the structural conditions (maximality + greedy stability) under
+    which the charging argument applies. *)
+
+val theorem3_certificate : t
+(** Theorem 3: [S(M) ≥ ¼(1 + 1/b_max) · S(OPT)], measured against the
+    exact satisfaction optimum.  Vacuous without [prefs] or above
+    {!exact_satisfaction_limit} edges. *)
+
+val exact_weight_limit : int
+val exact_satisfaction_limit : int
+
+val all : t list
+(** The full registry, in reporting order. *)
+
+val names : string list
+val find : string -> t option
+
+(** {2 Running checkers and reporting} *)
+
+type entry = { checker : t; violations : Violation.t list }
+type report = { entries : entry list }
+
+val run : ?only:string list -> instance -> report
+(** Run the registry (or the [only] subset, by name) on an instance.
+    @raise Invalid_argument on an unknown checker name in [only]. *)
+
+val ok : report -> bool
+val violations : report -> Violation.t list
+val violation_count : report -> int
+val pp_report : Format.formatter -> report -> unit
+
+exception Check_failed of report
+(** Raised by {!assert_ok}; the payload carries the full report. *)
+
+val assert_ok : ?only:string list -> instance -> unit
+val report_to_string : report -> string

@@ -1,0 +1,176 @@
+type 'm send = { src : int; dst : int; payload : 'm }
+
+type ('s, 'm) protocol = {
+  init : unit -> 's * 'm send list;
+  deliver : 's -> src:int -> dst:int -> 'm -> 'm send list;
+  copy : 's -> 's;
+  fingerprint : 's -> string;
+  quiesced : 's -> bool;
+  stragglers : 's -> int list;
+  observe : 's -> int list;
+  msg_tag : 'm -> int;
+}
+
+type stats = {
+  configurations : int;
+  schedules : int;
+  dedup_hits : int;
+  max_in_flight : int;
+  truncated : bool;
+}
+
+type verdict = {
+  stats : stats;
+  observations : int list list;
+  violations : Violation.t list;
+}
+
+module LinkMap = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let schedule_cap = max_int / 4
+let sat_add a b = if a >= schedule_cap - b then schedule_cap else a + b
+
+exception Truncated
+
+let explore ?(max_configs = 2_000_000) p =
+  let memo : (string, int) Hashtbl.t = Hashtbl.create 4096 in
+  let obs_seen = Hashtbl.create 8 in
+  let obs_order = ref [] in
+  let deadlock_sets = Hashtbl.create 4 in
+  let dedup_hits = ref 0 in
+  let max_in_flight = ref 0 in
+  (* queues hold only non-empty message lists, head = next delivery *)
+  let enqueue q s =
+    LinkMap.update (s.src, s.dst)
+      (function None -> Some [ s.payload ] | Some l -> Some (l @ [ s.payload ]))
+      q
+  in
+  let config_key st q =
+    let b = Buffer.create 128 in
+    Buffer.add_string b (p.fingerprint st);
+    Buffer.add_char b '#';
+    LinkMap.iter
+      (fun (s, d) msgs ->
+        Buffer.add_string b (string_of_int s);
+        Buffer.add_char b '.';
+        Buffer.add_string b (string_of_int d);
+        Buffer.add_char b ':';
+        List.iter
+          (fun m ->
+            Buffer.add_string b (string_of_int (p.msg_tag m));
+            Buffer.add_char b ',')
+          msgs;
+        Buffer.add_char b ';')
+      q;
+    Buffer.contents b
+  in
+  let in_flight q = LinkMap.fold (fun _ l acc -> acc + List.length l) q 0 in
+  let rec go st q =
+    let key = config_key st q in
+    match Hashtbl.find_opt memo key with
+    | Some c ->
+        incr dedup_hits;
+        c
+    | None ->
+        if Hashtbl.length memo >= max_configs then raise Truncated;
+        let count =
+          if LinkMap.is_empty q then begin
+            if not (p.quiesced st) then begin
+              let ss = p.stragglers st in
+              if not (Hashtbl.mem deadlock_sets ss) then Hashtbl.add deadlock_sets ss ()
+            end;
+            let ob = p.observe st in
+            if not (Hashtbl.mem obs_seen ob) then begin
+              Hashtbl.add obs_seen ob ();
+              obs_order := ob :: !obs_order
+            end;
+            1
+          end
+          else begin
+            max_in_flight := max !max_in_flight (in_flight q);
+            LinkMap.fold
+              (fun (src, dst) msgs acc ->
+                match msgs with
+                | [] -> acc (* unreachable: queues are non-empty by invariant *)
+                | m :: rest ->
+                    let st' = p.copy st in
+                    let sends = p.deliver st' ~src ~dst m in
+                    let q' =
+                      if rest = [] then LinkMap.remove (src, dst) q
+                      else LinkMap.add (src, dst) rest q
+                    in
+                    let q' = List.fold_left enqueue q' sends in
+                    sat_add acc (go st' q'))
+              q 0
+          end
+        in
+        Hashtbl.add memo key count;
+        count
+  in
+  let st0, sends0 = p.init () in
+  let q0 = List.fold_left enqueue LinkMap.empty sends0 in
+  let schedules, truncated =
+    match go st0 q0 with
+    | n -> (n, false)
+    | exception Truncated -> (0, true)
+  in
+  let violations = ref [] in
+  if truncated then
+    violations :=
+      [
+        Violation.v ~checker:"explore-truncated" Violation.Global
+          ~expected:(Printf.sprintf "at most %d reachable configurations" max_configs)
+          ~actual:"state space exceeded the bound; verdict is partial";
+      ];
+  Hashtbl.iter
+    (fun stragglers () ->
+      List.iter
+        (fun i ->
+          violations :=
+            Violation.v ~checker:"explore-termination" (Violation.Node i)
+              ~expected:"node quiesced on every schedule (Lemma 5)"
+              ~actual:"pending protocol obligations after all messages were delivered"
+            :: !violations)
+        stragglers)
+    deadlock_sets;
+  let observations = List.rev !obs_order in
+  (match observations with
+  | [] | [ _ ] -> ()
+  | many ->
+      violations :=
+        Violation.v ~checker:"explore-divergence" Violation.Global
+          ~expected:"one terminal outcome across all schedules (Lemma 6)"
+          ~actual:(Printf.sprintf "%d distinct terminal outcomes" (List.length many))
+        :: !violations);
+  {
+    stats =
+      {
+        configurations = Hashtbl.length memo;
+        schedules;
+        dedup_hits = !dedup_hits;
+        max_in_flight = !max_in_flight;
+        truncated;
+      };
+    observations;
+    violations = List.rev !violations;
+  }
+
+let ok v = v.violations = []
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "configurations     : %d@." v.stats.configurations;
+  if v.stats.schedules >= schedule_cap then
+    Format.fprintf ppf "schedules          : >= %d (saturated)@." schedule_cap
+  else Format.fprintf ppf "schedules          : %d@." v.stats.schedules;
+  Format.fprintf ppf "dedup hits         : %d@." v.stats.dedup_hits;
+  Format.fprintf ppf "max in flight      : %d@." v.stats.max_in_flight;
+  Format.fprintf ppf "terminal outcomes  : %d@." (List.length v.observations);
+  match v.violations with
+  | [] -> Format.fprintf ppf "all schedules agree: yes@."
+  | vs ->
+      Format.fprintf ppf "violations         : %d@." (List.length vs);
+      List.iter (fun x -> Format.fprintf ppf "  %a@." Violation.pp x) vs

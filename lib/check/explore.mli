@@ -1,0 +1,78 @@
+(** Exhaustive interleaving explorer for asynchronous message protocols.
+
+    {!Owp_simnet.Simnet} executes {e one} schedule per seed: delays are
+    sampled, messages are delivered in virtual-time order.  This module
+    instead model-checks a protocol: it enumerates {e every} per-link
+    FIFO delivery order reachable from the initial sends, so properties
+    like Lemma 5 (termination on all schedules) and Lemma 6 (the locked
+    edge set is schedule-independent) become universally quantified
+    statements on small instances instead of sampled observations.
+
+    A configuration is the protocol state plus the multiset of
+    in-flight messages, organised as one FIFO queue per directed link
+    (matching the simulator's [fifo:true] semantics).  From each
+    configuration, delivering the head of any non-empty link is an
+    enabled transition.  Two different interleavings that reach the
+    same configuration have identical futures, so the search memoises
+    configurations by a canonical fingerprint — the
+    transposition-table cut that keeps the search polynomial in the
+    number of {e reachable configurations} rather than the (factorial)
+    number of schedules.  Distinct complete schedules are still counted
+    exactly (by dynamic programming over the memo table).
+
+    The explorer is generic: protocols are supplied as a first-class
+    record of transition functions, so the {e production} protocol code
+    (e.g. [Lid.deliver]) is what gets explored, not a model of it. *)
+
+type 'm send = { src : int; dst : int; payload : 'm }
+
+type ('s, 'm) protocol = {
+  init : unit -> 's * 'm send list;
+      (** fresh protocol state and the initial message burst *)
+  deliver : 's -> src:int -> dst:int -> 'm -> 'm send list;
+      (** deliver one message, mutating the state in place, and return
+          the messages it caused to be sent (in send order) *)
+  copy : 's -> 's;  (** deep copy, for branching *)
+  fingerprint : 's -> string;
+      (** canonical encoding: equal fingerprints must imply equal
+          future behaviour *)
+  quiesced : 's -> bool;  (** has the protocol terminated cleanly? *)
+  stragglers : 's -> int list;
+      (** nodes that are not done (reported on deadlock) *)
+  observe : 's -> int list;
+      (** the outcome to compare across schedules (e.g. locked edge
+          ids, sorted) *)
+  msg_tag : 'm -> int;  (** injective message encoding for fingerprints *)
+}
+
+type stats = {
+  configurations : int;  (** distinct configurations explored *)
+  schedules : int;  (** complete FIFO schedules covered (saturating) *)
+  dedup_hits : int;  (** transposition-table hits *)
+  max_in_flight : int;  (** peak number of undelivered messages *)
+  truncated : bool;  (** search stopped at [max_configs] *)
+}
+
+type verdict = {
+  stats : stats;
+  observations : int list list;
+      (** distinct terminal observations, in discovery order; a
+          schedule-independent protocol yields exactly one *)
+  violations : Violation.t list;
+      (** deadlocks (termination failures), observation divergence,
+          and truncation, as structured reports *)
+}
+
+val schedule_cap : int
+(** Saturation bound for the schedule count. *)
+
+val explore : ?max_configs:int -> ('s, 'm) protocol -> verdict
+(** Exhaustively explore all FIFO interleavings.  [max_configs]
+    (default 2_000_000) bounds the transposition table; exceeding it
+    yields a [truncated] verdict with a violation rather than an
+    endless search. *)
+
+val ok : verdict -> bool
+(** No violations. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -27,5 +27,13 @@ type strategy =
   | Random_climb of Owp_util.Prng.t
       (** climbing from uniformly random pool seeds *)
 
-val run : ?strategy:strategy -> Weights.t -> capacity:int array -> Owp_matching.Bmatching.t
-(** Defaults to [Heaviest_first]. *)
+val run :
+  ?strategy:strategy ->
+  ?check:bool ->
+  Weights.t ->
+  capacity:int array ->
+  Owp_matching.Bmatching.t
+(** Defaults to [Heaviest_first].  [check] (default [false]) runs the
+    {!Owp_check.Checker} structural invariants (feasibility, greedy
+    stability, maximality) on the result and raises
+    {!Owp_check.Checker.Check_failed} on violation. *)

@@ -1,16 +1,10 @@
 module Simnet = Owp_simnet.Simnet
 module Bmatching = Owp_matching.Bmatching
+module Violation = Owp_check.Violation
+module Checker = Owp_check.Checker
+module Explore = Owp_check.Explore
 
 type message = Prop | Rej
-
-type report = {
-  matching : Bmatching.t;
-  prop_count : int;
-  rej_count : int;
-  delivered : int;
-  completion_time : float;
-  all_terminated : bool;
-}
 
 (* Per-node protocol state.  The paper's four sets are represented as:
    U_i = u_set, P_i = in_p (all proposals, locked included) with
@@ -27,23 +21,63 @@ type node_state = {
   mutable finished : bool;
 }
 
-let run ?(seed = 0x11D) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
-    ?(faults = Simnet.no_faults) ?(on_lock = fun _ _ _ -> ()) w ~capacity =
+type state = { graph : Graph.t; nodes : node_state array }
+
+type event = Send of int * int * message | Lock of int * int
+
+(* ------------------------------------------------------------------ *)
+(* transition relation (Alg. 1), shared by the simulator driver and    *)
+(* the exhaustive interleaving explorer                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* line 15–16: all proposals answered — decline everyone left *)
+let check_done st emit i =
+  let s = st.nodes.(i) in
+  if (not s.finished) && Hashtbl.length s.pending = 0 then begin
+    Hashtbl.iter (fun v () -> emit (Send (i, v, Rej))) s.u_set;
+    Hashtbl.reset s.u_set;
+    s.finished <- true
+  end
+
+(* line 12–14: mutual proposal — lock the connection *)
+let lock st emit i v =
+  let s = st.nodes.(i) in
+  Hashtbl.remove s.u_set v;
+  Hashtbl.remove s.a_set v;
+  Hashtbl.remove s.pending v;
+  Hashtbl.replace s.k_set v ();
+  emit (Lock (i, v))
+
+(* lines 9–11: propose to the next-ranked neighbour still in U \ P *)
+let propose_next st emit i =
+  let s = st.nodes.(i) in
+  let len = Array.length s.wsorted in
+  let rec advance () =
+    if s.ptr >= len then None
+    else begin
+      let v, _ = s.wsorted.(s.ptr) in
+      if Hashtbl.mem s.u_set v && not (Hashtbl.mem s.in_p v) then Some v
+      else begin
+        s.ptr <- s.ptr + 1;
+        advance ()
+      end
+    end
+  in
+  match advance () with
+  | None -> ()
+  | Some v ->
+      Hashtbl.replace s.in_p v ();
+      Hashtbl.replace s.pending v ();
+      emit (Send (i, v, Prop));
+      (* the candidate may have proposed to us already *)
+      if Hashtbl.mem s.a_set v then lock st emit i v
+
+let init w ~capacity =
   let g = Weights.graph w in
   let n = Graph.node_count g in
   Array.iter (fun b -> if b < 0 then invalid_arg "Lid.run: negative capacity") capacity;
   let quota = Array.mapi (fun i b -> min b (Graph.degree g i)) capacity in
-  let net = Simnet.create ~seed ~fifo ~faults ~nodes:(max n 1) ~delay () in
-  let prop_count = ref 0 and rej_count = ref 0 in
-  let send_prop src dst =
-    incr prop_count;
-    Simnet.send net ~src ~dst Prop
-  in
-  let send_rej src dst =
-    incr rej_count;
-    Simnet.send net ~src ~dst Rej
-  in
-  let state =
+  let nodes =
     Array.init n (fun i ->
         let ws = Array.copy (Graph.neighbors g i) in
         Array.sort (fun (_, e) (_, f) -> Weights.compare_edges w f e) ws;
@@ -60,73 +94,12 @@ let run ?(seed = 0x11D) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
           finished = false;
         })
   in
-  (* line 15–16: all proposals answered — decline everyone left *)
-  let check_done i =
-    let s = state.(i) in
-    if (not s.finished) && Hashtbl.length s.pending = 0 then begin
-      Hashtbl.iter (fun v () -> send_rej i v) s.u_set;
-      Hashtbl.reset s.u_set;
-      s.finished <- true
-    end
-  in
-  (* line 12–14: mutual proposal — lock the connection *)
-  let lock i v =
-    let s = state.(i) in
-    Hashtbl.remove s.u_set v;
-    Hashtbl.remove s.a_set v;
-    Hashtbl.remove s.pending v;
-    Hashtbl.replace s.k_set v ();
-    on_lock (Simnet.now net) i v
-  in
-  (* lines 9–11: propose to the next-ranked neighbour still in U \ P *)
-  let propose_next i =
-    let s = state.(i) in
-    let len = Array.length s.wsorted in
-    let rec advance () =
-      if s.ptr >= len then None
-      else begin
-        let v, _ = s.wsorted.(s.ptr) in
-        if Hashtbl.mem s.u_set v && not (Hashtbl.mem s.in_p v) then Some v
-        else begin
-          s.ptr <- s.ptr + 1;
-          advance ()
-        end
-      end
-    in
-    match advance () with
-    | None -> ()
-    | Some v ->
-        Hashtbl.replace s.in_p v ();
-        Hashtbl.replace s.pending v ();
-        send_prop i v;
-        (* the candidate may have proposed to us already *)
-        if Hashtbl.mem s.a_set v then lock i v
-  in
-  let handle ~src ~dst m =
-    let i = dst and u = src in
-    let s = state.(i) in
-    if not s.finished then begin
-      (match m with
-      | Prop ->
-          Hashtbl.replace s.a_set u ();
-          if Hashtbl.mem s.pending u then lock i u
-      | Rej ->
-          Hashtbl.remove s.u_set u;
-          if Hashtbl.mem s.pending u then begin
-            Hashtbl.remove s.pending u;
-            (* u stays in in_p: it was proposed to and must not be
-               proposed to again *)
-            propose_next i
-          end);
-      check_done i
-    end
-    (* a finished node already declined everyone still unanswered, so a
-       late PROP needs no reply and a late REJ changes nothing *)
-  in
-  Simnet.set_handler net handle;
+  let st = { graph = g; nodes } in
+  let events = ref [] in
+  let emit e = events := e :: !events in
   (* lines 1–3: initial proposals to the top b_i of the weight list *)
   for i = 0 to n - 1 do
-    let s = state.(i) in
+    let s = nodes.(i) in
     let target = quota.(i) in
     let made = ref 0 in
     while !made < target && s.ptr < Array.length s.wsorted do
@@ -134,7 +107,7 @@ let run ?(seed = 0x11D) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
       if (not (Hashtbl.mem s.in_p v)) && Hashtbl.mem s.u_set v then begin
         Hashtbl.replace s.in_p v ();
         Hashtbl.replace s.pending v ();
-        send_prop i v;
+        emit (Send (i, v, Prop));
         incr made
       end;
       s.ptr <- s.ptr + 1
@@ -142,22 +115,185 @@ let run ?(seed = 0x11D) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
     (* reset the scan pointer: later proposals rescan from the top,
        skipping anything already proposed to or no longer in U *)
     s.ptr <- 0;
-    check_done i
+    check_done st emit i
   done;
-  Simnet.run net;
-  let all_terminated = Array.for_all (fun s -> s.finished) state in
-  (* assemble the matching from the locked sets; K is symmetric on a
-     clean run, and intersection keeps the result feasible otherwise *)
+  (st, List.rev !events)
+
+let deliver st ~src ~dst m =
+  let i = dst and u = src in
+  let s = st.nodes.(i) in
+  let events = ref [] in
+  let emit e = events := e :: !events in
+  if not s.finished then begin
+    (match m with
+    | Prop ->
+        Hashtbl.replace s.a_set u ();
+        if Hashtbl.mem s.pending u then lock st emit i u
+    | Rej ->
+        Hashtbl.remove s.u_set u;
+        if Hashtbl.mem s.pending u then begin
+          Hashtbl.remove s.pending u;
+          (* u stays in in_p: it was proposed to and must not be
+             proposed to again *)
+          propose_next st emit i
+        end);
+    check_done st emit i
+  end;
+  (* a finished node already declined everyone still unanswered, so a
+     late PROP needs no reply and a late REJ changes nothing *)
+  List.rev !events
+
+(* ------------------------------------------------------------------ *)
+(* observations                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let quiesced st = Array.for_all (fun s -> s.finished) st.nodes
+
+let unterminated_nodes st =
+  let out = ref [] in
+  for i = Array.length st.nodes - 1 downto 0 do
+    if not st.nodes.(i).finished then out := i :: !out
+  done;
+  !out
+
+let quiescence_violations st =
+  List.map
+    (fun i ->
+      let s = st.nodes.(i) in
+      Violation.v ~checker:"lid-quiescence" (Violation.Node i)
+        ~expected:"all proposals answered and U_i emptied (Lemma 5)"
+        ~actual:
+          (Printf.sprintf "%d unanswered proposal(s), %d candidate(s) left in U_i"
+             (Hashtbl.length s.pending) (Hashtbl.length s.u_set)))
+    (unterminated_nodes st)
+
+(* assemble the matching from the locked sets; K is symmetric on a
+   clean run, and intersection keeps the result feasible otherwise *)
+let locked_edge_ids st =
   let ids = ref [] in
-  Graph.iter_edges g (fun eid a b ->
-      if Hashtbl.mem state.(a).k_set b && Hashtbl.mem state.(b).k_set a then
+  Graph.iter_edges st.graph (fun eid a b ->
+      if Hashtbl.mem st.nodes.(a).k_set b && Hashtbl.mem st.nodes.(b).k_set a then
         ids := eid :: !ids);
-  let matching = Bmatching.of_edge_ids g ~capacity !ids in
+  List.sort compare !ids
+
+(* ------------------------------------------------------------------ *)
+(* exploration support                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let copy_state st =
+  {
+    graph = st.graph;
+    nodes =
+      Array.map
+        (fun s ->
+          {
+            s with
+            u_set = Hashtbl.copy s.u_set;
+            in_p = Hashtbl.copy s.in_p;
+            pending = Hashtbl.copy s.pending;
+            a_set = Hashtbl.copy s.a_set;
+            k_set = Hashtbl.copy s.k_set;
+          })
+        st.nodes;
+  }
+
+let add_sorted_keys buf tbl =
+  let keys = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+  List.iter
+    (fun k ->
+      Buffer.add_string buf (string_of_int k);
+      Buffer.add_char buf ',')
+    (List.sort compare keys)
+
+(* the scan pointer is excluded on purpose: it only caches how far the
+   monotone topRanked(U \ P) scan has advanced, and U only shrinks while
+   P only grows, so states differing in ptr alone behave identically *)
+let fingerprint st =
+  let b = Buffer.create 256 in
+  Array.iter
+    (fun s ->
+      Buffer.add_char b (if s.finished then 'F' else 'a');
+      Buffer.add_char b 'u';
+      add_sorted_keys b s.u_set;
+      Buffer.add_char b 'p';
+      add_sorted_keys b s.in_p;
+      Buffer.add_char b 'w';
+      add_sorted_keys b s.pending;
+      Buffer.add_char b 'x';
+      add_sorted_keys b s.a_set;
+      Buffer.add_char b 'k';
+      add_sorted_keys b s.k_set;
+      Buffer.add_char b '|')
+    st.nodes;
+  Buffer.contents b
+
+let sends_of events =
+  List.filter_map
+    (function
+      | Send (src, dst, m) -> Some { Explore.src; dst; payload = m }
+      | Lock _ -> None)
+    events
+
+let model w ~capacity =
+  {
+    Explore.init =
+      (fun () ->
+        let st, events = init w ~capacity in
+        (st, sends_of events));
+    deliver = (fun st ~src ~dst m -> sends_of (deliver st ~src ~dst m));
+    copy = copy_state;
+    fingerprint;
+    quiesced;
+    stragglers = unterminated_nodes;
+    observe = locked_edge_ids;
+    msg_tag = (function Prop -> 0 | Rej -> 1);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* simulated execution on Simnet                                        *)
+(* ------------------------------------------------------------------ *)
+
+type report = {
+  matching : Bmatching.t;
+  prop_count : int;
+  rej_count : int;
+  delivered : int;
+  completion_time : float;
+  all_terminated : bool;
+  quiescence : Violation.t list;
+}
+
+let run ?(seed = 0x11D) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
+    ?(faults = Simnet.no_faults) ?(on_lock = fun _ _ _ -> ()) ?(check = false) w
+    ~capacity =
+  let st, initial = init w ~capacity in
+  let n = Graph.node_count st.graph in
+  let net = Simnet.create ~seed ~fifo ~faults ~nodes:(max n 1) ~delay () in
+  let prop_count = ref 0 and rej_count = ref 0 in
+  let process =
+    List.iter (function
+      | Send (src, dst, Prop) ->
+          incr prop_count;
+          Simnet.send net ~src ~dst Prop
+      | Send (src, dst, Rej) ->
+          incr rej_count;
+          Simnet.send net ~src ~dst Rej
+      | Lock (i, v) -> on_lock (Simnet.now net) i v)
+  in
+  Simnet.set_handler net (fun ~src ~dst m -> process (deliver st ~src ~dst m));
+  process initial;
+  Simnet.run net;
+  let matching = Bmatching.of_edge_ids st.graph ~capacity (locked_edge_ids st) in
+  if check then
+    Checker.assert_ok
+      ~only:[ "edge-validity"; "quota"; "blocking-pair"; "maximality" ]
+      (Checker.of_matching w matching);
   {
     matching;
     prop_count = !prop_count;
     rej_count = !rej_count;
     delivered = Simnet.messages_delivered net;
     completion_time = Simnet.now net;
-    all_terminated;
+    all_terminated = quiesced st;
+    quiescence = quiescence_violations st;
   }

@@ -10,10 +10,60 @@
     many-to-many matching (Theorem 2 + Lemma 6) and a ¼(1 + 1/b_max)
     approximation of the maximizing-satisfaction b-matching (Theorem 3).
 
-    The protocol runs on {!Owp_simnet.Simnet}, so delays, message order
-    and faults are controlled by the caller. *)
+    The protocol is factored into an {e explicit state machine}
+    ({!init} / {!deliver}) with two drivers on top: {!run} executes one
+    schedule on {!Owp_simnet.Simnet} (delays, message order and faults
+    controlled by the caller), while {!model} exposes the very same
+    transition code to {!Owp_check.Explore}, which enumerates {e all}
+    per-link FIFO schedules on small instances. *)
 
 type message = Prop | Rej
+
+(** {2 The protocol state machine} *)
+
+type state
+(** Mutable protocol state of all nodes. *)
+
+type event =
+  | Send of int * int * message  (** [Send (src, dst, m)] *)
+  | Lock of int * int  (** [Lock (i, v)]: node [i] locked the link to [v] *)
+
+val init : Weights.t -> capacity:int array -> state * event list
+(** Fresh protocol state plus the initial events (lines 1–3 of Alg. 1:
+    every node proposes to the top [b_i] of its weight list), in the
+    order they occur.  @raise Invalid_argument on negative capacities. *)
+
+val deliver : state -> src:int -> dst:int -> message -> event list
+(** Process one delivery at [dst] (lines 4–16 of Alg. 1), mutating the
+    state; returns the events it caused, in order. *)
+
+val quiesced : state -> bool
+(** Every node reached U_i = ∅ (Lemma 5). *)
+
+val unterminated_nodes : state -> int list
+(** Nodes that have not quiesced, ascending. *)
+
+val quiescence_violations : state -> Owp_check.Violation.t list
+(** One structured report per node that failed to quiesce: how many
+    proposals are still unanswered and how many candidates remain. *)
+
+val locked_edge_ids : state -> int list
+(** Edges locked by {e both} endpoints, ascending — the protocol's
+    current matching (symmetric on a clean run, Lemma 4). *)
+
+val copy_state : state -> state
+val fingerprint : state -> string
+(** Canonical encoding of the protocol state (the scan pointer, a pure
+    optimisation, is excluded): equal fingerprints imply identical
+    future behaviour.  Used by the interleaving explorer's
+    transposition table. *)
+
+val model :
+  Weights.t -> capacity:int array -> (state, message) Owp_check.Explore.protocol
+(** The protocol, packaged for exhaustive schedule exploration;
+    [observe] is {!locked_edge_ids}. *)
+
+(** {2 Simulated execution} *)
 
 type report = {
   matching : Owp_matching.Bmatching.t;
@@ -22,6 +72,9 @@ type report = {
   delivered : int;  (** total deliveries processed *)
   completion_time : float;  (** virtual time of the last event *)
   all_terminated : bool;  (** every node reached U_i = ∅ (Lemma 5) *)
+  quiescence : Owp_check.Violation.t list;
+      (** empty iff [all_terminated]; otherwise one report per node
+          that failed to quiesce (which, and why) *)
 }
 
 val run :
@@ -30,6 +83,7 @@ val run :
   ?fifo:bool ->
   ?faults:Owp_simnet.Simnet.faults ->
   ?on_lock:(float -> int -> int -> unit) ->
+  ?check:bool ->
   Weights.t ->
   capacity:int array ->
   report
@@ -40,4 +94,8 @@ val run :
     connection to [v] (so once per direction per locked edge), at the
     virtual time of the lock — the hook behind the anytime-satisfaction
     experiment (E19).
+    [check] (default [false]) runs the {!Owp_check.Checker} structural
+    invariants (feasibility, greedy stability, maximality) on the final
+    matching and raises {!Owp_check.Checker.Check_failed} on violation;
+    only meaningful on fault-free runs.
     @raise Invalid_argument on negative capacities. *)

@@ -9,6 +9,7 @@ type outcome = {
   total_weight : float;
   guarantee : float option;
   messages : int option;
+  check_report : Owp_check.Checker.report option;
 }
 
 let weights prefs = Weights.of_preference prefs
@@ -25,7 +26,19 @@ let stable_dynamics prefs =
   let outcome = Owp_stable.Fixtures.solve prefs in
   outcome.Owp_stable.Fixtures.matching
 
-let run ?(seed = 7) algorithm prefs =
+(* which invariants a result is expected to satisfy: LIC/LID carry the
+   full set of paper guarantees; global greedy is maximal and
+   greedy-stable but has no Theorem 3 bound; the stable-fixtures
+   dynamics optimises preference stability, not eq. 9 weights, so only
+   the instance-level invariants apply *)
+let checkers_for = function
+  | Lid_distributed | Lic_centralized -> Owp_check.Checker.names
+  | Global_greedy ->
+      List.filter (fun n -> n <> "theorem3") Owp_check.Checker.names
+  | Stable_dynamics ->
+      [ "edge-validity"; "quota"; "weight-symmetry"; "satisfaction-range" ]
+
+let run ?(seed = 7) ?(check = false) algorithm prefs =
   let w = weights prefs in
   let capacity = capacity_of prefs in
   let bmax = Preference.max_quota prefs in
@@ -50,6 +63,14 @@ let run ?(seed = 7) algorithm prefs =
         total := !total +. s
       end)
     profile;
+  let check_report =
+    if check then
+      Some
+        (Owp_check.Checker.run
+           ~only:(checkers_for algorithm)
+           (Owp_check.Checker.of_matching ~prefs w matching))
+    else None
+  in
   {
     matching;
     total_satisfaction = !total;
@@ -58,4 +79,5 @@ let run ?(seed = 7) algorithm prefs =
     total_weight = Bmatching.weight matching w;
     guarantee;
     messages;
+    check_report;
   }

@@ -20,12 +20,20 @@ type outcome = {
       (** the proven lower bound on the satisfaction ratio vs optimum,
           when the algorithm has one: ¼(1+1/b_max) for LID/LIC *)
   messages : int option;  (** PROP+REJ for LID, None otherwise *)
+  check_report : Owp_check.Checker.report option;
+      (** invariant diagnostics, present when [run ~check:true] *)
 }
 
 val weights : Preference.t -> Weights.t
 (** Eq. 9 weights of the preference system. *)
 
-val run : ?seed:int -> algorithm -> Preference.t -> outcome
+val run : ?seed:int -> ?check:bool -> algorithm -> Preference.t -> outcome
+(** [check] (default [false]) additionally runs the {!Owp_check.Checker}
+    diagnostics appropriate to the algorithm (the full registry for
+    LIC/LID, everything but Theorem 3 for greedy, the instance-level
+    invariants for the stable dynamics) and stores the structured report
+    in [check_report] — it never raises, so callers can render the
+    violations. *)
 
 val satisfaction_profile : Preference.t -> Owp_matching.Bmatching.t -> float array
 (** Per-node satisfaction values of a matching. *)

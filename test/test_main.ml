@@ -27,6 +27,7 @@ let () =
       ("core.lic", Test_lic.suite);
       ("core.lid", Test_lid.suite);
       ("core.theory", Test_theory.suite);
+      ("check", Test_check.suite);
       ("core.pipeline", Test_pipeline.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
