@@ -6,6 +6,8 @@
      main.exe e3 e6        only the listed experiments
      main.exe perf         only the Bechamel micro-benchmarks
      main.exe list         list experiment ids and titles
+     main.exe --json [dir] additionally write BENCH_<id>.json per
+                           experiment (default: current directory)
 
    One experiment = one reproduced table/figure/theorem of the paper;
    see DESIGN.md's per-experiment index. *)
@@ -98,6 +100,28 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.mem "quick" args in
   let args = List.filter (fun a -> a <> "quick") args in
+  (* --json [dir]: the optional directory is the next argument unless it
+     looks like another flag/experiment id *)
+  let json_dir, args =
+    let rec strip acc = function
+      | [] -> (None, List.rev acc)
+      | "--json" :: rest -> (
+          match rest with
+          | dir :: rest'
+            when (not (String.length dir > 0 && dir.[0] = '-'))
+                 && Option.is_none (Experiments.find dir)
+                 && not (List.mem dir [ "list"; "perf"; "quick" ]) ->
+              (Some dir, List.rev_append acc rest')
+          | rest -> (Some ".", List.rev_append acc rest))
+      | a :: rest -> strip (a :: acc) rest
+    in
+    strip [] args
+  in
+  (match json_dir with
+  | Some dir when not (Sys.file_exists dir && Sys.is_directory dir) ->
+      Printf.eprintf "--json: not a directory: %s\n" dir;
+      exit 2
+  | _ -> ());
   let out = Format.std_formatter in
   match args with
   | [ "list" ] ->
@@ -108,13 +132,13 @@ let () =
         Experiments.all
   | [ "perf" ] -> run_perf ()
   | [] ->
-      Experiments.run_all ~quick ~out ();
+      Experiments.run_all ~quick ?json_dir ~out ();
       run_perf ()
   | ids ->
       List.iter
         (fun id ->
           if id = "perf" then run_perf ()
-          else if not (Experiments.run_one ~quick ~out id) then begin
+          else if not (Experiments.run_one ~quick ?json_dir ~out id) then begin
             Printf.eprintf "unknown experiment id: %s (try 'list')\n" id;
             exit 2
           end)

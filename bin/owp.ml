@@ -6,7 +6,7 @@
      owp run         build an overlay matching with a chosen algorithm
      owp verify      check a saved matching against a graph and quota
      owp check       run the invariant checkers / interleaving explorer
-     owp experiment  regenerate a paper experiment table (E0..E20)
+     owp experiment  regenerate a paper experiment table (E0..E21)
      owp list        list available experiments *)
 
 open Cmdliner
@@ -178,41 +178,159 @@ let build_instance seed family n quota model graph_file =
       }
   | None -> Owp_bench.Workloads.make ~seed ~family ~pref_model:model ~n ~quota
 
-let run_overlay seed family n quota model algo graph_file save =
-  let inst = build_instance seed family n quota model graph_file in
+let save_matching inst m path =
+  let g = inst.Owp_bench.Workloads.graph in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# owp matching: %d nodes, %d selected edges\n"
+       (Graph.node_count g)
+       (Owp_matching.Bmatching.size m));
+  List.iter
+    (fun eid ->
+      let u, v = Graph.edge_endpoints g eid in
+      Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
+    (Owp_matching.Bmatching.edge_ids m);
+  Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf "matching saved      : %s\n" path
+
+(* --crash FRAC: a deterministic (seed-derived) crash schedule — each
+   node fails independently with probability FRAC at a random early
+   point of the run, and never restarts *)
+let crash_schedule ~seed ~n frac =
+  if frac <= 0.0 then []
+  else begin
+    let rng = Owp_util.Prng.create (seed lxor 0xC4A5) in
+    List.init n (fun v -> v)
+    |> List.filter (fun _ -> Owp_util.Prng.bernoulli rng frac)
+    |> List.map (fun victim ->
+           {
+             Owp_core.Lid_reliable.victim;
+             crash_at = 0.1 +. Owp_util.Prng.float rng 5.0;
+             restart_at = None;
+           })
+  end
+
+let run_reliable inst ~seed ~fifo ~faults ~crash ~patience save =
+  let module Lrel = Owp_core.Lid_reliable in
   let prefs = inst.Owp_bench.Workloads.prefs in
-  let out = Owp_core.Pipeline.run ~seed algo prefs in
-  let q = Owp_overlay.Quality.measure prefs out.Owp_core.Pipeline.matching in
+  let n = Graph.node_count inst.Owp_bench.Workloads.graph in
+  let crashes = crash_schedule ~seed ~n crash in
+  (* crash regimes need protocol-level patience to stay live; pure
+     channel faults must not use it (it would cost exactness) *)
+  let patience =
+    match patience with Some p -> Some p | None -> if crashes = [] then None else Some 60.0
+  in
+  let r =
+    Lrel.run ~seed ~fifo ~faults ?patience ~crashes inst.Owp_bench.Workloads.weights
+      ~capacity:inst.Owp_bench.Workloads.capacity
+  in
+  let q = Owp_overlay.Quality.measure prefs r.Lrel.matching in
   Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
-  Printf.printf "links established   : %d\n"
-    (Owp_matching.Bmatching.size out.Owp_core.Pipeline.matching);
-  Printf.printf "total weight (eq.9) : %.4f\n" out.Owp_core.Pipeline.total_weight;
-  Printf.printf "total satisfaction  : %.4f\n" out.Owp_core.Pipeline.total_satisfaction;
+  Printf.printf "algorithm           : lid over reliable transport\n";
+  Printf.printf "links established   : %d\n" (Owp_matching.Bmatching.size r.Lrel.matching);
+  Printf.printf "total satisfaction  : %.4f\n"
+    (Preference.total_satisfaction prefs
+       (Owp_matching.Bmatching.connection_lists r.Lrel.matching));
   Format.printf "quality             : %a@." Owp_overlay.Quality.pp q;
-  (match out.Owp_core.Pipeline.messages with
-  | Some msgs -> Printf.printf "protocol messages   : %d\n" msgs
-  | None -> ());
-  (match out.Owp_core.Pipeline.guarantee with
-  | Some b -> Printf.printf "satisfaction bound  : %.4f of optimum (Theorem 3)\n" b
-  | None -> ());
-  (match save with
-  | None -> ()
-  | Some path ->
-      let m = out.Owp_core.Pipeline.matching in
-      let g = inst.Owp_bench.Workloads.graph in
-      let buf = Buffer.create 1024 in
-      Buffer.add_string buf
-        (Printf.sprintf "# owp matching: %d nodes, %d selected edges\n"
-           (Graph.node_count g)
-           (Owp_matching.Bmatching.size m));
-      List.iter
-        (fun eid ->
-          let u, v = Graph.edge_endpoints g eid in
-          Buffer.add_string buf (Printf.sprintf "%d %d\n" u v))
-        (Owp_matching.Bmatching.edge_ids m);
-      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
-      Printf.printf "matching saved      : %s\n" path);
-  0
+  Printf.printf "protocol messages   : %d PROP + %d REJ\n" r.Lrel.prop_count r.Lrel.rej_count;
+  Printf.printf "wire frames         : %d (%d data + %d retrans + %d ack)\n"
+    r.Lrel.frames_sent r.Lrel.data_sent r.Lrel.retransmissions r.Lrel.acks_sent;
+  Printf.printf "transport overhead  : %.2f frames/protocol message\n" (Lrel.overhead r);
+  Printf.printf "channel losses      : %d dropped, %d straggled, %d dup-suppressed\n"
+    r.Lrel.dropped r.Lrel.reordered r.Lrel.duplicates_suppressed;
+  if crashes <> [] || r.Lrel.peers_declared_dead > 0 then
+    Printf.printf "failures            : %d crashed, %d lost at down hosts, %d links \
+                   given up, %d synthetic REJ\n"
+      (List.length crashes) r.Lrel.lost_to_crashes r.Lrel.peers_declared_dead
+      r.Lrel.synthetic_rejects;
+  Printf.printf "completion (v-time) : %.2f\n" r.Lrel.completion_time;
+  Printf.printf "converged           : %b\n" r.Lrel.all_terminated;
+  (match save with None -> () | Some path -> save_matching inst r.Lrel.matching path);
+  if r.Lrel.all_terminated then 0 else 1
+
+let run_overlay seed family n quota model algo graph_file save reliable drop dup reorder
+    no_fifo crash patience =
+  let inst = build_instance seed family n quota model graph_file in
+  let have_faults = drop > 0.0 || dup > 0.0 || reorder > 0.0 || crash > 0.0 in
+  if reliable then
+    let faults = Owp_simnet.Simnet.faults ~drop ~duplicate:dup ~reorder () in
+    run_reliable inst ~seed ~fifo:(not no_fifo) ~faults ~crash ~patience save
+  else if have_faults then begin
+    Printf.eprintf
+      "run: --drop/--dup/--reorder/--crash need --reliable (plain algorithms assume a \
+       fault-free network; see experiment E21 for what happens otherwise)\n";
+    2
+  end
+  else begin
+    let prefs = inst.Owp_bench.Workloads.prefs in
+    let out = Owp_core.Pipeline.run ~seed algo prefs in
+    let q = Owp_overlay.Quality.measure prefs out.Owp_core.Pipeline.matching in
+    Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
+    Printf.printf "links established   : %d\n"
+      (Owp_matching.Bmatching.size out.Owp_core.Pipeline.matching);
+    Printf.printf "total weight (eq.9) : %.4f\n" out.Owp_core.Pipeline.total_weight;
+    Printf.printf "total satisfaction  : %.4f\n" out.Owp_core.Pipeline.total_satisfaction;
+    Format.printf "quality             : %a@." Owp_overlay.Quality.pp q;
+    (match out.Owp_core.Pipeline.messages with
+    | Some msgs -> Printf.printf "protocol messages   : %d\n" msgs
+    | None -> ());
+    (match out.Owp_core.Pipeline.guarantee with
+    | Some b -> Printf.printf "satisfaction bound  : %.4f of optimum (Theorem 3)\n" b
+    | None -> ());
+    (match save with
+    | None -> ()
+    | Some path -> save_matching inst out.Owp_core.Pipeline.matching path);
+    0
+  end
+
+(* fault-model flags, shared by `run` and `check` *)
+let reliable_arg =
+  Arg.(
+    value & flag
+    & info [ "reliable" ]
+        ~doc:
+          "Run LID over the reliable transport (per-link sequence numbers, cumulative \
+           ACKs, retransmission with backoff) so the protocol converges despite \
+           $(b,--drop)/$(b,--dup)/$(b,--reorder)/$(b,--crash).")
+
+let drop_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "drop" ] ~docv:"P" ~doc:"Per-message loss probability (requires --reliable).")
+
+let dup_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability (requires --reliable).")
+
+let reorder_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "reorder" ] ~docv:"P"
+        ~doc:"Per-message straggler probability — breaks FIFO even on FIFO links (requires --reliable).")
+
+let no_fifo_arg =
+  Arg.(
+    value & flag
+    & info [ "unordered" ]
+        ~doc:"Disable per-link FIFO delivery in the simulated network (non-FIFO regime).")
+
+let crash_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "crash" ] ~docv:"FRAC"
+        ~doc:
+          "Fraction of peers that fail-stop at a random early point (requires \
+           --reliable; arms a default patience of 60 unless --patience is given).")
+
+let patience_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "patience" ] ~docv:"T"
+        ~doc:
+          "Protocol-level wait timeout for peers that fall silent after ACKing \
+           (virtual time; default: off, which preserves exactness under pure channel \
+           faults).")
 
 let run_cmd =
   let algo =
@@ -229,7 +347,10 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Build an overlay matching and report its quality")
-    Term.(const run_overlay $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg $ algo $ graph_file $ save)
+    Term.(
+      const run_overlay $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg $ algo
+      $ graph_file $ save $ reliable_arg $ drop_arg $ dup_arg $ reorder_arg $ no_fifo_arg
+      $ crash_arg $ patience_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)
@@ -301,7 +422,7 @@ let parse_matching_edges g path =
          | None ->
              failwith (Printf.sprintf "check: %d-%d is not an edge of the graph" u v))
 
-let check_explore inst max_configs =
+let check_explore inst max_configs max_link_failures =
   let g = inst.Owp_bench.Workloads.graph in
   let n = Graph.node_count g in
   if n > 8 then begin
@@ -314,30 +435,37 @@ let check_explore inst max_configs =
   else begin
     let w = inst.Owp_bench.Workloads.weights in
     let capacity = inst.Owp_bench.Workloads.capacity in
-    let verdict = Explore.explore ~max_configs (Owp_core.Lid.model w ~capacity) in
-    Format.printf "%a" Explore.pp_verdict verdict;
-    let lic = Owp_matching.Bmatching.edge_ids (Owp_core.Lic.run w ~capacity) in
-    let lemma6 =
-      match verdict.Explore.observations with [ obs ] -> obs = lic | _ -> false
+    let verdict =
+      Explore.explore ~max_configs ~max_link_failures (Owp_core.Lid.model w ~capacity)
     in
-    Printf.printf "agrees with LIC    : %b (Lemma 6)\n" lemma6;
-    if Explore.ok verdict && lemma6 then 0 else 1
+    Format.printf "%a" Explore.pp_verdict verdict;
+    if max_link_failures = 0 then begin
+      let lic = Owp_matching.Bmatching.edge_ids (Owp_core.Lic.run w ~capacity) in
+      let lemma6 =
+        match verdict.Explore.observations with [ obs ] -> obs = lic | _ -> false
+      in
+      Printf.printf "agrees with LIC    : %b (Lemma 6)\n" lemma6;
+      if Explore.ok verdict && lemma6 then 0 else 1
+    end
+    else begin
+      (* the adversary kills links, so the surviving edge set is
+         schedule-dependent by design: only Lemma 5 is universally
+         quantified here *)
+      Printf.printf
+        "adversarial drops  : up to %d link failure(s) interleaved everywhere; \
+         termination holds on every schedule: %b\n"
+        max_link_failures (Explore.ok verdict);
+      if Explore.ok verdict then 0 else 1
+    end
   end
 
 let check_cmdline seed family n quota model algo graph_file matching_file explore
-    max_configs =
+    max_configs drops reliable drop dup reorder no_fifo crash patience =
   let inst = build_instance seed family n quota model graph_file in
-  if explore then check_explore inst max_configs
+  if explore then check_explore inst max_configs drops
   else begin
     let report =
       match matching_file with
-      | None ->
-          (* run the algorithm and check its own output *)
-          let out =
-            Owp_core.Pipeline.run ~seed ~check:true algo
-              inst.Owp_bench.Workloads.prefs
-          in
-          Option.get out.Owp_core.Pipeline.check_report
       | Some path ->
           (* check a saved (possibly corrupted) matching against the
              deterministically rebuilt instance *)
@@ -347,6 +475,37 @@ let check_cmdline seed family n quota model algo graph_file matching_file explor
                ~prefs:inst.Owp_bench.Workloads.prefs
                inst.Owp_bench.Workloads.weights
                ~capacity:inst.Owp_bench.Workloads.capacity ~edges)
+      | None when reliable ->
+          (* run LID over the reliable transport on a faulty network and
+             check what it locked *)
+          let faults = Owp_simnet.Simnet.faults ~drop ~duplicate:dup ~reorder () in
+          let ncount = Graph.node_count inst.Owp_bench.Workloads.graph in
+          let crashes = crash_schedule ~seed ~n:ncount crash in
+          let patience =
+            match patience with
+            | Some p -> Some p
+            | None -> if crashes = [] then None else Some 60.0
+          in
+          let r =
+            Owp_core.Lid_reliable.run ~seed ~fifo:(not no_fifo) ~faults ?patience
+              ~crashes inst.Owp_bench.Workloads.weights
+              ~capacity:inst.Owp_bench.Workloads.capacity
+          in
+          Printf.printf "converged           : %b\n"
+            r.Owp_core.Lid_reliable.all_terminated;
+          Checker.run
+            (Checker.instance
+               ~prefs:inst.Owp_bench.Workloads.prefs
+               inst.Owp_bench.Workloads.weights
+               ~capacity:inst.Owp_bench.Workloads.capacity
+               ~edges:(Owp_matching.Bmatching.edge_ids r.Owp_core.Lid_reliable.matching))
+      | None ->
+          (* run the algorithm and check its own output *)
+          let out =
+            Owp_core.Pipeline.run ~seed ~check:true algo
+              inst.Owp_bench.Workloads.prefs
+          in
+          Option.get out.Owp_core.Pipeline.check_report
     in
     Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
     print_string (Checker.report_to_string report);
@@ -386,6 +545,17 @@ let check_cmd =
       & info [ "max-configs" ] ~docv:"K"
           ~doc:"State-space bound for --explore; the search reports truncation.")
   in
+  let drops =
+    Arg.(
+      value & opt int 0
+      & info [ "drops" ] ~docv:"K"
+          ~doc:
+            "With --explore: adversarial link-failure budget.  The explorer \
+             interleaves up to K permanent link failures (in-flight messages die, \
+             both endpoints run the transport's give-up recovery) with every \
+             delivery order, and demands termination on all of them (Lemma 5 under \
+             failures).")
+  in
   let algo =
     Arg.(
       value
@@ -403,7 +573,8 @@ let check_cmd =
        ~doc:"Run the structural invariant checkers or the interleaving explorer")
     Term.(
       const check_cmdline $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg $ algo
-      $ graph_file $ matching_file $ explore $ max_configs)
+      $ graph_file $ matching_file $ explore $ max_configs $ drops $ reliable_arg
+      $ drop_arg $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                           *)

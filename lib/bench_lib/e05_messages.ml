@@ -19,6 +19,7 @@ let row t (inst : Workloads.instance) b =
       Tbl.icell r.Owp_core.Lid.rej_count;
       Tbl.fcell2 (float_of_int total /. float_of_int n);
       Tbl.fcell2 (float_of_int total /. float_of_int (max m 1));
+      Tbl.icell r.Owp_core.Lid.dropped;
       Tbl.fcell2 r.Owp_core.Lid.completion_time;
       Exp_common.quiescence_cell r;
     ]
@@ -37,6 +38,7 @@ let run ~quick =
         ("REJ", Tbl.Right);
         ("msgs/node", Tbl.Right);
         ("msgs/edge", Tbl.Right);
+        ("dropped", Tbl.Right);
         ("v-time", Tbl.Right);
         ("terminated", Tbl.Left);
       ]
@@ -60,6 +62,7 @@ let run ~quick =
         ("REJ", Tbl.Right);
         ("msgs/node", Tbl.Right);
         ("msgs/edge", Tbl.Right);
+        ("dropped", Tbl.Right);
         ("v-time", Tbl.Right);
         ("terminated", Tbl.Left);
       ]
@@ -73,7 +76,41 @@ let run ~quick =
       in
       row t2 inst b)
     bs;
-  [ t1; t2 ]
+  (* E5c: the dropped column above is always 0 on a clean channel; under
+     loss it shows exactly how much of the conversation went missing and
+     why termination fails (the gap E21 closes with the transport) *)
+  let t3 =
+    Tbl.create
+      ~title:"E5c: LID on a lossy channel (n = 500, avg deg 8, b = 3) — no recovery"
+      [
+        ("drop", Tbl.Right);
+        ("PROP", Tbl.Right);
+        ("REJ", Tbl.Right);
+        ("dropped", Tbl.Right);
+        ("terminated", Tbl.Left);
+      ]
+  in
+  List.iter
+    (fun drop ->
+      let inst =
+        Workloads.make ~seed:55 ~family:(Workloads.Gnm_avg_deg 8.0)
+          ~pref_model:Workloads.Random_prefs ~n:500 ~quota:3
+      in
+      let faults = Owp_simnet.Simnet.faults ~drop () in
+      let r =
+        Owp_core.Lid.run ~seed:7 ~faults inst.Workloads.weights
+          ~capacity:inst.Workloads.capacity
+      in
+      Tbl.add_row t3
+        [
+          Tbl.fcell2 drop;
+          Tbl.icell r.Owp_core.Lid.prop_count;
+          Tbl.icell r.Owp_core.Lid.rej_count;
+          Tbl.icell r.Owp_core.Lid.dropped;
+          Exp_common.quiescence_cell r;
+        ])
+    [ 0.0; 0.05; 0.2; 0.5 ];
+  [ t1; t2; t3 ]
 
 let exp =
   {

@@ -29,6 +29,7 @@ let run ~quick =
         ("silent %", Tbl.Right);
         ("correct terminated", Tbl.Left);
         ("timeouts", Tbl.Right);
+        ("dropped", Tbl.Right);
         ("mean S (correct)", Tbl.Right);
         ("vs fault-free", Tbl.Right);
       ]
@@ -58,6 +59,7 @@ let run ~quick =
           Tbl.icell pct;
           (if r.Owp_core.Lid_robust.all_correct_terminated then "yes" else "NO");
           Tbl.icell r.Owp_core.Lid_robust.timeouts_fired;
+          Tbl.icell r.Owp_core.Lid_robust.dropped;
           Tbl.fcell mean;
           Tbl.pct (if baseline = 0.0 then 0.0 else mean /. baseline);
         ])
@@ -90,7 +92,39 @@ let run ~quick =
           Tbl.fcell (if c = 0 then 0.0 else s /. float_of_int c);
         ])
     [ 2.0; 5.0; 10.0; 40.0 ];
-  [ t; t2 ]
+  (* channel loss on top of silent peers: the per-proposal timeout then
+     doubles as a crude retransmission-free recovery — lossy, but it
+     keeps the correct peers terminating (contrast with E21's exact
+     transport-level recovery) *)
+  let t3 =
+    Tbl.create
+      ~title:"E15c: 10% silent peers plus channel loss (timeout = 10)"
+      [
+        ("drop", Tbl.Right);
+        ("correct terminated", Tbl.Left);
+        ("timeouts fired", Tbl.Right);
+        ("dropped", Tbl.Right);
+        ("mean S (correct)", Tbl.Right);
+      ]
+  in
+  List.iter
+    (fun drop ->
+      let faults = Owp_simnet.Simnet.faults ~drop () in
+      let r =
+        Owp_core.Lid_robust.run ~seed:4 ~faults ~silent inst.Workloads.weights
+          ~capacity:inst.Workloads.capacity
+      in
+      let s, c = correct_satisfaction inst.Workloads.prefs silent r.Owp_core.Lid_robust.matching in
+      Tbl.add_row t3
+        [
+          Tbl.fcell2 drop;
+          (if r.Owp_core.Lid_robust.all_correct_terminated then "yes" else "NO");
+          Tbl.icell r.Owp_core.Lid_robust.timeouts_fired;
+          Tbl.icell r.Owp_core.Lid_robust.dropped;
+          Tbl.fcell (if c = 0 then 0.0 else s /. float_of_int c);
+        ])
+    [ 0.0; 0.1; 0.3 ];
+  [ t; t2; t3 ]
 
 let exp =
   {

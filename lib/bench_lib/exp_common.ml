@@ -31,8 +31,13 @@ let quiescence_cell (r : Owp_core.Lid.report) =
           | _ -> None)
         r.Owp_core.Lid.quiescence
     in
+    let shown =
+      match stragglers with
+      | a :: b :: c :: d :: e :: f :: _ :: _ -> [ a; b; c; d; e; f; "..." ]
+      | l -> l
+    in
     Printf.sprintf "NO (%d stuck: %s)" (List.length stragglers)
-      (String.concat "," stragglers)
+      (String.concat "," shown)
 
 let mean = function
   | [] -> 0.0

@@ -21,22 +21,48 @@ let all =
     E18_bipartite.exp;
     E19_anytime.exp;
     E20_coverage.exp;
+    E21_reliable.exp;
   ]
 
 let find id =
   let id = String.lowercase_ascii id in
   List.find_opt (fun e -> String.lowercase_ascii e.Exp_common.id = id) all
 
-let print_exp ~quick out (e : Exp_common.exp) =
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+(* one BENCH_<id>.json per experiment: metadata plus every table in
+   Tablefmt's machine-readable form *)
+let write_json dir (e : Exp_common.exp) tables =
+  let path = Filename.concat dir ("BENCH_" ^ e.Exp_common.id ^ ".json") in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"id\": \"%s\",\n  \"title\": \"%s\",\n  \"paper_ref\": \"%s\",\n  \"tables\": [\n"
+    (json_escape e.Exp_common.id) (json_escape e.Exp_common.title)
+    (json_escape e.Exp_common.paper_ref);
+  List.iteri
+    (fun i t ->
+      if i > 0 then output_string oc ",\n";
+      output_string oc (Owp_util.Tablefmt.to_json t))
+    tables;
+  output_string oc "\n  ]\n}\n";
+  close_out oc
+
+let print_exp ?json_dir ~quick out (e : Exp_common.exp) =
   Format.fprintf out "%s@." (Exp_common.header e);
   let tables = e.Exp_common.run ~quick in
-  List.iter (fun t -> Format.fprintf out "%s@." (Owp_util.Tablefmt.render t)) tables
+  List.iter (fun t -> Format.fprintf out "%s@." (Owp_util.Tablefmt.render t)) tables;
+  Option.iter (fun dir -> write_json dir e tables) json_dir
 
-let run_all ?(quick = false) ~out () = List.iter (print_exp ~quick out) all
+let run_all ?(quick = false) ?json_dir ~out () =
+  List.iter (print_exp ?json_dir ~quick out) all
 
-let run_one ?(quick = false) ~out id =
+let run_one ?(quick = false) ?json_dir ~out id =
   match find id with
   | None -> false
   | Some e ->
-      print_exp ~quick out e;
+      print_exp ?json_dir ~quick out e;
       true

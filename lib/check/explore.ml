@@ -9,6 +9,7 @@ type ('s, 'm) protocol = {
   stragglers : 's -> int list;
   observe : 's -> int list;
   msg_tag : 'm -> int;
+  give_up : ('s -> self:int -> peer:int -> 'm send list) option;
 }
 
 type stats = {
@@ -31,25 +32,39 @@ module LinkMap = Map.Make (struct
   let compare = compare
 end)
 
+module PairSet = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
 let schedule_cap = max_int / 4
 let sat_add a b = if a >= schedule_cap - b then schedule_cap else a + b
 
 exception Truncated
 
-let explore ?(max_configs = 2_000_000) p =
+let unordered (a, b) = if a <= b then (a, b) else (b, a)
+
+let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) p =
+  if max_link_failures > 0 && p.give_up = None then
+    invalid_arg "Explore.explore: link failures require a give_up transition";
   let memo : (string, int) Hashtbl.t = Hashtbl.create 4096 in
   let obs_seen = Hashtbl.create 8 in
   let obs_order = ref [] in
   let deadlock_sets = Hashtbl.create 4 in
   let dedup_hits = ref 0 in
   let max_in_flight = ref 0 in
-  (* queues hold only non-empty message lists, head = next delivery *)
-  let enqueue q s =
-    LinkMap.update (s.src, s.dst)
-      (function None -> Some [ s.payload ] | Some l -> Some (l @ [ s.payload ]))
-      q
+  (* queues hold only non-empty message lists, head = next delivery;
+     sends towards a failed link vanish (the sender's transport already
+     gave the peer up) *)
+  let enqueue dead q s =
+    if PairSet.mem (unordered (s.src, s.dst)) dead then q
+    else
+      LinkMap.update (s.src, s.dst)
+        (function None -> Some [ s.payload ] | Some l -> Some (l @ [ s.payload ]))
+        q
   in
-  let config_key st q =
+  let config_key st q dead budget =
     let b = Buffer.create 128 in
     Buffer.add_string b (p.fingerprint st);
     Buffer.add_char b '#';
@@ -66,11 +81,22 @@ let explore ?(max_configs = 2_000_000) p =
           msgs;
         Buffer.add_char b ';')
       q;
+    if max_link_failures > 0 then begin
+      Buffer.add_char b '!';
+      Buffer.add_string b (string_of_int budget);
+      PairSet.iter
+        (fun (a, c) ->
+          Buffer.add_char b '/';
+          Buffer.add_string b (string_of_int a);
+          Buffer.add_char b '-';
+          Buffer.add_string b (string_of_int c))
+        dead
+    end;
     Buffer.contents b
   in
   let in_flight q = LinkMap.fold (fun _ l acc -> acc + List.length l) q 0 in
-  let rec go st q =
-    let key = config_key st q in
+  let rec go st q dead budget =
+    let key = config_key st q dead budget in
     match Hashtbl.find_opt memo key with
     | Some c ->
         incr dedup_hits;
@@ -92,29 +118,54 @@ let explore ?(max_configs = 2_000_000) p =
           end
           else begin
             max_in_flight := max !max_in_flight (in_flight q);
-            LinkMap.fold
-              (fun (src, dst) msgs acc ->
-                match msgs with
-                | [] -> acc (* unreachable: queues are non-empty by invariant *)
-                | m :: rest ->
+            let deliveries =
+              LinkMap.fold
+                (fun (src, dst) msgs acc ->
+                  match msgs with
+                  | [] -> acc (* unreachable: queues are non-empty by invariant *)
+                  | m :: rest ->
+                      let st' = p.copy st in
+                      let sends = p.deliver st' ~src ~dst m in
+                      let q' =
+                        if rest = [] then LinkMap.remove (src, dst) q
+                        else LinkMap.add (src, dst) rest q
+                      in
+                      let q' = List.fold_left (enqueue dead) q' sends in
+                      sat_add acc (go st' q' dead budget))
+                q 0
+            in
+            (* adversarial link failure: the in-flight head of (src, dst)
+               is lost for good and retries are exhausted, killing the
+               link.  Loss of the data direction also starves the reverse
+               direction of ACKs, so both transports give up: the whole
+               link dies and both endpoints run their give-up recovery. *)
+            if budget > 0 then
+              LinkMap.fold
+                (fun (src, dst) _ acc ->
+                  let link = unordered (src, dst) in
+                  if PairSet.mem link dead then acc
+                  else begin
+                    let give_up = Option.get p.give_up in
+                    let dead' = PairSet.add link dead in
+                    let q' = LinkMap.remove (src, dst) (LinkMap.remove (dst, src) q) in
                     let st' = p.copy st in
-                    let sends = p.deliver st' ~src ~dst m in
-                    let q' =
-                      if rest = [] then LinkMap.remove (src, dst) q
-                      else LinkMap.add (src, dst) rest q
-                    in
-                    let q' = List.fold_left enqueue q' sends in
-                    sat_add acc (go st' q'))
-              q 0
+                    let at_src = give_up st' ~self:src ~peer:dst in
+                    let at_dst = give_up st' ~self:dst ~peer:src in
+                    let sends = at_src @ at_dst in
+                    let q' = List.fold_left (enqueue dead') q' sends in
+                    sat_add acc (go st' q' dead' (budget - 1))
+                  end)
+                q deliveries
+            else deliveries
           end
         in
         Hashtbl.add memo key count;
         count
   in
   let st0, sends0 = p.init () in
-  let q0 = List.fold_left enqueue LinkMap.empty sends0 in
+  let q0 = List.fold_left (enqueue PairSet.empty) LinkMap.empty sends0 in
   let schedules, truncated =
-    match go st0 q0 with
+    match go st0 q0 PairSet.empty max_link_failures with
     | n -> (n, false)
     | exception Truncated -> (0, true)
   in
@@ -138,8 +189,12 @@ let explore ?(max_configs = 2_000_000) p =
         stragglers)
     deadlock_sets;
   let observations = List.rev !obs_order in
+  (* with adversarial link failures the terminal edge set legitimately
+     depends on which links died; schedule-independence (Lemma 6) is
+     only demanded of the failure-free search *)
   (match observations with
   | [] | [ _ ] -> ()
+  | _ when max_link_failures > 0 -> ()
   | many ->
       violations :=
         Violation.v ~checker:"explore-divergence" Violation.Global
@@ -170,7 +225,7 @@ let pp_verdict ppf v =
   Format.fprintf ppf "max in flight      : %d@." v.stats.max_in_flight;
   Format.fprintf ppf "terminal outcomes  : %d@." (List.length v.observations);
   match v.violations with
-  | [] -> Format.fprintf ppf "all schedules agree: yes@."
+  | [] -> Format.fprintf ppf "violations         : none@."
   | vs ->
       Format.fprintf ppf "violations         : %d@." (List.length vs);
       List.iter (fun x -> Format.fprintf ppf "  %a@." Violation.pp x) vs

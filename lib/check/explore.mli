@@ -43,6 +43,12 @@ type ('s, 'm) protocol = {
       (** the outcome to compare across schedules (e.g. locked edge
           ids, sorted) *)
   msg_tag : 'm -> int;  (** injective message encoding for fingerprints *)
+  give_up : ('s -> self:int -> peer:int -> 'm send list) option;
+      (** [give_up st ~self ~peer]: the reliable-transport escape hatch —
+          [self] has exhausted its retries towards [peer] and treats it
+          as dead (see {!Owp_simnet.Transport}); mutate the state as the
+          protocol's recovery dictates and return the sends it causes.
+          [None] disables adversarial link-failure exploration. *)
 }
 
 type stats = {
@@ -66,11 +72,24 @@ type verdict = {
 val schedule_cap : int
 (** Saturation bound for the schedule count. *)
 
-val explore : ?max_configs:int -> ('s, 'm) protocol -> verdict
+val explore : ?max_configs:int -> ?max_link_failures:int -> ('s, 'm) protocol -> verdict
 (** Exhaustively explore all FIFO interleavings.  [max_configs]
     (default 2_000_000) bounds the transposition table; exceeding it
     yields a [truncated] verdict with a violation rather than an
-    endless search. *)
+    endless search.
+
+    [max_link_failures] (default 0) additionally arms an adversary that
+    may, at any configuration with a message in flight on some link,
+    permanently fail that link: the in-flight messages die, and — since
+    a dead direction also starves the reverse direction of ACKs — both
+    endpoints run the protocol's [give_up] recovery.  Every interleaving
+    of up to [max_link_failures] such failures with ordinary deliveries
+    is explored.  Termination (Lemma 5) is still demanded of every
+    schedule; outcome uniqueness (Lemma 6) is only demanded when
+    [max_link_failures = 0], because the surviving edge set legitimately
+    depends on which links died.
+    @raise Invalid_argument if [max_link_failures > 0] and the protocol
+    has no [give_up] transition. *)
 
 val ok : verdict -> bool
 (** No violations. *)

@@ -149,6 +149,8 @@ let deliver st ~src ~dst m =
 
 let quiesced st = Array.for_all (fun s -> s.finished) st.nodes
 
+let awaiting_reply st ~node ~peer = Hashtbl.mem st.nodes.(node).pending peer
+
 let unterminated_nodes st =
   let out = ref [] in
   for i = Array.length st.nodes - 1 downto 0 do
@@ -247,6 +249,10 @@ let model w ~capacity =
     stragglers = unterminated_nodes;
     observe = locked_edge_ids;
     msg_tag = (function Prop -> 0 | Rej -> 1);
+    (* the reliable-transport escape hatch: a peer declared dead is a
+       peer that implicitly declined — the very same Rej transition *)
+    give_up =
+      Some (fun st ~self ~peer -> sends_of (deliver st ~src:peer ~dst:self Rej));
   }
 
 (* ------------------------------------------------------------------ *)
@@ -258,6 +264,7 @@ type report = {
   prop_count : int;
   rej_count : int;
   delivered : int;
+  dropped : int;
   completion_time : float;
   all_terminated : bool;
   quiescence : Violation.t list;
@@ -293,6 +300,7 @@ let run ?(seed = 0x11D) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
     prop_count = !prop_count;
     rej_count = !rej_count;
     delivered = Simnet.messages_delivered net;
+    dropped = Simnet.messages_dropped net;
     completion_time = Simnet.now net;
     all_terminated = quiesced st;
     quiescence = quiescence_violations st;

@@ -40,6 +40,11 @@ val deliver : state -> src:int -> dst:int -> message -> event list
 val quiesced : state -> bool
 (** Every node reached U_i = ∅ (Lemma 5). *)
 
+val awaiting_reply : state -> node:int -> peer:int -> bool
+(** Is [node]'s proposal to [peer] still unanswered (peer in P_i \ K_i)?
+    Used by {!Lid_reliable}'s patience timers to decide whether a
+    silent peer still blocks progress. *)
+
 val unterminated_nodes : state -> int list
 (** Nodes that have not quiesced, ascending. *)
 
@@ -61,7 +66,10 @@ val fingerprint : state -> string
 val model :
   Weights.t -> capacity:int array -> (state, message) Owp_check.Explore.protocol
 (** The protocol, packaged for exhaustive schedule exploration;
-    [observe] is {!locked_edge_ids}. *)
+    [observe] is {!locked_edge_ids}.  Its [give_up] transition treats a
+    dead peer as an implicit decline (a synthetic REJ through the same
+    [deliver] code), so the explorer can also model-check convergence
+    under adversarial link failures ([max_link_failures > 0]). *)
 
 (** {2 Simulated execution} *)
 
@@ -70,6 +78,7 @@ type report = {
   prop_count : int;  (** PROP messages sent *)
   rej_count : int;  (** REJ messages sent *)
   delivered : int;  (** total deliveries processed *)
+  dropped : int;  (** messages lost to channel faults (diagnosable loss) *)
   completion_time : float;  (** virtual time of the last event *)
   all_terminated : bool;  (** every node reached U_i = ∅ (Lemma 5) *)
   quiescence : Owp_check.Violation.t list;

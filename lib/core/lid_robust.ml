@@ -8,6 +8,7 @@ type report = {
   prop_count : int;
   rej_count : int;
   timeouts_fired : int;
+  dropped : int;
   completion_time : float;
   all_correct_terminated : bool;
 }
@@ -23,14 +24,14 @@ type node_state = {
   mutable finished : bool;
 }
 
-let run ?(seed = 0x50B) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(timeout = 10.0) ~silent w
-    ~capacity =
+let run ?(seed = 0x50B) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(faults = Simnet.no_faults)
+    ?(timeout = 10.0) ~silent w ~capacity =
   let g = Weights.graph w in
   let n = Graph.node_count g in
   if Array.length silent <> n then invalid_arg "Lid_robust.run: silent mask arity";
   Array.iter (fun b -> if b < 0 then invalid_arg "Lid_robust.run: negative capacity") capacity;
   let quota = Array.mapi (fun i b -> min b (Graph.degree g i)) capacity in
-  let net = Simnet.create ~seed ~nodes:(max n 1) ~delay () in
+  let net = Simnet.create ~seed ~faults ~nodes:(max n 1) ~delay () in
   let prop_count = ref 0 and rej_count = ref 0 and timeouts_fired = ref 0 in
   let send_prop src dst =
     if not silent.(src) then begin
@@ -172,6 +173,7 @@ let run ?(seed = 0x50B) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(timeout = 10.0) ~
     prop_count = !prop_count;
     rej_count = !rej_count;
     timeouts_fired = !timeouts_fired;
+    dropped = Simnet.messages_dropped net;
     completion_time = Simnet.now net;
     all_correct_terminated;
   }

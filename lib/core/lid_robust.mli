@@ -21,6 +21,7 @@ type report = {
   prop_count : int;
   rej_count : int;
   timeouts_fired : int;
+  dropped : int;  (** messages lost to channel faults during the run *)
   completion_time : float;
   all_correct_terminated : bool;  (** every responsive node reached U=∅ *)
 }
@@ -28,6 +29,7 @@ type report = {
 val run :
   ?seed:int ->
   ?delay:Owp_simnet.Simnet.delay_model ->
+  ?faults:Owp_simnet.Simnet.faults ->
   ?timeout:float ->
   silent:bool array ->
   Weights.t ->
@@ -35,4 +37,7 @@ val run :
   report
 (** [silent.(v)] marks a fail-silent peer: it receives traffic but never
     sends anything.  [timeout] (default 10.0 virtual time units) is the
-    patience per outstanding proposal/wait. *)
+    patience per outstanding proposal/wait.  [faults] additionally
+    injects channel faults (the per-proposal timeout then doubles as a
+    crude recovery from lost messages; {!Lid_reliable} does it
+    properly). *)

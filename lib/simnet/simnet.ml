@@ -6,9 +6,17 @@ type delay_model =
   | Exponential of float
   | PerLink of (int -> int -> float)
 
-type faults = { drop_probability : float; duplicate_probability : float }
+type faults = {
+  drop_probability : float;
+  duplicate_probability : float;
+  reorder_probability : float;
+}
 
-let no_faults = { drop_probability = 0.0; duplicate_probability = 0.0 }
+let no_faults =
+  { drop_probability = 0.0; duplicate_probability = 0.0; reorder_probability = 0.0 }
+
+let faults ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) () =
+  { drop_probability = drop; duplicate_probability = duplicate; reorder_probability = reorder }
 
 type 'm event_kind = Deliver of int * int * 'm | Callback of (unit -> unit)
 
@@ -33,6 +41,7 @@ type 'm t = {
   queue : Equeue.t;
   events : (int, 'm event) Hashtbl.t; (* seq -> event payload *)
   link_clock : (int * int, float) Hashtbl.t; (* last scheduled delivery per directed link *)
+  up : bool array; (* crash/restart state; length max nodes 1 *)
   mutable handler : (src:int -> dst:int -> 'm -> unit) option;
   mutable trace : (float -> src:int -> dst:int -> 'm -> unit) option;
   mutable clock : float;
@@ -40,15 +49,20 @@ type 'm t = {
   mutable sent : int;
   mutable delivered : int;
   mutable dropped : int;
+  mutable reordered : int;
+  mutable lost_to_crashes : int;
+  mutable crash_count : int;
   mutable processed : int;
 }
 
+let check_probability name p =
+  if p < 0.0 || p > 1.0 then invalid_arg (Printf.sprintf "Simnet.create: %s out of range" name)
+
 let create ?(seed = 0xC0FFEE) ?(fifo = true) ?(faults = no_faults) ~nodes ~delay () =
   if nodes < 0 then invalid_arg "Simnet.create: negative node count";
-  if faults.drop_probability < 0.0 || faults.drop_probability > 1.0 then
-    invalid_arg "Simnet.create: drop_probability out of range";
-  if faults.duplicate_probability < 0.0 || faults.duplicate_probability > 1.0 then
-    invalid_arg "Simnet.create: duplicate_probability out of range";
+  check_probability "drop_probability" faults.drop_probability;
+  check_probability "duplicate_probability" faults.duplicate_probability;
+  check_probability "reorder_probability" faults.reorder_probability;
   {
     nodes;
     rng = Prng.create seed;
@@ -58,6 +72,7 @@ let create ?(seed = 0xC0FFEE) ?(fifo = true) ?(faults = no_faults) ~nodes ~delay
     queue = Equeue.create ();
     events = Hashtbl.create 1024;
     link_clock = Hashtbl.create 1024;
+    up = Array.make (max nodes 1) true;
     handler = None;
     trace = None;
     clock = 0.0;
@@ -65,6 +80,9 @@ let create ?(seed = 0xC0FFEE) ?(fifo = true) ?(faults = no_faults) ~nodes ~delay
     sent = 0;
     delivered = 0;
     dropped = 0;
+    reordered = 0;
+    lost_to_crashes = 0;
+    crash_count = 0;
     processed = 0;
   }
 
@@ -72,6 +90,24 @@ let node_count t = t.nodes
 let now t = t.clock
 let set_handler t h = t.handler <- Some h
 let set_trace t tr = t.trace <- tr
+
+let check_node fn t v =
+  if v < 0 || v >= t.nodes then invalid_arg (Printf.sprintf "Simnet.%s: node out of range" fn)
+
+let is_up t v =
+  check_node "is_up" t v;
+  t.up.(v)
+
+let crash t v =
+  check_node "crash" t v;
+  if t.up.(v) then begin
+    t.up.(v) <- false;
+    t.crash_count <- t.crash_count + 1
+  end
+
+let restart t v =
+  check_node "restart" t v;
+  t.up.(v) <- true
 
 let sample_delay t src dst =
   let d =
@@ -95,8 +131,18 @@ let push t at kind =
 
 let enqueue_delivery t ~src ~dst m =
   let base = t.clock +. sample_delay t src dst in
+  let reorder =
+    t.faults.reorder_probability > 0.0
+    && Prng.bernoulli t.rng t.faults.reorder_probability
+  in
   let at =
-    if t.fifo then begin
+    if reorder then begin
+      (* the message straggles: extra delay, and it bypasses the FIFO
+         clamp so it overtakes (or is overtaken by) later traffic *)
+      t.reordered <- t.reordered + 1;
+      base +. sample_delay t src dst +. (2.0 *. sample_delay t src dst)
+    end
+    else if t.fifo then begin
       let key = (src, dst) in
       let prev = Option.value (Hashtbl.find_opt t.link_clock key) ~default:neg_infinity in
       let at = if base <= prev then prev +. 1e-9 else base in
@@ -110,15 +156,20 @@ let enqueue_delivery t ~src ~dst m =
 let send t ~src ~dst m =
   if src < 0 || src >= t.nodes || dst < 0 || dst >= t.nodes then
     invalid_arg "Simnet.send: endpoint out of range";
-  t.sent <- t.sent + 1;
-  if t.faults.drop_probability > 0.0 && Prng.bernoulli t.rng t.faults.drop_probability
-  then t.dropped <- t.dropped + 1
+  if not t.up.(src) then
+    (* a crashed host cannot transmit; accounted separately from channel loss *)
+    t.lost_to_crashes <- t.lost_to_crashes + 1
   else begin
-    enqueue_delivery t ~src ~dst m;
-    if
-      t.faults.duplicate_probability > 0.0
-      && Prng.bernoulli t.rng t.faults.duplicate_probability
-    then enqueue_delivery t ~src ~dst m
+    t.sent <- t.sent + 1;
+    if t.faults.drop_probability > 0.0 && Prng.bernoulli t.rng t.faults.drop_probability
+    then t.dropped <- t.dropped + 1
+    else begin
+      enqueue_delivery t ~src ~dst m;
+      if
+        t.faults.duplicate_probability > 0.0
+        && Prng.bernoulli t.rng t.faults.duplicate_probability
+      then enqueue_delivery t ~src ~dst m
+    end
   end
 
 let schedule t ~delay f =
@@ -130,12 +181,18 @@ let dispatch t ev =
   t.processed <- t.processed + 1;
   match ev.kind with
   | Callback f -> f ()
-  | Deliver (src, dst, m) -> (
-      t.delivered <- t.delivered + 1;
-      (match t.trace with Some tr -> tr ev.at ~src ~dst m | None -> ());
-      match t.handler with
-      | Some h -> h ~src ~dst m
-      | None -> failwith "Simnet: message due but no handler installed")
+  | Deliver (src, dst, m) ->
+      if not t.up.(dst) then
+        (* the packet reached a crashed host: lost, like any queued data
+           the host's NIC would discard *)
+        t.lost_to_crashes <- t.lost_to_crashes + 1
+      else begin
+        t.delivered <- t.delivered + 1;
+        (match t.trace with Some tr -> tr ev.at ~src ~dst m | None -> ());
+        match t.handler with
+        | Some h -> h ~src ~dst m
+        | None -> failwith "Simnet: message due but no handler installed"
+      end
 
 let step t =
   match Equeue.pop_min_opt t.queue with
@@ -151,22 +208,20 @@ let run t = while step t do () done
 let run_until t horizon =
   let continue = ref true in
   while !continue do
-    match Equeue.pop_min_opt t.queue with
+    match Equeue.peek_min_opt t.queue with
     | None -> continue := false
-    | Some ({ Queue_elt.at; seq } as top) ->
-        if at > horizon then begin
-          (* put it back; heap has no peek-without-pop for this path *)
-          Equeue.add t.queue top;
-          continue := false
-        end
-        else begin
-          let ev = Hashtbl.find t.events seq in
-          Hashtbl.remove t.events seq;
-          dispatch t ev
-        end
+    | Some { Queue_elt.at; _ } when at > horizon -> continue := false
+    | Some { Queue_elt.seq; _ } ->
+        ignore (Equeue.pop_min t.queue);
+        let ev = Hashtbl.find t.events seq in
+        Hashtbl.remove t.events seq;
+        dispatch t ev
   done
 
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped
+let messages_reordered t = t.reordered
+let messages_lost_to_crashes t = t.lost_to_crashes
+let crash_events t = t.crash_count
 let events_processed t = t.processed

@@ -1,0 +1,243 @@
+module Prng = Owp_util.Prng
+
+type 'm frame =
+  | Data of { epoch : int; seq : int; payload : 'm }
+  | Ack of { epoch : int; cum : int }
+
+type config = {
+  rto_initial : float;
+  rto_backoff : float;
+  rto_max : float;
+  rto_jitter : float;
+  max_retries : int;
+}
+
+let default_config =
+  { rto_initial = 4.0; rto_backoff = 1.6; rto_max = 48.0; rto_jitter = 0.25; max_retries = 24 }
+
+(* Sender half of a directed link: the retransmission window. *)
+type 'm sender = {
+  s_epoch : int; (* local incarnation the stream belongs to *)
+  mutable next_seq : int;
+  unacked : (int, 'm) Hashtbl.t; (* seq -> payload, everything not yet cum-acked *)
+  mutable rto : float;
+  mutable retries : int; (* consecutive timer firings without ack progress *)
+  mutable timer_armed : bool;
+  mutable s_dead : bool; (* gave up: peer declared dead for this link *)
+}
+
+(* Receiver half of a directed link: dedup + in-order reassembly. *)
+type 'm receiver = {
+  mutable r_epoch : int; (* peer incarnation this state tracks *)
+  mutable cum : int; (* highest in-order-delivered seq; -1 before any *)
+  ooo : (int, 'm) Hashtbl.t; (* out-of-order buffer *)
+}
+
+type 'm t = {
+  net : 'm frame Simnet.t;
+  config : config;
+  jitter_rng : Prng.t;
+  epochs : int array; (* per-node incarnation, bumped by restart_node *)
+  senders : (int * int, 'm sender) Hashtbl.t; (* (src, dst) *)
+  receivers : (int * int, 'm receiver) Hashtbl.t; (* (src, dst); state lives at dst *)
+  on_deliver : src:int -> dst:int -> 'm -> unit;
+  on_peer_dead : node:int -> peer:int -> unit;
+  mutable data_sent : int;
+  mutable retransmissions : int;
+  mutable acks_sent : int;
+  mutable duplicates_suppressed : int;
+  mutable peers_declared_dead : int;
+}
+
+let validate_config c =
+  if c.rto_initial <= 0.0 then invalid_arg "Transport: rto_initial must be positive";
+  if c.rto_backoff < 1.0 then invalid_arg "Transport: rto_backoff must be >= 1";
+  if c.rto_max < c.rto_initial then invalid_arg "Transport: rto_max below rto_initial";
+  if c.rto_jitter < 0.0 then invalid_arg "Transport: negative rto_jitter";
+  if c.max_retries < 0 then invalid_arg "Transport: negative max_retries"
+
+let sender_state t ~src ~dst =
+  let key = (src, dst) in
+  match Hashtbl.find_opt t.senders key with
+  | Some s when s.s_epoch = t.epochs.(src) -> s
+  | _ ->
+      (* first use, or a stale pre-restart stream: start a fresh one *)
+      let s =
+        {
+          s_epoch = t.epochs.(src);
+          next_seq = 0;
+          unacked = Hashtbl.create 8;
+          rto = t.config.rto_initial;
+          retries = 0;
+          timer_armed = false;
+          s_dead = false;
+        }
+      in
+      Hashtbl.replace t.senders key s;
+      s
+
+let receiver_state t ~src ~dst ~epoch =
+  let key = (src, dst) in
+  match Hashtbl.find_opt t.receivers key with
+  | Some r -> r
+  | None ->
+      let r = { r_epoch = epoch; cum = -1; ooo = Hashtbl.create 8 } in
+      Hashtbl.replace t.receivers key r;
+      r
+
+let jittered t d =
+  if t.config.rto_jitter <= 0.0 then d
+  else d *. (1.0 +. Prng.float t.jitter_rng t.config.rto_jitter)
+
+let transmit_data t ~src ~dst s seq payload =
+  Simnet.send t.net ~src ~dst (Data { epoch = s.s_epoch; seq; payload })
+
+let give_up t ~src ~dst s =
+  s.s_dead <- true;
+  Hashtbl.reset s.unacked;
+  t.peers_declared_dead <- t.peers_declared_dead + 1;
+  t.on_peer_dead ~node:src ~peer:dst
+
+(* Retransmission timer for link (src, dst).  The closure captures the
+   sender record; [==] against the table entry invalidates timers that
+   survived a crash-restart (which replaces the record). *)
+let rec arm_timer t ~src ~dst s =
+  if not s.timer_armed then begin
+    s.timer_armed <- true;
+    Simnet.schedule t.net ~delay:(jittered t s.rto) (fun () ->
+        match Hashtbl.find_opt t.senders (src, dst) with
+        | Some s' when s' == s ->
+            s.timer_armed <- false;
+            if (not s.s_dead) && Hashtbl.length s.unacked > 0 && Simnet.is_up t.net src
+            then
+              if s.retries >= t.config.max_retries then give_up t ~src ~dst s
+              else begin
+                s.retries <- s.retries + 1;
+                s.rto <- Float.min (s.rto *. t.config.rto_backoff) t.config.rto_max;
+                (* go-back-N: resend the whole window, lowest seq first *)
+                let seqs = Hashtbl.fold (fun k _ acc -> k :: acc) s.unacked [] in
+                List.iter
+                  (fun seq ->
+                    t.retransmissions <- t.retransmissions + 1;
+                    transmit_data t ~src ~dst s seq (Hashtbl.find s.unacked seq))
+                  (List.sort compare seqs);
+                arm_timer t ~src ~dst s
+              end
+        | _ -> () (* stale timer from a pre-restart incarnation *))
+  end
+
+let send t ~src ~dst payload =
+  if Simnet.is_up t.net src then begin
+    let s = sender_state t ~src ~dst in
+    if not s.s_dead then begin
+      let seq = s.next_seq in
+      s.next_seq <- seq + 1;
+      Hashtbl.replace s.unacked seq payload;
+      t.data_sent <- t.data_sent + 1;
+      transmit_data t ~src ~dst s seq payload;
+      arm_timer t ~src ~dst s
+    end
+  end
+
+let send_ack t ~src ~dst ~epoch ~cum =
+  t.acks_sent <- t.acks_sent + 1;
+  Simnet.send t.net ~src ~dst (Ack { epoch; cum })
+
+let handle_data t ~src ~dst ~epoch ~seq payload =
+  let r = receiver_state t ~src ~dst ~epoch in
+  if epoch < r.r_epoch then () (* frame from a dead incarnation of the peer *)
+  else begin
+    if epoch > r.r_epoch then begin
+      (* peer restarted: its stream starts over from seq 0 *)
+      r.r_epoch <- epoch;
+      r.cum <- -1;
+      Hashtbl.reset r.ooo
+    end;
+    if seq <= r.cum || Hashtbl.mem r.ooo seq then begin
+      (* duplicate (network-level or retransmission): suppress, but
+         re-ack so the sender stops retransmitting *)
+      t.duplicates_suppressed <- t.duplicates_suppressed + 1;
+      send_ack t ~src:dst ~dst:src ~epoch ~cum:r.cum
+    end
+    else begin
+      Hashtbl.replace r.ooo seq payload;
+      (* drain the contiguous prefix to the application, in order *)
+      let continue = ref true in
+      while !continue do
+        match Hashtbl.find_opt r.ooo (r.cum + 1) with
+        | None -> continue := false
+        | Some p ->
+            Hashtbl.remove r.ooo (r.cum + 1);
+            r.cum <- r.cum + 1;
+            t.on_deliver ~src ~dst p
+      done;
+      send_ack t ~src:dst ~dst:src ~epoch ~cum:r.cum
+    end
+  end
+
+let handle_ack t ~src ~dst ~epoch ~cum =
+  (* [src] acked stream (dst -> src); the window lives at [dst] *)
+  match Hashtbl.find_opt t.senders (dst, src) with
+  | Some s when s.s_epoch = epoch && not s.s_dead ->
+      let progressed = ref false in
+      Hashtbl.iter
+        (fun seq _ -> if seq <= cum then progressed := true)
+        s.unacked;
+      if !progressed then begin
+        let stale = Hashtbl.fold (fun k _ acc -> if k <= cum then k :: acc else acc) s.unacked [] in
+        List.iter (Hashtbl.remove s.unacked) stale;
+        (* forward progress: the peer is alive, reset the backoff *)
+        s.retries <- 0;
+        s.rto <- t.config.rto_initial
+      end
+  | _ -> ()
+
+let create ?(config = default_config) ?(jitter_seed = 0x7A5) net ~on_deliver ~on_peer_dead =
+  validate_config config;
+  let t =
+    {
+      net;
+      config;
+      jitter_rng = Prng.create jitter_seed;
+      epochs = Array.make (max (Simnet.node_count net) 1) 0;
+      senders = Hashtbl.create 64;
+      receivers = Hashtbl.create 64;
+      on_deliver;
+      on_peer_dead;
+      data_sent = 0;
+      retransmissions = 0;
+      acks_sent = 0;
+      duplicates_suppressed = 0;
+      peers_declared_dead = 0;
+    }
+  in
+  Simnet.set_handler net (fun ~src ~dst frame ->
+      match frame with
+      | Data { epoch; seq; payload } -> handle_data t ~src ~dst ~epoch ~seq payload
+      | Ack { epoch; cum } -> handle_ack t ~src ~dst ~epoch ~cum);
+  t
+
+let restart_node t v =
+  if v < 0 || v >= Array.length t.epochs then
+    invalid_arg "Transport.restart_node: node out of range";
+  (* volatile transport state is lost with the crash; the epoch bump is
+     the non-volatile part (think boot counter) that lets peers tell old
+     frames from new ones *)
+  t.epochs.(v) <- t.epochs.(v) + 1;
+  let stale tbl pick =
+    Hashtbl.fold (fun k _ acc -> if pick k then k :: acc else acc) tbl []
+  in
+  List.iter (Hashtbl.remove t.senders) (stale t.senders (fun (src, _) -> src = v));
+  List.iter (Hashtbl.remove t.receivers) (stale t.receivers (fun (_, dst) -> dst = v))
+
+let peer_dead t ~node ~peer =
+  match Hashtbl.find_opt t.senders (node, peer) with
+  | Some s -> s.s_dead
+  | None -> false
+
+let data_sent t = t.data_sent
+let retransmissions t = t.retransmissions
+let acks_sent t = t.acks_sent
+let duplicates_suppressed t = t.duplicates_suppressed
+let peers_declared_dead t = t.peers_declared_dead
+let frames_sent t = t.data_sent + t.retransmissions + t.acks_sent

@@ -57,6 +57,8 @@ module Make (E : ORDERED) = struct
     if h.size = 0 then invalid_arg "Heap.min_elt: empty heap";
     h.data.(0)
 
+  let peek_min_opt h = if h.size = 0 then None else Some h.data.(0)
+
   let pop_min h =
     if h.size = 0 then invalid_arg "Heap.pop_min: empty heap";
     let m = h.data.(0) in

@@ -22,6 +22,9 @@ module Make (E : ORDERED) : sig
   val min_elt : t -> E.t
   (** @raise Invalid_argument on an empty heap. *)
 
+  val peek_min_opt : t -> E.t option
+  (** The minimum without removing it; [None] on an empty heap. *)
+
   val pop_min : t -> E.t
   (** Removes and returns the minimum. @raise Invalid_argument if empty. *)
 

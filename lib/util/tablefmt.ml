@@ -61,6 +61,76 @@ let render t =
 
 let print t = print_string (render t)
 
+(* string cells carry no type information, so JSON values are inferred:
+   anything that parses as a number is emitted bare, a trailing '%' is
+   stripped back to a ratio, everything else is an escaped string *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_cell s =
+  let numeric str =
+    match float_of_string_opt str with
+    | Some f when Float.is_finite f -> Some str
+    | _ -> None
+  in
+  match numeric s with
+  | Some lit -> lit
+  | None -> (
+      let n = String.length s in
+      let as_pct =
+        if n > 1 && s.[n - 1] = '%' then
+          match float_of_string_opt (String.sub s 0 (n - 1)) with
+          | Some f when Float.is_finite f -> Some (Printf.sprintf "%.6g" (f /. 100.0))
+          | _ -> None
+        else None
+      in
+      match as_pct with
+      | Some lit -> lit
+      | None -> "\"" ^ json_escape s ^ "\"")
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  (match t.title with
+  | Some title -> Buffer.add_string buf (Printf.sprintf "  \"title\": \"%s\",\n" (json_escape title))
+  | None -> ());
+  Buffer.add_string buf "  \"columns\": [";
+  List.iteri
+    (fun i h ->
+      if i > 0 then Buffer.add_string buf ", ";
+      Buffer.add_string buf ("\"" ^ json_escape h ^ "\""))
+    t.headers;
+  Buffer.add_string buf "],\n  \"rows\": [";
+  let first = ref true in
+  List.iter
+    (function
+      | Separator -> ()
+      | Cells cells ->
+          if not !first then Buffer.add_char buf ',';
+          first := false;
+          Buffer.add_string buf "\n    {";
+          List.iteri
+            (fun i (h, c) ->
+              if i > 0 then Buffer.add_string buf ", ";
+              Buffer.add_string buf
+                (Printf.sprintf "\"%s\": %s" (json_escape h) (json_cell c)))
+            (List.combine t.headers cells);
+          Buffer.add_char buf '}')
+    (List.rev t.rows);
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
 let fcell x = Printf.sprintf "%.4f" x
 let fcell2 x = Printf.sprintf "%.2f" x
 let icell = string_of_int

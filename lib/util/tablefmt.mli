@@ -22,6 +22,14 @@ val add_separator : t -> unit
 val render : t -> string
 val print : t -> unit
 
+val to_json : t -> string
+(** The same table as a JSON object: [{"title", "columns", "rows"}],
+    each row an object keyed by column header.  Cells are emitted as
+    JSON numbers when they parse as one ("12", "0.5170"), percentage
+    cells ("51.7%") are converted back to their ratio, and everything
+    else becomes a string.  Separators vanish — they are presentation,
+    not data. *)
+
 (* Cell formatting helpers. *)
 val fcell : float -> string
 (** 4 decimal places. *)

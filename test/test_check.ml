@@ -264,6 +264,7 @@ let test_explorer_detects_deadlock () =
       stragglers = (fun _ -> [ 0 ]);
       observe = (fun _ -> []);
       msg_tag = (fun m -> m);
+      give_up = None;
     }
   in
   let verdict = Explore.explore p in
@@ -294,6 +295,7 @@ let test_explorer_detects_divergence () =
       stragglers = (fun _ -> []);
       observe = (fun s -> List.rev !s);
       msg_tag = (fun m -> m);
+      give_up = None;
     }
   in
   let verdict = Explore.explore p in
@@ -316,7 +318,7 @@ let test_lid_quiescence_violations () =
   Alcotest.(check int) "no violations" 0 (List.length r.Lid.quiescence);
   (* under heavy message loss, some seed leaves stragglers; when it
      does, the report must name them *)
-  let faults = { Owp_simnet.Simnet.drop_probability = 0.7; duplicate_probability = 0.0 } in
+  let faults = Owp_simnet.Simnet.faults ~drop:0.7 () in
   let saw_failure = ref false in
   for seed = 0 to 20 do
     let _, _, w, capacity = random_instance (100 + seed) 20 6 2 in

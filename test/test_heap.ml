@@ -16,6 +16,16 @@ let test_min_raises () =
   Alcotest.check_raises "pop_min" (Invalid_argument "Heap.pop_min: empty heap") (fun () ->
       ignore (IntHeap.pop_min h))
 
+let test_peek () =
+  let h = IntHeap.create () in
+  Alcotest.(check (option int)) "peek empty" None (IntHeap.peek_min_opt h);
+  IntHeap.add h 4;
+  IntHeap.add h 2;
+  Alcotest.(check (option int)) "peek min" (Some 2) (IntHeap.peek_min_opt h);
+  Alcotest.(check int) "peek does not remove" 2 (IntHeap.length h);
+  ignore (IntHeap.pop_min h);
+  Alcotest.(check (option int)) "peek next" (Some 4) (IntHeap.peek_min_opt h)
+
 let test_sorted_drain () =
   let h = IntHeap.of_array [| 5; 3; 8; 1; 9; 2; 7 |] in
   Alcotest.(check (list int)) "sorted" [ 1; 2; 3; 5; 7; 8; 9 ] (IntHeap.to_sorted_list h)
@@ -112,6 +122,7 @@ let suite =
   [
     Alcotest.test_case "empty heap" `Quick test_empty;
     Alcotest.test_case "min raises" `Quick test_min_raises;
+    Alcotest.test_case "peek_min_opt" `Quick test_peek;
     Alcotest.test_case "sorted drain" `Quick test_sorted_drain;
     Alcotest.test_case "duplicates" `Quick test_duplicates;
     Alcotest.test_case "interleaved ops" `Quick test_interleaved;

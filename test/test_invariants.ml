@@ -24,7 +24,7 @@ let prop_simnet_drop_accounting =
   QCheck2.Test.make ~name:"simnet drop accounting sums up" ~count:50
     QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 500))
     (fun (seed, k) ->
-      let faults = { Sim.drop_probability = 0.3; duplicate_probability = 0.0 } in
+      let faults = Sim.faults ~drop:0.3 () in
       let net = Sim.create ~seed ~faults ~nodes:2 ~delay:Sim.Unit () in
       Sim.set_handler net (fun ~src:_ ~dst:_ _ -> ());
       for _ = 1 to k do

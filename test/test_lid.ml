@@ -99,7 +99,7 @@ let test_message_drops_detected () =
   (* with heavy loss the protocol cannot finish cleanly: the report
      must expose that rather than fabricate a result *)
   let _, _, w, capacity = random_instance 3 20 6 2 in
-  let faults = { Sim.drop_probability = 0.6; duplicate_probability = 0.0 } in
+  let faults = Sim.faults ~drop:0.6 () in
   let r = Lid.run ~seed:5 ~faults w ~capacity in
   (* either some node never finished, or (unlikely) everything got through *)
   Alcotest.(check bool) "report is coherent" true
@@ -108,7 +108,7 @@ let test_message_drops_detected () =
 let test_duplicates_harmless () =
   let _, _, w, capacity = random_instance 4 20 6 2 in
   let lic = Lic.run w ~capacity in
-  let faults = { Sim.drop_probability = 0.0; duplicate_probability = 0.5 } in
+  let faults = Sim.faults ~duplicate:0.5 () in
   let r = Lid.run ~seed:6 ~faults w ~capacity in
   Alcotest.(check bool) "terminated" true r.Lid.all_terminated;
   Alcotest.(check bool) "same result despite duplicates" true (BM.equal r.Lid.matching lic)

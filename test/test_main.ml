@@ -18,6 +18,7 @@ let () =
       ("prefs.preference", Test_preference.suite);
       ("prefs.weights", Test_weights.suite);
       ("simnet", Test_simnet.suite);
+      ("simnet.transport", Test_transport.suite);
       ("matching.bmatching", Test_bmatching.suite);
       ("matching.greedy+exact", Test_greedy_exact.suite);
       ("matching.mcmf", Test_mcmf.suite);
@@ -26,6 +27,7 @@ let () =
       ("stable", Test_stable.suite);
       ("core.lic", Test_lic.suite);
       ("core.lid", Test_lid.suite);
+      ("core.lid_reliable", Test_lid_reliable.suite);
       ("core.theory", Test_theory.suite);
       ("check", Test_check.suite);
       ("core.pipeline", Test_pipeline.suite);

@@ -70,7 +70,7 @@ let test_step () =
   Alcotest.(check bool) "empty" false (Sim.step net)
 
 let test_drop_faults () =
-  let faults = { Sim.drop_probability = 1.0; duplicate_probability = 0.0 } in
+  let faults = Sim.faults ~drop:1.0 () in
   let net = Sim.create ~faults ~nodes:2 ~delay:Sim.Unit () in
   Sim.set_handler net (fun ~src:_ ~dst:_ _ -> Alcotest.fail "should have been dropped");
   for _ = 1 to 20 do
@@ -81,7 +81,7 @@ let test_drop_faults () =
   Alcotest.(check int) "none delivered" 0 (Sim.messages_delivered net)
 
 let test_duplicate_faults () =
-  let faults = { Sim.drop_probability = 0.0; duplicate_probability = 1.0 } in
+  let faults = Sim.faults ~duplicate:1.0 () in
   let net = Sim.create ~faults ~nodes:2 ~delay:Sim.Unit () in
   let count = ref 0 in
   Sim.set_handler net (fun ~src:_ ~dst:_ _ -> incr count);
@@ -92,7 +92,7 @@ let test_duplicate_faults () =
   Alcotest.(check int) "each duplicated" 20 !count
 
 let test_partial_drop_rate () =
-  let faults = { Sim.drop_probability = 0.5; duplicate_probability = 0.0 } in
+  let faults = Sim.faults ~drop:0.5 () in
   let net = Sim.create ~seed:9 ~faults ~nodes:2 ~delay:Sim.Unit () in
   Sim.set_handler net (fun ~src:_ ~dst:_ _ -> ());
   for _ = 1 to 2000 do
@@ -101,6 +101,55 @@ let test_partial_drop_rate () =
   Sim.run net;
   let d = Sim.messages_dropped net in
   Alcotest.(check bool) "about half dropped" true (d > 900 && d < 1100)
+
+let test_reorder_faults () =
+  (* reorder straggles messages past the FIFO clamp even on fifo:true *)
+  let faults = Sim.faults ~reorder:0.3 () in
+  let net = Sim.create ~seed:11 ~fifo:true ~faults ~nodes:2 ~delay:(Sim.Uniform (0.5, 1.5)) () in
+  let got = ref [] in
+  Sim.set_handler net (fun ~src:_ ~dst:_ m -> got := m :: !got);
+  for i = 1 to 100 do
+    Sim.send net ~src:0 ~dst:1 i
+  done;
+  Sim.run net;
+  Alcotest.(check int) "all delivered" 100 (List.length !got);
+  Alcotest.(check bool) "some straggled" true (Sim.messages_reordered net > 0);
+  Alcotest.(check bool) "order broken" true (!got <> List.init 100 (fun i -> 100 - i))
+
+let test_crash_blackholes () =
+  let net = Sim.create ~nodes:2 ~delay:Sim.Unit () in
+  let got = ref 0 in
+  Sim.set_handler net (fun ~src:_ ~dst:_ _ -> incr got);
+  Sim.crash net 1;
+  Alcotest.(check bool) "down" false (Sim.is_up net 1);
+  Sim.send net ~src:0 ~dst:1 ();
+  (* in flight towards a down host *)
+  Sim.send net ~src:1 ~dst:0 ();
+  (* send from a down host *)
+  Sim.run net;
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "both lost to the crash" 2 (Sim.messages_lost_to_crashes net);
+  Alcotest.(check int) "one crash event" 1 (Sim.crash_events net)
+
+let test_crash_restart () =
+  let net = Sim.create ~nodes:2 ~delay:Sim.Unit () in
+  let got = ref 0 in
+  Sim.set_handler net (fun ~src:_ ~dst:_ _ -> incr got);
+  Sim.schedule net ~delay:1.0 (fun () -> Sim.crash net 1);
+  Sim.schedule net ~delay:5.0 (fun () -> Sim.restart net 1);
+  (* arrives at t=2.5: lost *)
+  Sim.schedule net ~delay:1.5 (fun () -> Sim.send net ~src:0 ~dst:1 ());
+  (* arrives at t=7: delivered *)
+  Sim.schedule net ~delay:6.0 (fun () -> Sim.send net ~src:0 ~dst:1 ());
+  Sim.run net;
+  Alcotest.(check bool) "back up" true (Sim.is_up net 1);
+  Alcotest.(check int) "post-restart delivery" 1 !got;
+  Alcotest.(check int) "outage loss" 1 (Sim.messages_lost_to_crashes net);
+  (* crash/restart are idempotent *)
+  Sim.restart net 1;
+  Sim.crash net 0;
+  Sim.crash net 0;
+  Alcotest.(check int) "idempotent crash counted once" 2 (Sim.crash_events net)
 
 let test_trace () =
   let net = Sim.create ~nodes:2 ~delay:Sim.Unit () in
@@ -155,6 +204,9 @@ let suite =
     Alcotest.test_case "drop faults" `Quick test_drop_faults;
     Alcotest.test_case "duplicate faults" `Quick test_duplicate_faults;
     Alcotest.test_case "partial drop rate" `Quick test_partial_drop_rate;
+    Alcotest.test_case "reorder faults" `Quick test_reorder_faults;
+    Alcotest.test_case "crash blackholes" `Quick test_crash_blackholes;
+    Alcotest.test_case "crash restart" `Quick test_crash_restart;
     Alcotest.test_case "trace" `Quick test_trace;
     Alcotest.test_case "send range check" `Quick test_send_range_check;
     Alcotest.test_case "no handler fails" `Quick test_no_handler_fails;

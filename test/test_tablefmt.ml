@@ -49,9 +49,29 @@ let test_cells () =
   Alcotest.(check string) "icell" "42" (Tbl.icell 42);
   Alcotest.(check string) "pct" "12.5%" (Tbl.pct 0.125)
 
+let test_to_json () =
+  let t = Tbl.create ~title:"E0 \"demo\"" [ ("name", Tbl.Left); ("n", Tbl.Right); ("sat", Tbl.Right) ] in
+  Tbl.add_row t [ "gnm"; "100"; "51.7%" ];
+  Tbl.add_separator t;
+  Tbl.add_row t [ "grid"; "64"; "0.4000" ];
+  let j = Tbl.to_json t in
+  let contains sub =
+    let n = String.length sub in
+    let rec go i = i + n <= String.length j && (String.sub j i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "title escaped" true (contains "\"title\": \"E0 \\\"demo\\\"\"");
+  Alcotest.(check bool) "columns listed" true (contains "\"columns\": [\"name\", \"n\", \"sat\"]");
+  Alcotest.(check bool) "ints bare" true (contains "\"n\": 100");
+  Alcotest.(check bool) "percent becomes ratio" true (contains "\"sat\": 0.517");
+  Alcotest.(check bool) "floats bare" true (contains "\"sat\": 0.4000");
+  Alcotest.(check bool) "strings quoted" true (contains "\"name\": \"gnm\"");
+  Alcotest.(check bool) "separator dropped" true (not (contains "---"))
+
 let suite =
   [
     Alcotest.test_case "render shape" `Quick test_render_shape;
+    Alcotest.test_case "to_json" `Quick test_to_json;
     Alcotest.test_case "arity error" `Quick test_arity_error;
     Alcotest.test_case "alignment" `Quick test_alignment;
     Alcotest.test_case "separator and rows" `Quick test_separator_and_rows;

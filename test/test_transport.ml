@@ -1,0 +1,155 @@
+module Sim = Owp_simnet.Simnet
+module Tr = Owp_simnet.Transport
+
+(* [mk ?config ?fifo ?faults nodes] builds a net + transport pair that
+   records deliveries per directed link, in arrival order *)
+let mk ?config ?(fifo = true) ?(faults = Sim.no_faults) ?(seed = 3) nodes =
+  let net = Sim.create ~seed ~fifo ~faults ~nodes ~delay:(Sim.Uniform (0.5, 1.5)) () in
+  let got : (int * int, int list ref) Hashtbl.t = Hashtbl.create 8 in
+  let dead = ref [] in
+  let tr =
+    Tr.create ?config net
+      ~on_deliver:(fun ~src ~dst m ->
+        let cell =
+          match Hashtbl.find_opt got (src, dst) with
+          | Some c -> c
+          | None ->
+              let c = ref [] in
+              Hashtbl.replace got (src, dst) c;
+              c
+        in
+        cell := m :: !cell)
+      ~on_peer_dead:(fun ~node ~peer -> dead := (node, peer) :: !dead)
+  in
+  let link src dst =
+    match Hashtbl.find_opt got (src, dst) with
+    | Some c -> List.rev !c
+    | None -> []
+  in
+  (net, tr, link, dead)
+
+let test_clean_channel () =
+  let net, tr, link, dead = mk 2 in
+  for i = 1 to 20 do
+    Tr.send tr ~src:0 ~dst:1 i
+  done;
+  Sim.run net;
+  Alcotest.(check (list int)) "in order, once" (List.init 20 (fun i -> i + 1)) (link 0 1);
+  Alcotest.(check int) "no retransmissions" 0 (Tr.retransmissions tr);
+  Alcotest.(check int) "one data frame per payload" 20 (Tr.data_sent tr);
+  Alcotest.(check bool) "acks flowed" true (Tr.acks_sent tr > 0);
+  Alcotest.(check (list (pair int int))) "nobody dead" [] !dead
+
+let test_masks_loss () =
+  let faults = Sim.faults ~drop:0.5 () in
+  let net, tr, link, dead = mk ~faults 2 in
+  for i = 1 to 50 do
+    Tr.send tr ~src:0 ~dst:1 i
+  done;
+  Sim.run net;
+  Alcotest.(check (list int)) "all 50 despite 50% loss" (List.init 50 (fun i -> i + 1))
+    (link 0 1);
+  Alcotest.(check bool) "loss actually happened" true (Sim.messages_dropped net > 0);
+  Alcotest.(check bool) "recovered by retransmission" true (Tr.retransmissions tr > 0);
+  Alcotest.(check (list (pair int int))) "nobody dead" [] !dead
+
+let test_masks_duplication () =
+  let faults = Sim.faults ~duplicate:1.0 () in
+  let net, tr, link, _ = mk ~faults 2 in
+  for i = 1 to 30 do
+    Tr.send tr ~src:0 ~dst:1 i
+  done;
+  Sim.run net;
+  Alcotest.(check (list int)) "exactly once" (List.init 30 (fun i -> i + 1)) (link 0 1);
+  Alcotest.(check bool) "dedup did work" true (Tr.duplicates_suppressed tr > 0)
+
+let test_masks_reordering () =
+  let faults = Sim.faults ~reorder:0.4 () in
+  let net, tr, link, _ = mk ~fifo:false ~faults 2 in
+  for i = 1 to 40 do
+    Tr.send tr ~src:0 ~dst:1 i
+  done;
+  Sim.run net;
+  Alcotest.(check (list int)) "reassembled in order" (List.init 40 (fun i -> i + 1))
+    (link 0 1)
+
+let test_give_up () =
+  (* a fully severed link: the sender must not retry forever *)
+  let config = { Tr.default_config with rto_initial = 1.0; max_retries = 3 } in
+  let faults = Sim.faults ~drop:1.0 () in
+  let net, tr, link, dead = mk ~config ~faults 2 in
+  Tr.send tr ~src:0 ~dst:1 99;
+  Sim.run net;
+  Alcotest.(check (list int)) "nothing arrives" [] (link 0 1);
+  Alcotest.(check (list (pair int int))) "peer declared dead once" [ (0, 1) ] !dead;
+  Alcotest.(check bool) "queryable" true (Tr.peer_dead tr ~node:0 ~peer:1);
+  Alcotest.(check int) "counted" 1 (Tr.peers_declared_dead tr);
+  (* sends to a dead peer are discarded, not retried *)
+  let sent = Tr.data_sent tr in
+  Tr.send tr ~src:0 ~dst:1 100;
+  Sim.run net;
+  Alcotest.(check int) "discarded" sent (Tr.data_sent tr)
+
+let test_crash_restart_epochs () =
+  let config = { Tr.default_config with rto_initial = 1.0; max_retries = 4 } in
+  let net = Sim.create ~seed:1 ~nodes:2 ~delay:Sim.Unit () in
+  let got = ref [] and dead = ref [] in
+  let tr_box = ref None in
+  let tr =
+    Tr.create ~config net
+      ~on_deliver:(fun ~src ~dst:_ m -> got := (src, m) :: !got)
+      ~on_peer_dead:(fun ~node ~peer -> dead := (node, peer) :: !dead)
+  in
+  tr_box := Some tr;
+  Tr.send tr ~src:0 ~dst:1 1;
+  (* delivered at t=1 *)
+  Sim.schedule net ~delay:2.0 (fun () -> Sim.crash net 1);
+  Sim.schedule net ~delay:3.5 (fun () -> Tr.send tr ~src:0 ~dst:1 2);
+  (* lost at t=4.5: node 1 is down *)
+  Sim.schedule net ~delay:6.0 (fun () ->
+      Sim.restart net 1;
+      Tr.restart_node tr 1);
+  (* the restarted incarnation opens a fresh stream: its higher epoch
+     resets the peer's receive state *)
+  Sim.schedule net ~delay:7.0 (fun () -> Tr.send tr ~src:1 ~dst:0 3);
+  Sim.run net;
+  let from0 = List.rev_map snd (List.filter (fun (s, _) -> s = 0) !got) in
+  let from1 = List.rev_map snd (List.filter (fun (s, _) -> s = 1) !got) in
+  Alcotest.(check (list int)) "pre-crash delivery only" [ 1 ] from0;
+  Alcotest.(check (list int)) "post-restart stream works" [ 3 ] from1;
+  (* payload 2 can never be delivered (the amnesiac receiver restarts
+     its sequence space): the sender gives up rather than spin *)
+  Alcotest.(check (list (pair int int))) "stuck link declared dead" [ (0, 1) ] !dead
+
+let prop_exactly_once_in_order =
+  (* the tentpole property: under any tested mix of loss, duplication
+     and reordering, every directed link delivers exactly the sent
+     sequence, in order *)
+  QCheck2.Test.make ~name:"transport: exactly-once in-order under faults" ~count:60
+    QCheck2.Gen.(
+      tup4 (int_range 0 10_000) (int_range 0 2) (int_range 0 1) bool)
+    (fun (seed, di, dupi, fifo) ->
+      let drop = [| 0.0; 0.2; 0.4 |].(di) in
+      let dup = [| 0.0; 0.3 |].(dupi) in
+      let faults = Sim.faults ~drop ~duplicate:dup ~reorder:0.2 () in
+      let net, tr, link, dead = mk ~seed ~fifo ~faults 3 in
+      let links = [ (0, 1); (1, 0); (1, 2); (2, 0) ] in
+      for i = 1 to 15 do
+        List.iter (fun (s, d) -> Tr.send tr ~src:s ~dst:d i) links
+      done;
+      Sim.run net;
+      !dead = []
+      && List.for_all
+           (fun (s, d) -> link s d = List.init 15 (fun i -> i + 1))
+           links)
+
+let suite =
+  [
+    Alcotest.test_case "clean channel" `Quick test_clean_channel;
+    Alcotest.test_case "masks loss" `Quick test_masks_loss;
+    Alcotest.test_case "masks duplication" `Quick test_masks_duplication;
+    Alcotest.test_case "masks reordering" `Quick test_masks_reordering;
+    Alcotest.test_case "bounded retries give up" `Quick test_give_up;
+    Alcotest.test_case "crash/restart epochs" `Quick test_crash_restart_epochs;
+    QCheck_alcotest.to_alcotest prop_exactly_once_in_order;
+  ]
