@@ -6,7 +6,7 @@
      owp run         build an overlay matching with a chosen algorithm
      owp verify      check a saved matching against a graph and quota
      owp check       run the invariant checkers / interleaving explorer
-     owp experiment  regenerate a paper experiment table (E0..E21)
+     owp experiment  regenerate a paper experiment table (E0..E22)
      owp list        list available experiments *)
 
 open Cmdliner
@@ -248,11 +248,76 @@ let run_reliable inst ~seed ~fifo ~faults ~crash ~patience save =
   (match save with None -> () | Some path -> save_matching inst r.Lrel.matching path);
   if r.Lrel.all_terminated then 0 else 1
 
+(* --byzantine SPEC [--guard]: LID with adversary-controlled peers; the
+   exit code reflects the bounded-damage verdict so CI can gate on it *)
+let run_byzantine inst ~seed ~guard spec =
+  let module LB = Owp_core.Lid_byzantine in
+  let module Adversary = Owp_simnet.Adversary in
+  let prefs = inst.Owp_bench.Workloads.prefs in
+  let n = Graph.node_count inst.Owp_bench.Workloads.graph in
+  let rng = Owp_util.Prng.create (seed lxor 0xB12) in
+  match
+    let models = Adversary.parse_spec spec in
+    Adversary.assign rng ~n models
+  with
+  | exception Invalid_argument msg ->
+      Printf.eprintf "run: --byzantine %s: %s\n" spec msg;
+      2
+  | adversaries ->
+  let r = LB.run ~seed ~guard ~adversaries prefs in
+  let retained = LB.satisfaction_of_correct prefs r in
+  let reference = LB.reference_satisfaction prefs ~correct:r.LB.correct in
+  Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
+  Printf.printf "adversaries         : %s (%d of %d peers)\n" spec r.LB.byz_count n;
+  Printf.printf "guard               : %s\n" (if guard then "on" else "off (baseline)");
+  Printf.printf "links established   : %d (correct-correct)\n"
+    (Owp_matching.Bmatching.size r.LB.matching);
+  Printf.printf "satisfaction        : %.4f retained of %.4f crash-only ideal (%.1f%%)\n"
+    retained reference
+    (if reference = 0.0 then 100.0 else 100.0 *. retained /. reference);
+  Printf.printf "protocol messages   : %d PROP + %d REJ + %d adversarial\n"
+    r.LB.prop_count r.LB.rej_count r.LB.adversary_msgs;
+  Printf.printf "quarantines         : %d (%d false), %d of %d offenders caught\n"
+    r.LB.quarantine_events r.LB.false_quarantines r.LB.byz_quarantined
+    r.LB.byz_offenders;
+  if r.LB.offence_counts <> [] then
+    Printf.printf "offences            : %s\n"
+      (String.concat ", "
+         (List.map (fun (k, c) -> Printf.sprintf "%s x%d" k c) r.LB.offence_counts));
+  Printf.printf "wasted slots        : %d (locked towards Byzantine peers)\n"
+    r.LB.wasted_slots;
+  Printf.printf "give-ups            : %d synthetic REJ over %d quiet round(s)\n"
+    r.LB.synthetic_rejects r.LB.quiet_rounds;
+  Printf.printf "correct terminated  : %b%s\n" r.LB.all_correct_terminated
+    (match r.LB.unterminated with
+    | [] -> ""
+    | stuck ->
+        Printf.sprintf " (stuck: %s)"
+          (String.concat " " (List.map string_of_int stuck)));
+  (match r.LB.damage with
+  | [] ->
+      print_endline
+        "bounded damage      : certified (termination, feasibility, relativized \
+         Lemma 6)"
+  | vs ->
+      Printf.printf "bounded damage      : %d violation(s)\n" (List.length vs);
+      Format.printf "%a@." Owp_check.Violation.pp_list vs);
+  if r.LB.all_correct_terminated && r.LB.damage = [] then 0 else 1
+
 let run_overlay seed family n quota model algo graph_file save reliable drop dup reorder
-    no_fifo crash patience =
+    no_fifo crash patience byzantine guard =
   let inst = build_instance seed family n quota model graph_file in
   let have_faults = drop > 0.0 || dup > 0.0 || reorder > 0.0 || crash > 0.0 in
-  if reliable then
+  if byzantine <> None then begin
+    if reliable || have_faults then begin
+      Printf.eprintf
+        "run: --byzantine models adversarial peers on a fault-free network; it \
+         cannot be combined with --reliable or channel-fault flags\n";
+      2
+    end
+    else run_byzantine inst ~seed ~guard (Option.get byzantine)
+  end
+  else if reliable then
     let faults = Owp_simnet.Simnet.faults ~drop ~duplicate:dup ~reorder () in
     run_reliable inst ~seed ~fifo:(not no_fifo) ~faults ~crash ~patience save
   else if have_faults then begin
@@ -277,10 +342,14 @@ let run_overlay seed family n quota model algo graph_file save reliable drop dup
     (match out.Owp_core.Pipeline.guarantee with
     | Some b -> Printf.printf "satisfaction bound  : %.4f of optimum (Theorem 3)\n" b
     | None -> ());
+    (match out.Owp_core.Pipeline.quiesced with
+    | Some q -> Printf.printf "quiesced            : %b\n" q
+    | None -> ());
     (match save with
     | None -> ()
     | Some path -> save_matching inst out.Owp_core.Pipeline.matching path);
-    0
+    (* a LID run that failed to quiesce is a failure, not a report *)
+    match out.Owp_core.Pipeline.quiesced with Some false -> 1 | _ -> 0
   end
 
 (* fault-model flags, shared by `run` and `check` *)
@@ -332,6 +401,27 @@ let patience_arg =
            (virtual time; default: off, which preserves exactness under pure channel \
            faults).")
 
+let byzantine_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "byzantine" ] ~docv:"SPEC"
+        ~doc:
+          "Hand a random node subset to adversary behaviours: \
+           $(i,MODEL:FRAC[,MODEL:FRAC...]) with models liar, equivocator, \
+           flooder, replayer, violator (e.g. $(b,liar:0.2)).  Runs LID with \
+           the remaining correct peers and reports the bounded-damage verdict.")
+
+let guard_arg =
+  Arg.(
+    value & flag
+    & info [ "guard" ]
+        ~doc:
+          "Enable the inbound protocol guard: advert vetting against the \
+           public 1/b weight bound, per-link state-machine validation, \
+           flood limits, and quarantine of offenders (with $(b,--byzantine); \
+           without it the run is the vulnerable baseline).")
+
 let run_cmd =
   let algo =
     Arg.(
@@ -350,7 +440,7 @@ let run_cmd =
     Term.(
       const run_overlay $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg $ algo
       $ graph_file $ save $ reliable_arg $ drop_arg $ dup_arg $ reorder_arg $ no_fifo_arg
-      $ crash_arg $ patience_arg)
+      $ crash_arg $ patience_arg $ byzantine_arg $ guard_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)
@@ -459,11 +549,72 @@ let check_explore inst max_configs max_link_failures =
     end
   end
 
-let check_cmdline seed family n quota model algo graph_file matching_file explore
-    max_configs drops reliable drop dup reorder no_fifo crash patience =
-  let inst = build_instance seed family n quota model graph_file in
-  if explore then check_explore inst max_configs drops
+(* check --list: every diagnostic the suite can run, with one-line docs *)
+let check_list () =
+  print_endline "structural checkers (owp check, owp check --matching):";
+  List.iter
+    (fun c ->
+      Printf.printf "  %-22s %s\n" c.Owp_check.Checker.name c.Owp_check.Checker.doc)
+    Owp_check.Checker.all;
+  print_endline "interleaving explorer (owp check --explore):";
+  List.iter
+    (fun (name, doc) -> Printf.printf "  %-22s %s\n" name doc)
+    [
+      ("explore-termination", "every FIFO schedule quiesces (Lemma 5)");
+      ("explore-divergence", "the locked edge set is schedule-independent (Lemma 6)");
+      ("explore-truncated", "the state-space bound was hit before exhaustion");
+    ];
+  print_endline "byzantine runs (owp check --byzantine, --explore --byzantine):";
+  Printf.printf "  %-22s %s\n" Owp_check.Byzantine.name Owp_check.Byzantine.doc;
+  0
+
+(* check --explore --byzantine: model-check the bounded-damage claim
+   with one Byzantine node, quantified over every node choice, every
+   injection interleaving, and every delivery order *)
+let check_explore_byzantine inst ~guard max_configs =
+  let module LB = Owp_core.Lid_byzantine in
+  let n = Graph.node_count inst.Owp_bench.Workloads.graph in
+  if n > 4 then begin
+    Printf.eprintf
+      "check --explore --byzantine enumerates every schedule x injection \
+       interleaving; instances must have n <= 4 (got n = %d)\n"
+      n;
+    2
+  end
   else begin
+    let prefs = inst.Owp_bench.Workloads.prefs in
+    let failed = ref 0 in
+    for byz = 0 to n - 1 do
+      let verdict = LB.verify_exhaustively ~guard ~max_configs ~byz prefs in
+      let nv = List.length verdict.Explore.violations in
+      Printf.printf
+        "byzantine node %d    : %d configuration(s), %d schedule(s), %d violation(s)\n"
+        byz verdict.Explore.stats.Explore.configurations
+        verdict.Explore.stats.Explore.schedules nv;
+      if nv > 0 then begin
+        incr failed;
+        Format.printf "%a@." Owp_check.Violation.pp_list verdict.Explore.violations
+      end
+    done;
+    Printf.printf "bounded damage      : %s (guard %s)\n"
+      (if !failed = 0 then "certified on every interleaving" else "VIOLATED")
+      (if guard then "on" else "off");
+    if !failed = 0 then 0 else 1
+  end
+
+let check_cmdline seed family n quota model algo graph_file matching_file explore
+    max_configs drops reliable drop dup reorder no_fifo crash patience byzantine guard
+    list =
+  if list then check_list ()
+  else begin
+  let inst = build_instance seed family n quota model graph_file in
+  if explore && byzantine <> None then check_explore_byzantine inst ~guard max_configs
+  else if byzantine <> None then run_byzantine inst ~seed ~guard (Option.get byzantine)
+  else if explore then check_explore inst max_configs drops
+  else begin
+    (* a reliable run that never converged must fail even if the locked
+       subset happens to satisfy the structural invariants *)
+    let converged = ref true in
     let report =
       match matching_file with
       | Some path ->
@@ -493,6 +644,7 @@ let check_cmdline seed family n quota model algo graph_file matching_file explor
           in
           Printf.printf "converged           : %b\n"
             r.Owp_core.Lid_reliable.all_terminated;
+          converged := r.Owp_core.Lid_reliable.all_terminated;
           Checker.run
             (Checker.instance
                ~prefs:inst.Owp_bench.Workloads.prefs
@@ -511,12 +663,13 @@ let check_cmdline seed family n quota model algo graph_file matching_file explor
     print_string (Checker.report_to_string report);
     if Checker.ok report then begin
       print_endline "all invariants hold";
-      0
+      if !converged then 0 else 1
     end
     else begin
       Printf.printf "%d invariant violation(s)\n" (Checker.violation_count report);
       1
     end
+  end
   end
 
 let check_cmd =
@@ -568,13 +721,20 @@ let check_cmd =
       & opt (some file) None
       & info [ "graph" ] ~docv:"FILE" ~doc:"Use an edge-list file instead of generating.")
   in
+  let list =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List every registered checker with its one-line description and exit.")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:"Run the structural invariant checkers or the interleaving explorer")
     Term.(
       const check_cmdline $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg $ algo
       $ graph_file $ matching_file $ explore $ max_configs $ drops $ reliable_arg
-      $ drop_arg $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg)
+      $ drop_arg $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg
+      $ byzantine_arg $ guard_arg $ list)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                           *)

@@ -22,6 +22,7 @@ let all =
     E19_anytime.exp;
     E20_coverage.exp;
     E21_reliable.exp;
+    E22_byzantine.exp;
   ]
 
 let find id =

@@ -1,0 +1,51 @@
+(** Bounded-damage certificate for LID runs with Byzantine peers.
+
+    With at most [f] Byzantine peers and the guard enabled, the claim
+    (paper §7 "disruptive nodes", hardened here) is that damage stays
+    bounded:
+
+    {ol
+    {- {b Termination}: every correct peer terminates (Lemma 5
+       relativized — synthetic REJs release any obligation a Byzantine
+       peer refuses to answer).}
+    {- {b Feasibility}: no correct peer holds more locks than its
+       capacity [b_i], counting {e all} its locks — including slots a
+       Byzantine peer tricked it into wasting.}
+    {- {b Relativized local heaviness (Lemma 6 relativized)}: the
+       matching restricted to correct peers is locally heaviest on the
+       failure-free correct subgraph.  A correct-correct edge left
+       unmatched may only be blocked at an endpoint that either has
+       residual capacity or prefers the edge to one of its
+       correct-correct locks.  Slots consumed by Byzantine partners are
+       {e exempt} from the challenge: locking a Byzantine peer that
+       played its link honestly was locally correct behaviour, and the
+       wasted slot is exactly the damage an [f]-bounded adversary is
+       allowed.}}
+
+    The checker certifies a single terminal state; quarantine precision
+    (no correct peer quarantined when channels are failure-free) is a
+    property of the {e run} and is asserted by the driver's report, not
+    here. *)
+
+type instance = {
+  weights : Weights.t;  (** true symmetric weights (eq. 9) *)
+  capacity : int array;
+  correct : bool array;  (** [correct.(i)] iff node [i] is not Byzantine *)
+  edges : int list;  (** the matching restricted to correct peers *)
+  consumed : int array;
+      (** per-node total locked slots, Byzantine partners included
+          (|K_i|); only correct nodes' entries are inspected *)
+  unterminated : int list;  (** correct nodes that failed to quiesce *)
+}
+
+val name : string
+(** ["byzantine-damage"], the checker name used in violation reports. *)
+
+val doc : string
+(** One-line description for checker listings. *)
+
+val check : instance -> Violation.t list
+(** Empty iff the terminal state satisfies the bounded-damage
+    guarantee.  Violations are tagged [byzantine-termination],
+    [byzantine-feasibility], [byzantine-restriction] and
+    [byzantine-blocking-pair]. *)

@@ -12,6 +12,8 @@ type ('s, 'm) protocol = {
   give_up : ('s -> self:int -> peer:int -> 'm send list) option;
 }
 
+type 'm adversary = { byz : int; injections : 'm send list; budget : int }
+
 type stats = {
   configurations : int;
   schedules : int;
@@ -45,13 +47,15 @@ exception Truncated
 
 let unordered (a, b) = if a <= b then (a, b) else (b, a)
 
-let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) p =
+let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) ?adversary
+    ?on_terminal p =
   if max_link_failures > 0 && p.give_up = None then
     invalid_arg "Explore.explore: link failures require a give_up transition";
   let memo : (string, int) Hashtbl.t = Hashtbl.create 4096 in
   let obs_seen = Hashtbl.create 8 in
   let obs_order = ref [] in
   let deadlock_sets = Hashtbl.create 4 in
+  let terminal_violations = Hashtbl.create 8 in
   let dedup_hits = ref 0 in
   let max_in_flight = ref 0 in
   (* queues hold only non-empty message lists, head = next delivery;
@@ -64,7 +68,7 @@ let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) p =
         (function None -> Some [ s.payload ] | Some l -> Some (l @ [ s.payload ]))
         q
   in
-  let config_key st q dead budget =
+  let config_key st q dead budget abudget =
     let b = Buffer.create 128 in
     Buffer.add_string b (p.fingerprint st);
     Buffer.add_char b '#';
@@ -81,6 +85,10 @@ let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) p =
           msgs;
         Buffer.add_char b ';')
       q;
+    if adversary <> None then begin
+      Buffer.add_char b '@';
+      Buffer.add_string b (string_of_int abudget)
+    end;
     if max_link_failures > 0 then begin
       Buffer.add_char b '!';
       Buffer.add_string b (string_of_int budget);
@@ -95,26 +103,78 @@ let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) p =
     Buffer.contents b
   in
   let in_flight q = LinkMap.fold (fun _ l acc -> acc + List.length l) q 0 in
-  let rec go st q dead budget =
-    let key = config_key st q dead budget in
+  let terminal st =
+    if not (p.quiesced st) then begin
+      let ss = p.stragglers st in
+      if not (Hashtbl.mem deadlock_sets ss) then Hashtbl.add deadlock_sets ss ()
+    end;
+    let ob = p.observe st in
+    if not (Hashtbl.mem obs_seen ob) then begin
+      Hashtbl.add obs_seen ob ();
+      obs_order := ob :: !obs_order
+    end;
+    (match on_terminal with
+    | Some f -> List.iter (fun v -> Hashtbl.replace terminal_violations v ()) (f st)
+    | None -> ());
+    1
+  in
+  let rec go st q dead budget abudget =
+    let key = config_key st q dead budget abudget in
     match Hashtbl.find_opt memo key with
     | Some c ->
         incr dedup_hits;
         c
     | None ->
         if Hashtbl.length memo >= max_configs then raise Truncated;
+        let inject acc =
+          (* the adversary may spend injection budget at any moment;
+             each repertoire message is one branch *)
+          match adversary with
+          | Some adv when abudget > 0 && not (p.quiesced st) ->
+              List.fold_left
+                (fun acc inj ->
+                  sat_add acc (go st (enqueue dead q inj) dead budget (abudget - 1)))
+                acc adv.injections
+          | _ -> acc
+        in
         let count =
           if LinkMap.is_empty q then begin
-            if not (p.quiesced st) then begin
-              let ss = p.stragglers st in
-              if not (Hashtbl.mem deadlock_sets ss) then Hashtbl.add deadlock_sets ss ()
-            end;
-            let ob = p.observe st in
-            if not (Hashtbl.mem obs_seen ob) then begin
-              Hashtbl.add obs_seen ob ();
-              obs_order := ob :: !obs_order
-            end;
-            1
+            (* an idle network: either everyone terminated, or the stuck
+               nodes run their quiet-network give-up round towards the
+               Byzantine node (the idealized failure-detector the guarded
+               driver implements), or the adversary speaks up again *)
+            let quiet_moves =
+              if p.quiesced st then []
+              else
+                match (adversary, p.give_up) with
+                | Some adv, Some give_up ->
+                    let st' = p.copy st in
+                    let sends =
+                      List.concat_map
+                        (fun s -> give_up st' ~self:s ~peer:adv.byz)
+                        (p.stragglers st)
+                    in
+                    if sends = [] && p.fingerprint st' = p.fingerprint st then []
+                    else [ (st', sends) ]
+                | _ -> []
+            in
+            if p.quiesced st then terminal st
+            else begin
+              (* the adversary staying silent forever is always one of
+                 the explored strategies: it leads into the quiet-round
+                 recovery when the protocol has one, and to a genuine
+                 (recorded) deadlock when it does not *)
+              let c0 =
+                if quiet_moves = [] then terminal st
+                else
+                  List.fold_left
+                    (fun acc (st', sends) ->
+                      let q' = List.fold_left (enqueue dead) LinkMap.empty sends in
+                      sat_add acc (go st' q' dead budget abudget))
+                    0 quiet_moves
+              in
+              inject c0
+            end
           end
           else begin
             max_in_flight := max !max_in_flight (in_flight q);
@@ -131,9 +191,10 @@ let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) p =
                         else LinkMap.add (src, dst) rest q
                       in
                       let q' = List.fold_left (enqueue dead) q' sends in
-                      sat_add acc (go st' q' dead budget))
+                      sat_add acc (go st' q' dead budget abudget))
                 q 0
             in
+            let deliveries = inject deliveries in
             (* adversarial link failure: the in-flight head of (src, dst)
                is lost for good and retries are exhausted, killing the
                link.  Loss of the data direction also starves the reverse
@@ -153,7 +214,7 @@ let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) p =
                     let at_dst = give_up st' ~self:dst ~peer:src in
                     let sends = at_src @ at_dst in
                     let q' = List.fold_left (enqueue dead') q' sends in
-                    sat_add acc (go st' q' dead' (budget - 1))
+                    sat_add acc (go st' q' dead' (budget - 1) abudget)
                   end)
                 q deliveries
             else deliveries
@@ -164,8 +225,9 @@ let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) p =
   in
   let st0, sends0 = p.init () in
   let q0 = List.fold_left (enqueue PairSet.empty) LinkMap.empty sends0 in
+  let abudget0 = match adversary with Some a -> a.budget | None -> 0 in
   let schedules, truncated =
-    match go st0 q0 PairSet.empty max_link_failures with
+    match go st0 q0 PairSet.empty max_link_failures abudget0 with
     | n -> (n, false)
     | exception Truncated -> (0, true)
   in
@@ -188,13 +250,15 @@ let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) p =
             :: !violations)
         stragglers)
     deadlock_sets;
+  Hashtbl.iter (fun v () -> violations := v :: !violations) terminal_violations;
   let observations = List.rev !obs_order in
-  (* with adversarial link failures the terminal edge set legitimately
-     depends on which links died; schedule-independence (Lemma 6) is
-     only demanded of the failure-free search *)
+  (* with adversarial link failures or a Byzantine node the terminal
+     edge set legitimately depends on which links died / what the
+     adversary chose to say; schedule-independence (Lemma 6) is only
+     demanded of the failure-free honest search *)
   (match observations with
   | [] | [ _ ] -> ()
-  | _ when max_link_failures > 0 -> ()
+  | _ when max_link_failures > 0 || adversary <> None -> ()
   | many ->
       violations :=
         Violation.v ~checker:"explore-divergence" Violation.Global

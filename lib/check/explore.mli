@@ -51,6 +51,26 @@ type ('s, 'm) protocol = {
           [None] disables adversarial link-failure exploration. *)
 }
 
+type 'm adversary = {
+  byz : int;  (** the node the adversary controls *)
+  injections : 'm send list;
+      (** its repertoire: messages it may put on the wire, from any
+          [src = byz] towards any destination (stranger sends included);
+          each injection spends one unit of [budget] *)
+  budget : int;  (** total number of injections across a schedule *)
+}
+(** A Byzantine node under exhaustive exploration.  The node's honest
+    state machine is disabled by the protocol wrapper (deliveries to it
+    are no-ops), and in exchange the explorer branches, at {e every}
+    configuration, on each repertoire message the adversary might send
+    next — so all interleavings of up to [budget] adversarial sends with
+    ordinary deliveries are covered, including the strategy of staying
+    silent forever.  When the network idles with stuck correct nodes,
+    the protocol's [give_up] transition is applied towards [byz] for
+    every straggler (the quiet-network failure-detector round the
+    guarded driver implements); without a [give_up] the stuck
+    configuration is recorded as a termination violation. *)
+
 type stats = {
   configurations : int;  (** distinct configurations explored *)
   schedules : int;  (** complete FIFO schedules covered (saturating) *)
@@ -72,7 +92,13 @@ type verdict = {
 val schedule_cap : int
 (** Saturation bound for the schedule count. *)
 
-val explore : ?max_configs:int -> ?max_link_failures:int -> ('s, 'm) protocol -> verdict
+val explore :
+  ?max_configs:int ->
+  ?max_link_failures:int ->
+  ?adversary:'m adversary ->
+  ?on_terminal:('s -> Violation.t list) ->
+  ('s, 'm) protocol ->
+  verdict
 (** Exhaustively explore all FIFO interleavings.  [max_configs]
     (default 2_000_000) bounds the transposition table; exceeding it
     yields a [truncated] verdict with a violation rather than an
@@ -88,6 +114,15 @@ val explore : ?max_configs:int -> ?max_link_failures:int -> ('s, 'm) protocol ->
     schedule; outcome uniqueness (Lemma 6) is only demanded when
     [max_link_failures = 0], because the surviving edge set legitimately
     depends on which links died.
+
+    [adversary], when given, arms a Byzantine node (see {!type-adversary});
+    outcome uniqueness is then also waived, since the terminal edge set
+    legitimately depends on what the adversary said.  [on_terminal st]
+    is evaluated at every terminal configuration (clean or deadlocked)
+    and its violations — deduplicated across schedules — are added to
+    the verdict; this is how per-terminal-state certificates like the
+    bounded-damage check ({!Byzantine}) are quantified over all
+    interleavings.
     @raise Invalid_argument if [max_link_failures > 0] and the protocol
     has no [give_up] transition. *)
 

@@ -1,0 +1,190 @@
+type offence =
+  | Stranger
+  | Duplicate_prop
+  | Duplicate_rej
+  | Prop_after_rej
+  | Rej_after_prop
+  | Stale_epoch
+  | Overclaim
+  | Claim_mismatch
+  | Flood
+
+let offence_name = function
+  | Stranger -> "stranger"
+  | Duplicate_prop -> "duplicate-prop"
+  | Duplicate_rej -> "duplicate-rej"
+  | Prop_after_rej -> "prop-after-rej"
+  | Rej_after_prop -> "rej-after-prop"
+  | Stale_epoch -> "stale-epoch"
+  | Overclaim -> "overclaim"
+  | Claim_mismatch -> "claim-mismatch"
+  | Flood -> "flood"
+
+type body = Prop of { claim : float } | Rej
+
+type msg = { epoch : int; body : body }
+
+type config = {
+  epoch : int;
+  quarantine_threshold : float;
+  flood_limit : int;
+  tolerance : float;
+}
+
+let default_config =
+  { epoch = 0; quarantine_threshold = 1.0; flood_limit = 8; tolerance = 1e-9 }
+
+type verdict = { accept : bool; offence : offence option; quarantine : bool }
+
+type peer_state = {
+  mutable got_prop : bool;  (** an accepted PROP arrived on this link *)
+  mutable got_rej : bool;  (** an accepted REJ arrived on this link *)
+  mutable msgs : int;  (** messages seen from this peer (pre-quarantine) *)
+  mutable advert : float option;  (** pinned half-weight advertisement *)
+  mutable score : float;
+  mutable quarantined : bool;
+}
+
+type t = {
+  config : config;
+  bound : int -> float;
+  me : int;
+  neighbours : (int, unit) Hashtbl.t;
+  peers : (int, peer_state) Hashtbl.t;
+  mutable log : (int * offence) list;  (** newest first *)
+}
+
+let create ?(config = default_config) ?(bound = fun _ -> infinity) ~graph ~me () =
+  let neighbours = Hashtbl.create 16 in
+  Array.iter (fun (v, _) -> Hashtbl.replace neighbours v ()) (Graph.neighbors graph me);
+  { config; bound; me; neighbours; peers = Hashtbl.create 16; log = [] }
+
+let peer_state t peer =
+  match Hashtbl.find_opt t.peers peer with
+  | Some ps -> ps
+  | None ->
+      let ps =
+        {
+          got_prop = false;
+          got_rej = false;
+          msgs = 0;
+          advert = None;
+          score = 0.0;
+          quarantined = false;
+        }
+      in
+      Hashtbl.replace t.peers peer ps;
+      ps
+
+let dropped = { accept = false; offence = None; quarantine = false }
+
+(* score the offence; the verdict says whether this very message crossed
+   the quarantine threshold, so the caller runs the escape hatch once *)
+let record t ps peer offence =
+  t.log <- (peer, offence) :: t.log;
+  ps.score <- ps.score +. 1.0;
+  let crossed = (not ps.quarantined) && ps.score >= t.config.quarantine_threshold in
+  if crossed then ps.quarantined <- true;
+  { accept = false; offence = Some offence; quarantine = crossed }
+
+let on_advert t ~peer ~claim =
+  let ps = peer_state t peer in
+  if ps.quarantined then dropped
+  else if not (Hashtbl.mem t.neighbours peer) then record t ps peer Stranger
+  else if claim > t.bound peer +. t.config.tolerance then record t ps peer Overclaim
+  else begin
+    match ps.advert with
+    | Some a when Float.abs (claim -. a) > t.config.tolerance ->
+        record t ps peer Claim_mismatch
+    | _ ->
+        if ps.advert = None then ps.advert <- Some claim;
+        { accept = true; offence = None; quarantine = false }
+  end
+
+let inspect t ~peer (m : msg) =
+  let ps = peer_state t peer in
+  if ps.quarantined then dropped
+  else begin
+    let offence =
+      if not (Hashtbl.mem t.neighbours peer) then Some Stranger
+      else if m.epoch <> t.config.epoch then Some Stale_epoch
+      else if ps.msgs >= t.config.flood_limit then Some Flood
+      else
+        match m.body with
+        | Prop { claim } ->
+            if ps.got_prop then Some Duplicate_prop
+            else if ps.got_rej then Some Prop_after_rej
+            else if claim > t.bound peer +. t.config.tolerance then Some Overclaim
+            else begin
+              match ps.advert with
+              | Some a when Float.abs (claim -. a) > t.config.tolerance ->
+                  Some Claim_mismatch
+              | _ -> None
+            end
+        | Rej ->
+            if ps.got_rej then Some Duplicate_rej
+            else if ps.got_prop then Some Rej_after_prop
+            else None
+    in
+    ps.msgs <- ps.msgs + 1;
+    match offence with
+    | Some o -> record t ps peer o
+    | None ->
+        (* link flags advance only on accepted messages: an offending
+           message never reached the state machine, so it cannot count
+           as the one legal message of its kind *)
+        (match m.body with
+        | Prop _ -> ps.got_prop <- true
+        | Rej -> ps.got_rej <- true);
+        { accept = true; offence = None; quarantine = false }
+  end
+
+let quarantined t ~peer =
+  match Hashtbl.find_opt t.peers peer with Some ps -> ps.quarantined | None -> false
+
+let quarantined_peers t =
+  Hashtbl.fold (fun p ps acc -> if ps.quarantined then p :: acc else acc) t.peers []
+  |> List.sort compare
+
+let score t ~peer =
+  match Hashtbl.find_opt t.peers peer with Some ps -> ps.score | None -> 0.0
+
+let offences t = List.rev t.log
+
+let offence_counts t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (_, o) ->
+      let k = offence_name o in
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k)))
+    t.log;
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) tbl [] |> List.sort compare
+
+let copy t =
+  let peers = Hashtbl.create (Hashtbl.length t.peers) in
+  Hashtbl.iter (fun p ps -> Hashtbl.replace peers p { ps with got_prop = ps.got_prop })
+    t.peers;
+  { t with peers; log = t.log }
+
+let fingerprint t =
+  let b = Buffer.create 64 in
+  let entries =
+    Hashtbl.fold (fun p ps acc -> (p, ps) :: acc) t.peers []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (p, ps) ->
+      (* untouched peers are indistinguishable from absent entries *)
+      if ps.got_prop || ps.got_rej || ps.msgs > 0 || ps.score > 0.0 || ps.quarantined
+      then begin
+        Buffer.add_string b (string_of_int p);
+        Buffer.add_char b (if ps.got_prop then 'P' else 'p');
+        Buffer.add_char b (if ps.got_rej then 'R' else 'r');
+        Buffer.add_char b (if ps.quarantined then 'Q' else 'q');
+        Buffer.add_string b (string_of_int ps.msgs);
+        Buffer.add_char b ':';
+        Buffer.add_string b (Printf.sprintf "%h" ps.score);
+        Buffer.add_char b ';'
+      end)
+    entries;
+  Buffer.contents b

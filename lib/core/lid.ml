@@ -72,15 +72,22 @@ let propose_next st emit i =
       (* the candidate may have proposed to us already *)
       if Hashtbl.mem s.a_set v then lock st emit i v
 
-let init w ~capacity =
+let init ?ranking w ~capacity =
   let g = Weights.graph w in
   let n = Graph.node_count g in
   Array.iter (fun b -> if b < 0 then invalid_arg "Lid.run: negative capacity") capacity;
   let quota = Array.mapi (fun i b -> min b (Graph.degree g i)) capacity in
-  let nodes =
-    Array.init n (fun i ->
+  let weight_list i =
+    match ranking with
+    | Some f -> Array.copy (f i)
+    | None ->
         let ws = Array.copy (Graph.neighbors g i) in
         Array.sort (fun (_, e) (_, f) -> Weights.compare_edges w f e) ws;
+        ws
+  in
+  let nodes =
+    Array.init n (fun i ->
+        let ws = weight_list i in
         let u_set = Hashtbl.create 16 in
         Array.iter (fun (v, _) -> Hashtbl.replace u_set v ()) ws;
         {
@@ -150,6 +157,11 @@ let deliver st ~src ~dst m =
 let quiesced st = Array.for_all (fun s -> s.finished) st.nodes
 
 let awaiting_reply st ~node ~peer = Hashtbl.mem st.nodes.(node).pending peer
+
+let locks st i =
+  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) st.nodes.(i).k_set [])
+
+let node_finished st i = st.nodes.(i).finished
 
 let unterminated_nodes st =
   let out = ref [] in

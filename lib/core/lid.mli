@@ -28,10 +28,20 @@ type event =
   | Send of int * int * message  (** [Send (src, dst, m)] *)
   | Lock of int * int  (** [Lock (i, v)]: node [i] locked the link to [v] *)
 
-val init : Weights.t -> capacity:int array -> state * event list
+val init :
+  ?ranking:(int -> (int * int) array) ->
+  Weights.t ->
+  capacity:int array ->
+  state * event list
 (** Fresh protocol state plus the initial events (lines 1–3 of Alg. 1:
     every node proposes to the top [b_i] of its weight list), in the
-    order they occur.  @raise Invalid_argument on negative capacities. *)
+    order they occur.  [ranking i], when given, overrides node [i]'s
+    weight list with an explicit [(neighbour, edge id)] array, best
+    first — {!Lid_byzantine} uses it to rank by {e perceived} weights
+    built from (possibly dishonest) advertised half-weights, and to
+    exclude peers quarantined at bootstrap.  The default is the true
+    symmetric-weight order, heaviest first.
+    @raise Invalid_argument on negative capacities. *)
 
 val deliver : state -> src:int -> dst:int -> message -> event list
 (** Process one delivery at [dst] (lines 4–16 of Alg. 1), mutating the
@@ -44,6 +54,16 @@ val awaiting_reply : state -> node:int -> peer:int -> bool
 (** Is [node]'s proposal to [peer] still unanswered (peer in P_i \ K_i)?
     Used by {!Lid_reliable}'s patience timers to decide whether a
     silent peer still blocks progress. *)
+
+val locks : state -> int -> int list
+(** Peers node [i] has locked (its K_i), ascending.  Unlike
+    {!locked_edge_ids} this is one-sided: it includes locks whose
+    counterpart never reciprocated (possible only when a peer
+    misbehaves), which is exactly what the bounded-damage accounting
+    in {!Owp_check.Byzantine} needs. *)
+
+val node_finished : state -> int -> bool
+(** Has node [i] answered all proposals and emptied U_i? *)
 
 val unterminated_nodes : state -> int list
 (** Nodes that have not quiesced, ascending. *)

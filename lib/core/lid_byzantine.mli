@@ -1,0 +1,107 @@
+(** LID under Byzantine peers: adversary-driven runs and their guard.
+
+    {!Lid_robust} and {!Lid_reliable} cover the {e benign} half of the
+    paper's §7 "disruptive nodes": silent peers and lossy channels.
+    This driver covers the malicious half.  A subset of nodes is handed
+    to {!Owp_simnet.Adversary} behaviours instead of the protocol state
+    machine; every {e correct} node keeps running the unchanged
+    {!Lid.deliver} transitions, optionally behind a {!Guard} that
+    validates all inbound traffic and quarantines offenders.
+
+    The wire format adds to each PROP the sender's claimed half-weight
+    ΔS̄ (eq. 9) and an epoch, and the run opens with a bootstrap
+    {e advertisement} round in which every node announces its half of
+    each incident edge's symmetric weight; correct nodes rank their
+    weight lists by [own half + advertised half].  This is exactly the
+    leverage eq. 9 grants: each endpoint can cross-check the only part
+    of the weight it cannot compute itself against the public
+    structural bound [ΔS̄ ≤ 1/b] — so a weight-liar that inflates its
+    half beyond the bound is caught at bootstrap, while in-bound lies
+    remain undetectable by construction (a documented limit, like
+    equivocation).
+
+    {b Give-up discipline.}  A guarded run must terminate even when an
+    adversary simply refuses to answer.  Real timers cannot tell a
+    silent Byzantine peer from a slow honest chain without risking
+    false declines, so the driver models an {e eventually-perfect
+    failure detector}: whenever the network goes quiet with correct
+    nodes still stuck, each stuck node gives up — synthetic REJ, the
+    {!Lid_reliable} escape hatch — on exactly its pending proposals
+    towards adversary-controlled or quarantined peers ("quiet rounds").
+    Honest-honest obligations are never given up: they always resolve
+    transitively once the Byzantine leaves of the wait-for graph are
+    cut.  The unguarded baseline gets no quiet rounds — it is plain
+    LID, and a liveness-violating adversary visibly starves it. *)
+
+module Adversary = Owp_simnet.Adversary
+
+type report = {
+  matching : Owp_matching.Bmatching.t;
+      (** locks mutual between correct peers (the restricted matching) *)
+  correct : bool array;
+  byz_count : int;
+  prop_count : int;  (** PROPs sent by correct peers *)
+  rej_count : int;  (** REJs sent by correct peers (re-announces included) *)
+  adversary_msgs : int;  (** messages injected by adversary behaviours *)
+  delivered : int;
+  completion_time : float;
+  quarantine_events : int;  (** directed (observer, peer) quarantines *)
+  false_quarantines : int;  (** quarantines whose target was correct *)
+  byz_offenders : int;  (** Byzantine peers with >= 1 recorded offence *)
+  byz_quarantined : int;  (** Byzantine peers quarantined by >= 1 neighbour *)
+  offence_counts : (string * int) list;  (** offence name -> count, aggregated *)
+  synthetic_rejects : int;
+  quiet_rounds : int;
+  wasted_slots : int;  (** slots correct peers locked towards Byzantine peers *)
+  all_correct_terminated : bool;
+  unterminated : int list;  (** correct nodes that failed to quiesce *)
+  damage : Owp_check.Violation.t list;
+      (** {!Owp_check.Byzantine} bounded-damage verdict on the terminal
+          state (always computed; empty means certified) *)
+}
+
+val run :
+  ?seed:int ->
+  ?delay:Owp_simnet.Simnet.delay_model ->
+  ?fifo:bool ->
+  ?guard:bool ->
+  ?guard_config:Guard.config ->
+  adversaries:Adversary.model option array ->
+  Preference.t ->
+  report
+(** Simulate LID with the given adversary assignment ([None] entries
+    are correct peers).  Capacities are the preference system's quotas.
+    [guard] defaults to [true]; with [guard:false] the run is the
+    vulnerable baseline: no advert vetting, no quarantine, no quiet
+    rounds.  @raise Invalid_argument if [adversaries] has the wrong
+    arity or leaves no correct node. *)
+
+val satisfaction_of_correct : Preference.t -> report -> float
+(** Total satisfaction (eq. 4/5) of the correct peers under the
+    restricted matching — the quantity E22 reports as "retained". *)
+
+val reference_satisfaction : Preference.t -> correct:bool array -> float
+(** The same quantity for the centralized ideal on the correct
+    subgraph: LIC restricted to edges between correct peers, evaluated
+    with the {e original} preference lists (so the figures are
+    comparable).  This is what the correct peers could have achieved
+    had the Byzantine peers merely crashed. *)
+
+val verify_exhaustively :
+  ?guard:bool ->
+  ?guard_config:Guard.config ->
+  ?budget:int ->
+  ?max_configs:int ->
+  byz:int ->
+  Preference.t ->
+  Owp_check.Explore.verdict
+(** Model-check the bounded-damage guarantee on a small instance:
+    node [byz] is Byzantine with an injection repertoire covering every
+    attack the runtime models express on the wire (honest-looking PROPs,
+    over-bound weight claims, REJs, stale epochs, PROPs to strangers),
+    [budget] (default 2) injections per schedule, interleaved every
+    possible way with ordinary deliveries ({!Owp_check.Explore}).  At
+    every terminal configuration the {!Owp_check.Byzantine} certificate
+    is checked; with [guard] (default [true]) the verdict must be clean,
+    while [guard:false] exhibits the unguarded protocol's starvation
+    deadlocks as [explore-termination] violations. *)

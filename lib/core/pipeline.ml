@@ -9,6 +9,7 @@ type outcome = {
   total_weight : float;
   guarantee : float option;
   messages : int option;
+  quiesced : bool option;
   check_report : Owp_check.Checker.report option;
 }
 
@@ -42,16 +43,16 @@ let run ?(seed = 7) ?(check = false) algorithm prefs =
   let w = weights prefs in
   let capacity = capacity_of prefs in
   let bmax = Preference.max_quota prefs in
-  let matching, messages, guarantee =
+  let matching, messages, guarantee, quiesced =
     match algorithm with
     | Lid_distributed ->
         let r = Lid.run ~seed w ~capacity in
         (r.Lid.matching, Some (r.Lid.prop_count + r.Lid.rej_count),
-         Some (Theory.theorem3_bound ~bmax))
+         Some (Theory.theorem3_bound ~bmax), Some r.Lid.all_terminated)
     | Lic_centralized ->
-        (Lic.run w ~capacity, None, Some (Theory.theorem3_bound ~bmax))
-    | Global_greedy -> (Owp_matching.Greedy.run w ~capacity, None, None)
-    | Stable_dynamics -> (stable_dynamics prefs, None, None)
+        (Lic.run w ~capacity, None, Some (Theory.theorem3_bound ~bmax), None)
+    | Global_greedy -> (Owp_matching.Greedy.run w ~capacity, None, None, None)
+    | Stable_dynamics -> (stable_dynamics prefs, None, None, None)
   in
   let profile = satisfaction_profile prefs matching in
   let g = Preference.graph prefs in
@@ -79,5 +80,6 @@ let run ?(seed = 7) ?(check = false) algorithm prefs =
     total_weight = Bmatching.weight matching w;
     guarantee;
     messages;
+    quiesced;
     check_report;
   }

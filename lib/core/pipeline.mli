@@ -20,6 +20,11 @@ type outcome = {
       (** the proven lower bound on the satisfaction ratio vs optimum,
           when the algorithm has one: ¼(1+1/b_max) for LID/LIC *)
   messages : int option;  (** PROP+REJ for LID, None otherwise *)
+  quiesced : bool option;
+      (** for LID, whether every node terminated cleanly on the
+          simulated network (Lemma 5); [None] for the algorithms with
+          no protocol run.  Drivers should treat [Some false] as a
+          failure, not a cosmetic detail *)
   check_report : Owp_check.Checker.report option;
       (** invariant diagnostics, present when [run ~check:true] *)
 }

@@ -28,6 +28,8 @@ let () =
       ("core.lic", Test_lic.suite);
       ("core.lid", Test_lid.suite);
       ("core.lid_reliable", Test_lid_reliable.suite);
+      ("core.guard", Test_guard.suite);
+      ("core.byzantine", Test_byzantine.suite);
       ("core.theory", Test_theory.suite);
       ("check", Test_check.suite);
       ("core.pipeline", Test_pipeline.suite);

@@ -143,6 +143,64 @@ let prop_exactly_once_in_order =
            (fun (s, d) -> link s d = List.init 15 (fun i -> i + 1))
            links)
 
+let test_seed_sweep () =
+  (* deterministic fuzz: 120 seeds of random drop x duplicate x reorder
+     rates.  Survivable channels (drop < 1) must deliver exactly the
+     sent sequence in order on every link with nobody declared dead;
+     severed channels (drop = 1) must deliver nothing and account for
+     the give-up: each directed link with traffic declares its peer dead
+     exactly once *)
+  for seed = 1 to 120 do
+    let rng = Owp_util.Prng.create (0xF00D + seed) in
+    let severed = seed mod 6 = 0 in
+    let drop = if severed then 1.0 else Owp_util.Prng.float rng 0.5 in
+    let dup = Owp_util.Prng.float rng 0.8 in
+    let reorder = Owp_util.Prng.float rng 0.5 in
+    let fifo = seed mod 2 = 0 in
+    let faults = Sim.faults ~drop ~duplicate:dup ~reorder () in
+    (* severed links give up fast; survivable ones get the default
+       (patient) retry budget so a 50% channel never falsely dies *)
+    let config =
+      if severed then { Tr.default_config with rto_initial = 1.0; max_retries = 4 }
+      else Tr.default_config
+    in
+    let net, tr, link, dead = mk ~config ~seed ~fifo ~faults 3 in
+    let links = [ (0, 1); (1, 2); (2, 0) ] in
+    let payloads = 1 + (seed mod 12) in
+    for i = 1 to payloads do
+      List.iter (fun (s, d) -> Tr.send tr ~src:s ~dst:d i) links
+    done;
+    Sim.run net;
+    let label fmt =
+      Printf.sprintf "seed %d (drop %.2f dup %.2f reorder %.2f): %s" seed drop
+        dup reorder fmt
+    in
+    if severed then begin
+      List.iter
+        (fun (s, d) ->
+          Alcotest.(check (list int)) (label "nothing arrives") [] (link s d))
+        links;
+      Alcotest.(check int)
+        (label "every link gave up exactly once")
+        (List.length links)
+        (Tr.peers_declared_dead tr);
+      List.iter
+        (fun (s, d) ->
+          Alcotest.(check bool) (label "dead queryable") true
+            (Tr.peer_dead tr ~node:s ~peer:d))
+        links
+    end
+    else begin
+      let expect = List.init payloads (fun i -> i + 1) in
+      List.iter
+        (fun (s, d) ->
+          Alcotest.(check (list int)) (label "exactly once, in order") expect
+            (link s d))
+        links;
+      Alcotest.(check (list (pair int int))) (label "nobody dead") [] !dead
+    end
+  done
+
 let suite =
   [
     Alcotest.test_case "clean channel" `Quick test_clean_channel;
@@ -151,5 +209,6 @@ let suite =
     Alcotest.test_case "masks reordering" `Quick test_masks_reordering;
     Alcotest.test_case "bounded retries give up" `Quick test_give_up;
     Alcotest.test_case "crash/restart epochs" `Quick test_crash_restart_epochs;
+    Alcotest.test_case "120-seed fault sweep" `Quick test_seed_sweep;
     QCheck_alcotest.to_alcotest prop_exactly_once_in_order;
   ]
