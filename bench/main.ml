@@ -8,6 +8,8 @@
      main.exe list         list experiment ids and titles
      main.exe --json [dir] additionally write BENCH_<id>.json per
                            experiment (default: current directory)
+     main.exe --jobs N     worker domains for trial sweeps (0 = all
+                           cores); results are identical for any N
 
    One experiment = one reproduced table/figure/theorem of the paper;
    see DESIGN.md's per-experiment index. *)
@@ -122,6 +124,26 @@ let () =
       Printf.eprintf "--json: not a directory: %s\n" dir;
       exit 2
   | _ -> ());
+  (* --jobs N: worker-pool width for the experiment trial sweeps *)
+  let args =
+    let rec strip acc = function
+      | [] -> List.rev acc
+      | "--jobs" :: n :: rest -> (
+          match int_of_string_opt n with
+          | Some n ->
+              Exp_common.jobs :=
+                (if n <= 0 then Owp_util.Pool.default_jobs () else n);
+              List.rev_append acc rest
+          | None ->
+              Printf.eprintf "--jobs: not a number: %s\n" n;
+              exit 2)
+      | [ "--jobs" ] ->
+          prerr_endline "--jobs: missing count";
+          exit 2
+      | a :: rest -> strip (a :: acc) rest
+    in
+    strip [] args
+  in
   let out = Format.std_formatter in
   match args with
   | [ "list" ] ->

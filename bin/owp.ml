@@ -3,13 +3,24 @@
    Subcommands:
      owp generate    synthesise a potential-connection graph
      owp stats       structural metrics of a graph file
-     owp run         build an overlay matching with a chosen algorithm
+     owp run         build an overlay matching with a chosen engine
      owp verify      check a saved matching against a graph and quota
      owp check       run the invariant checkers / interleaving explorer
-     owp experiment  regenerate a paper experiment table (E0..E22)
-     owp list        list available experiments *)
+     owp experiment  regenerate a paper experiment table (E0..E23)
+     owp bench       experiments with the scale knobs: --jobs, --json, --gate
+     owp list        list available experiments
+
+   `run` and `check` both funnel their flags into one
+   Owp_core.Run_config.t (engine + Owp_simnet.Faults.t + seed/spec/
+   guard/check) and hand it to Pipeline.run_config; the per-fault
+   optional-argument sprawl of earlier revisions survives only as legacy
+   flag spellings that are merged into the record. *)
 
 open Cmdliner
+module RC = Owp_core.Run_config
+module P = Owp_core.Pipeline
+module BM = Owp_matching.Bmatching
+module Faults = Owp_simnet.Faults
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments                                                     *)
@@ -124,24 +135,50 @@ let stats_cmd =
 (* run                                                                  *)
 (* ------------------------------------------------------------------ *)
 
+let engine_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (RC.engine_of_string s) in
+  let print ppf e = Format.pp_print_string ppf (RC.engine_name e) in
+  Arg.conv (parse, print)
+
+(* the historical --algo vocabulary, kept as a legacy spelling of
+   --engine *)
 let algo_conv =
   let parse s =
     match String.lowercase_ascii s with
-    | "lid" -> Ok Owp_core.Pipeline.Lid_distributed
-    | "lic" -> Ok Owp_core.Pipeline.Lic_centralized
-    | "greedy" -> Ok Owp_core.Pipeline.Global_greedy
-    | "dynamics" -> Ok Owp_core.Pipeline.Stable_dynamics
+    | "lid" -> Ok RC.Lid
+    | "lic" -> Ok RC.Lic
+    | "greedy" -> Ok RC.Greedy
+    | "dynamics" -> Ok RC.Dynamics
     | _ -> Error (`Msg "expected lid | lic | greedy | dynamics")
   in
-  let print ppf a =
-    Format.pp_print_string ppf
-      (match a with
-      | Owp_core.Pipeline.Lid_distributed -> "lid"
-      | Owp_core.Pipeline.Lic_centralized -> "lic"
-      | Owp_core.Pipeline.Global_greedy -> "greedy"
-      | Owp_core.Pipeline.Stable_dynamics -> "dynamics")
-  in
+  let print ppf e = Format.pp_print_string ppf (RC.engine_name e) in
   Arg.conv (parse, print)
+
+let faults_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Faults.of_string s) in
+  Arg.conv (parse, Faults.pp)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Selection engine: lic (reference rescans), lic-indexed (per-node \
+           max-weight edge indexes), lid, lid-reliable, lid-byzantine, greedy, \
+           dynamics.  Overrides $(b,--algo)/$(b,--reliable)/$(b,--byzantine) \
+           engine inference.")
+
+let faults_arg =
+  Arg.(
+    value & opt faults_conv Faults.none
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault environment as one spec: comma-separated $(i,drop=P), \
+           $(i,dup=P), $(i,reorder=P), $(i,crash=F), $(i,patience=T) and the \
+           bare flags $(i,unordered)/$(i,fifo); e.g. \
+           $(b,drop=0.2,dup=0.1,unordered).  The legacy per-fault flags \
+           override matching fields.")
 
 (* shared by `owp run` and `owp check`: the instance is rebuilt
    deterministically from (seed, family, n, quota, model) or from an
@@ -193,90 +230,57 @@ let save_matching inst m path =
   Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
   Printf.printf "matching saved      : %s\n" path
 
-(* --crash FRAC: a deterministic (seed-derived) crash schedule — each
-   node fails independently with probability FRAC at a random early
-   point of the run, and never restarts *)
-let crash_schedule ~seed ~n frac =
-  if frac <= 0.0 then []
-  else begin
-    let rng = Owp_util.Prng.create (seed lxor 0xC4A5) in
-    List.init n (fun v -> v)
-    |> List.filter (fun _ -> Owp_util.Prng.bernoulli rng frac)
-    |> List.map (fun victim ->
-           {
-             Owp_core.Lid_reliable.victim;
-             crash_at = 0.1 +. Owp_util.Prng.float rng 5.0;
-             restart_at = None;
-           })
-  end
+(* Every legacy fault flag simply overrides its field of the --faults
+   record, so both spellings (and any mix) land in the same
+   Owp_simnet.Faults.t. *)
+let merge_faults (f : Faults.t) ~drop ~dup ~reorder ~no_fifo ~crash ~patience =
+  {
+    Faults.drop = (if drop > 0.0 then drop else f.Faults.drop);
+    duplicate = (if dup > 0.0 then dup else f.duplicate);
+    reorder = (if reorder > 0.0 then reorder else f.reorder);
+    fifo = f.fifo && not no_fifo;
+    crash = (if crash > 0.0 then crash else f.crash);
+    patience = (match patience with Some _ -> patience | None -> f.patience);
+  }
 
-let run_reliable inst ~seed ~fifo ~faults ~crash ~patience save =
+(* --engine wins; otherwise --byzantine / --reliable pick the protocol
+   variant and --algo (legacy) supplies the base engine *)
+let resolve_engine engine_opt ~algo ~reliable ~byzantine =
+  match engine_opt with
+  | Some e -> Ok e
+  | None ->
+      if byzantine <> None && reliable then
+        Error
+          "--byzantine models adversarial peers on a fault-free network; it \
+           cannot be combined with --reliable (Run_config.validate rejects \
+           channel faults too)"
+      else if byzantine <> None then Ok RC.Lid_byzantine
+      else if reliable then Ok RC.Lid_reliable
+      else Ok algo
+
+let print_transport_detail (r : Owp_core.Lid_reliable.report) ~crash =
   let module Lrel = Owp_core.Lid_reliable in
-  let prefs = inst.Owp_bench.Workloads.prefs in
-  let n = Graph.node_count inst.Owp_bench.Workloads.graph in
-  let crashes = crash_schedule ~seed ~n crash in
-  (* crash regimes need protocol-level patience to stay live; pure
-     channel faults must not use it (it would cost exactness) *)
-  let patience =
-    match patience with Some p -> Some p | None -> if crashes = [] then None else Some 60.0
-  in
-  let r =
-    Lrel.run ~seed ~fifo ~faults ?patience ~crashes inst.Owp_bench.Workloads.weights
-      ~capacity:inst.Owp_bench.Workloads.capacity
-  in
-  let q = Owp_overlay.Quality.measure prefs r.Lrel.matching in
-  Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
-  Printf.printf "algorithm           : lid over reliable transport\n";
-  Printf.printf "links established   : %d\n" (Owp_matching.Bmatching.size r.Lrel.matching);
-  Printf.printf "total satisfaction  : %.4f\n"
-    (Preference.total_satisfaction prefs
-       (Owp_matching.Bmatching.connection_lists r.Lrel.matching));
-  Format.printf "quality             : %a@." Owp_overlay.Quality.pp q;
-  Printf.printf "protocol messages   : %d PROP + %d REJ\n" r.Lrel.prop_count r.Lrel.rej_count;
   Printf.printf "wire frames         : %d (%d data + %d retrans + %d ack)\n"
     r.Lrel.frames_sent r.Lrel.data_sent r.Lrel.retransmissions r.Lrel.acks_sent;
   Printf.printf "transport overhead  : %.2f frames/protocol message\n" (Lrel.overhead r);
   Printf.printf "channel losses      : %d dropped, %d straggled, %d dup-suppressed\n"
     r.Lrel.dropped r.Lrel.reordered r.Lrel.duplicates_suppressed;
-  if crashes <> [] || r.Lrel.peers_declared_dead > 0 then
-    Printf.printf "failures            : %d crashed, %d lost at down hosts, %d links \
-                   given up, %d synthetic REJ\n"
-      (List.length crashes) r.Lrel.lost_to_crashes r.Lrel.peers_declared_dead
-      r.Lrel.synthetic_rejects;
-  Printf.printf "completion (v-time) : %.2f\n" r.Lrel.completion_time;
-  Printf.printf "converged           : %b\n" r.Lrel.all_terminated;
-  (match save with None -> () | Some path -> save_matching inst r.Lrel.matching path);
-  if r.Lrel.all_terminated then 0 else 1
+  if crash > 0.0 || r.Lrel.peers_declared_dead > 0 then
+    Printf.printf "failures            : %d lost at down hosts, %d links given up, %d \
+                   synthetic REJ\n"
+      r.Lrel.lost_to_crashes r.Lrel.peers_declared_dead r.Lrel.synthetic_rejects
 
-(* --byzantine SPEC [--guard]: LID with adversary-controlled peers; the
-   exit code reflects the bounded-damage verdict so CI can gate on it *)
-let run_byzantine inst ~seed ~guard spec =
+let print_byzantine_detail inst prefs ~spec ~guard (r : Owp_core.Lid_byzantine.report) =
   let module LB = Owp_core.Lid_byzantine in
-  let module Adversary = Owp_simnet.Adversary in
-  let prefs = inst.Owp_bench.Workloads.prefs in
   let n = Graph.node_count inst.Owp_bench.Workloads.graph in
-  let rng = Owp_util.Prng.create (seed lxor 0xB12) in
-  match
-    let models = Adversary.parse_spec spec in
-    Adversary.assign rng ~n models
-  with
-  | exception Invalid_argument msg ->
-      Printf.eprintf "run: --byzantine %s: %s\n" spec msg;
-      2
-  | adversaries ->
-  let r = LB.run ~seed ~guard ~adversaries prefs in
   let retained = LB.satisfaction_of_correct prefs r in
   let reference = LB.reference_satisfaction prefs ~correct:r.LB.correct in
-  Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
   Printf.printf "adversaries         : %s (%d of %d peers)\n" spec r.LB.byz_count n;
   Printf.printf "guard               : %s\n" (if guard then "on" else "off (baseline)");
-  Printf.printf "links established   : %d (correct-correct)\n"
-    (Owp_matching.Bmatching.size r.LB.matching);
   Printf.printf "satisfaction        : %.4f retained of %.4f crash-only ideal (%.1f%%)\n"
     retained reference
     (if reference = 0.0 then 100.0 else 100.0 *. retained /. reference);
-  Printf.printf "protocol messages   : %d PROP + %d REJ + %d adversarial\n"
-    r.LB.prop_count r.LB.rej_count r.LB.adversary_msgs;
+  Printf.printf "adversarial msgs    : %d\n" r.LB.adversary_msgs;
   Printf.printf "quarantines         : %d (%d false), %d of %d offenders caught\n"
     r.LB.quarantine_events r.LB.false_quarantines r.LB.byz_quarantined
     r.LB.byz_offenders;
@@ -288,69 +292,77 @@ let run_byzantine inst ~seed ~guard spec =
     r.LB.wasted_slots;
   Printf.printf "give-ups            : %d synthetic REJ over %d quiet round(s)\n"
     r.LB.synthetic_rejects r.LB.quiet_rounds;
-  Printf.printf "correct terminated  : %b%s\n" r.LB.all_correct_terminated
-    (match r.LB.unterminated with
-    | [] -> ""
-    | stuck ->
-        Printf.sprintf " (stuck: %s)"
-          (String.concat " " (List.map string_of_int stuck)));
-  (match r.LB.damage with
+  (match r.LB.unterminated with
+  | [] -> ()
+  | stuck ->
+      Printf.printf "stuck correct peers : %s\n"
+        (String.concat " " (List.map string_of_int stuck)));
+  match r.LB.damage with
   | [] ->
       print_endline
         "bounded damage      : certified (termination, feasibility, relativized \
          Lemma 6)"
   | vs ->
       Printf.printf "bounded damage      : %d violation(s)\n" (List.length vs);
-      Format.printf "%a@." Owp_check.Violation.pp_list vs);
-  if r.LB.all_correct_terminated && r.LB.damage = [] then 0 else 1
+      Format.printf "%a@." Owp_check.Violation.pp_list vs
 
-let run_overlay seed family n quota model algo graph_file save reliable drop dup reorder
-    no_fifo crash patience byzantine guard =
+(* One printer for every engine: the generic outcome block, then the
+   engine-specific accounting carried in [outcome.detail], then the
+   timing summary as the final line.  The exit code is the run's
+   verdict: protocol non-quiescence or Byzantine damage fail. *)
+let print_outcome (cfg : RC.t) inst (out : P.outcome) save =
+  let prefs = inst.Owp_bench.Workloads.prefs in
+  let q = Owp_overlay.Quality.measure prefs out.P.matching in
+  Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
+  Printf.printf "engine              : %s\n" (RC.engine_name out.P.engine);
+  if Faults.any cfg.RC.faults then
+    Printf.printf "faults              : %s\n" (Faults.to_string cfg.RC.faults);
+  Printf.printf "links established   : %d\n" (BM.size out.P.matching);
+  Printf.printf "total weight (eq.9) : %.4f\n" out.P.total_weight;
+  Printf.printf "total satisfaction  : %.4f\n" out.P.total_satisfaction;
+  Format.printf "quality             : %a@." Owp_overlay.Quality.pp q;
+  (match out.P.guarantee with
+  | Some b -> Printf.printf "satisfaction bound  : %.4f of optimum (Theorem 3)\n" b
+  | None -> ());
+  (match out.P.detail with
+  | P.Plain | P.Distributed _ -> ()
+  | P.Reliable r -> print_transport_detail r ~crash:cfg.RC.faults.Faults.crash
+  | P.Byzantine r ->
+      print_byzantine_detail inst prefs
+        ~spec:(Option.value cfg.RC.byzantine ~default:"")
+        ~guard:cfg.RC.guard r);
+  (match out.P.quiesced with
+  | Some q -> Printf.printf "quiesced            : %b\n" q
+  | None -> ());
+  (match out.P.check_report with
+  | Some report -> print_string (Owp_check.Checker.report_to_string report)
+  | None -> ());
+  (match save with None -> () | Some path -> save_matching inst out.P.matching path);
+  Printf.printf "-- wall %.2f ms%s%s\n" out.P.wall_ms
+    (match out.P.rounds with
+    | Some r -> Printf.sprintf ", rounds %.2f" r
+    | None -> "")
+    (match out.P.messages with
+    | Some m -> Printf.sprintf ", messages %d" m
+    | None -> "");
+  let damage_free =
+    match out.P.detail with P.Byzantine r -> r.Owp_core.Lid_byzantine.damage = [] | _ -> true
+  in
+  if out.P.quiesced <> Some false && damage_free then 0 else 1
+
+let run_overlay seed family n quota model engine_opt algo graph_file save reliable
+    faults_spec drop dup reorder no_fifo crash patience byzantine guard =
   let inst = build_instance seed family n quota model graph_file in
-  let have_faults = drop > 0.0 || dup > 0.0 || reorder > 0.0 || crash > 0.0 in
-  if byzantine <> None then begin
-    if reliable || have_faults then begin
-      Printf.eprintf
-        "run: --byzantine models adversarial peers on a fault-free network; it \
-         cannot be combined with --reliable or channel-fault flags\n";
+  let faults = merge_faults faults_spec ~drop ~dup ~reorder ~no_fifo ~crash ~patience in
+  let cfg =
+    Result.bind (resolve_engine engine_opt ~algo ~reliable ~byzantine) (fun engine ->
+        RC.validate (RC.make ~engine ~seed ~faults ?byzantine ~guard ()))
+  in
+  match cfg with
+  | Error msg ->
+      Printf.eprintf "run: %s\n" msg;
       2
-    end
-    else run_byzantine inst ~seed ~guard (Option.get byzantine)
-  end
-  else if reliable then
-    let faults = Owp_simnet.Simnet.faults ~drop ~duplicate:dup ~reorder () in
-    run_reliable inst ~seed ~fifo:(not no_fifo) ~faults ~crash ~patience save
-  else if have_faults then begin
-    Printf.eprintf
-      "run: --drop/--dup/--reorder/--crash need --reliable (plain algorithms assume a \
-       fault-free network; see experiment E21 for what happens otherwise)\n";
-    2
-  end
-  else begin
-    let prefs = inst.Owp_bench.Workloads.prefs in
-    let out = Owp_core.Pipeline.run ~seed algo prefs in
-    let q = Owp_overlay.Quality.measure prefs out.Owp_core.Pipeline.matching in
-    Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
-    Printf.printf "links established   : %d\n"
-      (Owp_matching.Bmatching.size out.Owp_core.Pipeline.matching);
-    Printf.printf "total weight (eq.9) : %.4f\n" out.Owp_core.Pipeline.total_weight;
-    Printf.printf "total satisfaction  : %.4f\n" out.Owp_core.Pipeline.total_satisfaction;
-    Format.printf "quality             : %a@." Owp_overlay.Quality.pp q;
-    (match out.Owp_core.Pipeline.messages with
-    | Some msgs -> Printf.printf "protocol messages   : %d\n" msgs
-    | None -> ());
-    (match out.Owp_core.Pipeline.guarantee with
-    | Some b -> Printf.printf "satisfaction bound  : %.4f of optimum (Theorem 3)\n" b
-    | None -> ());
-    (match out.Owp_core.Pipeline.quiesced with
-    | Some q -> Printf.printf "quiesced            : %b\n" q
-    | None -> ());
-    (match save with
-    | None -> ()
-    | Some path -> save_matching inst out.Owp_core.Pipeline.matching path);
-    (* a LID run that failed to quiesce is a failure, not a report *)
-    match out.Owp_core.Pipeline.quiesced with Some false -> 1 | _ -> 0
-  end
+  | Ok cfg -> print_outcome cfg inst (P.run_config cfg inst.Owp_bench.Workloads.prefs) save
 
 (* fault-model flags, shared by `run` and `check` *)
 let reliable_arg =
@@ -422,13 +434,13 @@ let guard_arg =
            flood limits, and quarantine of offenders (with $(b,--byzantine); \
            without it the run is the vulnerable baseline).")
 
+let algo_arg =
+  Arg.(
+    value & opt algo_conv RC.Lid
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Legacy spelling of $(b,--engine): lid, lic, greedy or dynamics.")
+
 let run_cmd =
-  let algo =
-    Arg.(
-      value
-      & opt algo_conv Owp_core.Pipeline.Lid_distributed
-      & info [ "algo" ] ~docv:"ALGO" ~doc:"Algorithm: lid, lic, greedy or dynamics.")
-  in
   let graph_file =
     Arg.(value & opt (some file) None & info [ "graph" ] ~docv:"FILE" ~doc:"Use an edge-list file instead of generating.")
   in
@@ -438,9 +450,10 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Build an overlay matching and report its quality")
     Term.(
-      const run_overlay $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg $ algo
-      $ graph_file $ save $ reliable_arg $ drop_arg $ dup_arg $ reorder_arg $ no_fifo_arg
-      $ crash_arg $ patience_arg $ byzantine_arg $ guard_arg)
+      const run_overlay $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg
+      $ engine_arg $ algo_arg $ graph_file $ save $ reliable_arg $ faults_arg $ drop_arg
+      $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg $ byzantine_arg
+      $ guard_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)
@@ -602,74 +615,65 @@ let check_explore_byzantine inst ~guard max_configs =
     if !failed = 0 then 0 else 1
   end
 
-let check_cmdline seed family n quota model algo graph_file matching_file explore
-    max_configs drops reliable drop dup reorder no_fifo crash patience byzantine guard
-    list =
+let print_check_report ?(converged = true) inst report =
+  Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
+  print_string (Checker.report_to_string report);
+  if Checker.ok report then begin
+    print_endline "all invariants hold";
+    if converged then 0 else 1
+  end
+  else begin
+    Printf.printf "%d invariant violation(s)\n" (Checker.violation_count report);
+    1
+  end
+
+let check_cmdline seed family n quota model engine_opt algo graph_file matching_file
+    explore max_configs drops reliable faults_spec drop dup reorder no_fifo crash
+    patience byzantine guard list =
   if list then check_list ()
   else begin
-  let inst = build_instance seed family n quota model graph_file in
-  if explore && byzantine <> None then check_explore_byzantine inst ~guard max_configs
-  else if byzantine <> None then run_byzantine inst ~seed ~guard (Option.get byzantine)
-  else if explore then check_explore inst max_configs drops
-  else begin
-    (* a reliable run that never converged must fail even if the locked
-       subset happens to satisfy the structural invariants *)
-    let converged = ref true in
-    let report =
+    let inst = build_instance seed family n quota model graph_file in
+    if explore && byzantine <> None then check_explore_byzantine inst ~guard max_configs
+    else if explore then check_explore inst max_configs drops
+    else
       match matching_file with
       | Some path ->
           (* check a saved (possibly corrupted) matching against the
              deterministically rebuilt instance *)
           let edges = parse_matching_edges inst.Owp_bench.Workloads.graph path in
-          Checker.run
-            (Checker.instance
-               ~prefs:inst.Owp_bench.Workloads.prefs
-               inst.Owp_bench.Workloads.weights
-               ~capacity:inst.Owp_bench.Workloads.capacity ~edges)
-      | None when reliable ->
-          (* run LID over the reliable transport on a faulty network and
-             check what it locked *)
-          let faults = Owp_simnet.Simnet.faults ~drop ~duplicate:dup ~reorder () in
-          let ncount = Graph.node_count inst.Owp_bench.Workloads.graph in
-          let crashes = crash_schedule ~seed ~n:ncount crash in
-          let patience =
-            match patience with
-            | Some p -> Some p
-            | None -> if crashes = [] then None else Some 60.0
+          print_check_report inst
+            (Checker.run
+               (Checker.instance
+                  ~prefs:inst.Owp_bench.Workloads.prefs
+                  inst.Owp_bench.Workloads.weights
+                  ~capacity:inst.Owp_bench.Workloads.capacity ~edges))
+      | None -> begin
+          (* run the configured engine with the checkers armed; a
+             distributed run that never quiesced must fail even when the
+             locked subset satisfies the structural invariants *)
+          let faults =
+            merge_faults faults_spec ~drop ~dup ~reorder ~no_fifo ~crash ~patience
           in
-          let r =
-            Owp_core.Lid_reliable.run ~seed ~fifo:(not no_fifo) ~faults ?patience
-              ~crashes inst.Owp_bench.Workloads.weights
-              ~capacity:inst.Owp_bench.Workloads.capacity
+          let cfg =
+            Result.bind (resolve_engine engine_opt ~algo ~reliable ~byzantine)
+              (fun engine ->
+                RC.validate
+                  (RC.make ~engine ~seed ~faults ?byzantine ~guard ~check:true ()))
           in
-          Printf.printf "converged           : %b\n"
-            r.Owp_core.Lid_reliable.all_terminated;
-          converged := r.Owp_core.Lid_reliable.all_terminated;
-          Checker.run
-            (Checker.instance
-               ~prefs:inst.Owp_bench.Workloads.prefs
-               inst.Owp_bench.Workloads.weights
-               ~capacity:inst.Owp_bench.Workloads.capacity
-               ~edges:(Owp_matching.Bmatching.edge_ids r.Owp_core.Lid_reliable.matching))
-      | None ->
-          (* run the algorithm and check its own output *)
-          let out =
-            Owp_core.Pipeline.run ~seed ~check:true algo
-              inst.Owp_bench.Workloads.prefs
-          in
-          Option.get out.Owp_core.Pipeline.check_report
-    in
-    Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
-    print_string (Checker.report_to_string report);
-    if Checker.ok report then begin
-      print_endline "all invariants hold";
-      if !converged then 0 else 1
-    end
-    else begin
-      Printf.printf "%d invariant violation(s)\n" (Checker.violation_count report);
-      1
-    end
-  end
+          match cfg with
+          | Error msg ->
+              Printf.eprintf "check: %s\n" msg;
+              2
+          | Ok cfg ->
+              let out = P.run_config cfg inst.Owp_bench.Workloads.prefs in
+              (match out.P.quiesced with
+              | Some q -> Printf.printf "converged           : %b\n" q
+              | None -> ());
+              print_check_report
+                ~converged:(out.P.quiesced <> Some false)
+                inst
+                (Option.get out.P.check_report)
+        end
   end
 
 let check_cmd =
@@ -709,12 +713,6 @@ let check_cmd =
              delivery order, and demands termination on all of them (Lemma 5 under \
              failures).")
   in
-  let algo =
-    Arg.(
-      value
-      & opt algo_conv Owp_core.Pipeline.Lid_distributed
-      & info [ "algo" ] ~docv:"ALGO" ~doc:"Algorithm: lid, lic, greedy or dynamics.")
-  in
   let graph_file =
     Arg.(
       value
@@ -731,10 +729,10 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Run the structural invariant checkers or the interleaving explorer")
     Term.(
-      const check_cmdline $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg $ algo
-      $ graph_file $ matching_file $ explore $ max_configs $ drops $ reliable_arg
-      $ drop_arg $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg
-      $ byzantine_arg $ guard_arg $ list)
+      const check_cmdline $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg
+      $ engine_arg $ algo_arg $ graph_file $ matching_file $ explore $ max_configs
+      $ drops $ reliable_arg $ faults_arg $ drop_arg $ dup_arg $ reorder_arg
+      $ no_fifo_arg $ crash_arg $ patience_arg $ byzantine_arg $ guard_arg $ list)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                           *)
@@ -755,10 +753,91 @@ let experiment quick ids =
 
 let experiment_cmd =
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Trimmed sweeps.") in
-  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (e1..e12); all when omitted.") in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E0..E23); all when omitted.") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper experiment table")
     Term.(const experiment $ quick $ ids)
+
+(* ------------------------------------------------------------------ *)
+(* bench                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* `owp experiment` with the scale knobs: the worker-pool width, JSON
+   emission for trajectory tracking, and the CI smoke gate *)
+let bench quick jobs json_dir gate ids =
+  let jobs = if jobs <= 0 then Owp_util.Pool.default_jobs () else jobs in
+  Owp_bench.Exp_common.jobs := jobs;
+  if gate then begin
+    let s = Owp_bench.E23_scale.smoke ~jobs () in
+    Printf.printf "bench gate          : reference %.2f ms, indexed %.2f ms (%.1fx)\n"
+      s.Owp_bench.E23_scale.reference_ms s.Owp_bench.E23_scale.indexed_ms
+      (if s.Owp_bench.E23_scale.indexed_ms <= 0.0 then infinity
+       else s.Owp_bench.E23_scale.reference_ms /. s.Owp_bench.E23_scale.indexed_ms);
+    Printf.printf "identical edge sets : %b\n" s.Owp_bench.E23_scale.identical;
+    Printf.printf "jobs deterministic  : %b\n" s.Owp_bench.E23_scale.jobs_deterministic;
+    if
+      s.Owp_bench.E23_scale.identical
+      && s.Owp_bench.E23_scale.jobs_deterministic
+      && s.Owp_bench.E23_scale.indexed_ms <= s.Owp_bench.E23_scale.reference_ms
+    then begin
+      print_endline "bench gate          : PASS";
+      0
+    end
+    else begin
+      print_endline "bench gate          : FAIL";
+      1
+    end
+  end
+  else begin
+    Option.iter
+      (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+      json_dir;
+    let out = Format.std_formatter in
+    match ids with
+    | [] ->
+        Owp_bench.Experiments.run_all ~quick ?json_dir ~out ();
+        0
+    | ids ->
+        if List.for_all (Owp_bench.Experiments.run_one ~quick ?json_dir ~out) ids then 0
+        else begin
+          prerr_endline "unknown experiment id (see `owp list`)";
+          2
+        end
+  end
+
+let bench_cmd =
+  let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Trimmed sweeps.") in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for trial sweeps (0 = all cores).  Per-trial results \
+             are bit-identical across any N (deterministic per-trial PRNG streams).")
+  in
+  let json_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"DIR"
+          ~doc:"Also write each experiment's tables as DIR/BENCH_<id>.json.")
+  in
+  let gate =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "CI smoke gate: run the small E23 preset and fail unless the indexed \
+             engine matches the reference edge set, is at least as fast, and the \
+             worker pool is deterministic.")
+  in
+  let ids =
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids; all when omitted.")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:"Run experiments with the scale knobs: --jobs, --json, --gate")
+    Term.(const bench $ quick $ jobs $ json_dir $ gate $ ids)
 
 let list_cmd =
   Cmd.v
@@ -779,6 +858,15 @@ let main_cmd =
   Cmd.group
     (Cmd.info "owp" ~version:"1.0.0"
        ~doc:"Overlays with preferences: satisfaction-maximising b-matching (IPDPS 2010)")
-    [ generate_cmd; stats_cmd; run_cmd; verify_cmd; check_cmd; experiment_cmd; list_cmd ]
+    [
+      generate_cmd;
+      stats_cmd;
+      run_cmd;
+      verify_cmd;
+      check_cmd;
+      experiment_cmd;
+      bench_cmd;
+      list_cmd;
+    ]
 
 let () = exit (Cmd.eval' main_cmd)

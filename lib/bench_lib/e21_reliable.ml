@@ -117,29 +117,41 @@ let run ~quick =
   let faults = Sim.faults ~drop:0.1 () in
   List.iter
     (fun (pct, restart) ->
+      (* each trial is self-contained (own PRNG, own simulator), so the
+         sweep fans out over the worker pool when --jobs allows *)
+      let trials =
+        Exp_common.trial_map
+          (fun seed ->
+            let rng = Prng.create (0xE21 + (997 * seed)) in
+            let crashes =
+              List.init n (fun v -> v)
+              |> List.filter (fun _ -> Prng.bernoulli rng (float_of_int pct /. 100.0))
+              |> List.map (fun victim ->
+                     let crash_at = 0.1 +. Prng.float rng 5.0 in
+                     let restart_at =
+                       if restart then Some (crash_at +. 2.0 +. Prng.float rng 8.0)
+                       else None
+                     in
+                     { Lrel.victim; crash_at; restart_at })
+            in
+            let r = Lrel.run ~seed ~faults ~patience:60.0 ~crashes w ~capacity in
+            ( r.Lrel.all_terminated,
+              r.Lrel.synthetic_rejects,
+              r.Lrel.peers_declared_dead,
+              Exp_common.total_satisfaction inst.Workloads.prefs r.Lrel.matching,
+              r.Lrel.completion_time ))
+          seeds
+      in
       let converged = ref 0 and srej = ref 0 and deadl = ref 0 in
       let sat = ref 0.0 and vtime = ref 0.0 in
       List.iter
-        (fun seed ->
-          let rng = Prng.create (0xE21 + (997 * seed)) in
-          let crashes =
-            List.init n (fun v -> v)
-            |> List.filter (fun _ -> Prng.bernoulli rng (float_of_int pct /. 100.0))
-            |> List.map (fun victim ->
-                   let crash_at = 0.1 +. Prng.float rng 5.0 in
-                   let restart_at =
-                     if restart then Some (crash_at +. 2.0 +. Prng.float rng 8.0)
-                     else None
-                   in
-                   { Lrel.victim; crash_at; restart_at })
-          in
-          let r = Lrel.run ~seed ~faults ~patience:60.0 ~crashes w ~capacity in
-          if r.Lrel.all_terminated then incr converged;
-          srej := !srej + r.Lrel.synthetic_rejects;
-          deadl := !deadl + r.Lrel.peers_declared_dead;
-          sat := !sat +. Exp_common.total_satisfaction inst.Workloads.prefs r.Lrel.matching;
-          vtime := !vtime +. r.Lrel.completion_time)
-        seeds;
+        (fun (term, sr, dl, s, vt) ->
+          if term then incr converged;
+          srej := !srej + sr;
+          deadl := !deadl + dl;
+          sat := !sat +. s;
+          vtime := !vtime +. vt)
+        trials;
       let k = List.length seeds in
       Tbl.add_row t3
         [

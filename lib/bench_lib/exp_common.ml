@@ -39,6 +39,18 @@ let quiescence_cell (r : Owp_core.Lid.report) =
     Printf.sprintf "NO (%d stuck: %s)" (List.length stragglers)
       (String.concat "," shown)
 
+(* --jobs: how many domains the experiment sweeps may use.  A ref, not
+   a parameter, so the two dozen existing experiment signatures stay
+   unchanged; the harness entry points set it once before running. *)
+let jobs = ref 1
+
+let trial_map f xs = Owp_util.Pool.map_list ~jobs:!jobs f xs
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, 1000.0 *. (Unix.gettimeofday () -. t0))
+
 let mean = function
   | [] -> 0.0
   | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)

@@ -23,6 +23,7 @@ let all =
     E20_coverage.exp;
     E21_reliable.exp;
     E22_byzantine.exp;
+    E23_scale.exp;
   ]
 
 let find id =
@@ -54,8 +55,10 @@ let write_json dir (e : Exp_common.exp) tables =
 
 let print_exp ?json_dir ~quick out (e : Exp_common.exp) =
   Format.fprintf out "%s@." (Exp_common.header e);
-  let tables = e.Exp_common.run ~quick in
+  let tables, wall_ms = Exp_common.time (fun () -> e.Exp_common.run ~quick) in
   List.iter (fun t -> Format.fprintf out "%s@." (Owp_util.Tablefmt.render t)) tables;
+  Format.fprintf out "-- %s wall %.2f s (jobs %d)@." e.Exp_common.id (wall_ms /. 1000.0)
+    !Exp_common.jobs;
   Option.iter (fun dir -> write_json dir e tables) json_dir
 
 let run_all ?(quick = false) ?json_dir ~out () =

@@ -1,16 +1,34 @@
 module Bmatching = Owp_matching.Bmatching
+module Faults = Owp_simnet.Faults
 
-type algorithm = Lid_distributed | Lic_centralized | Global_greedy | Stable_dynamics
+type engine = Run_config.engine =
+  | Lic
+  | Lic_indexed
+  | Lid
+  | Lid_reliable
+  | Lid_byzantine
+  | Greedy
+  | Dynamics
+
+type detail =
+  | Plain
+  | Distributed of Lid.report
+  | Reliable of Lid_reliable.report
+  | Byzantine of Lid_byzantine.report
 
 type outcome = {
+  engine : engine;
   matching : Bmatching.t;
   total_satisfaction : float;
   mean_satisfaction : float;
   total_weight : float;
   guarantee : float option;
   messages : int option;
+  rounds : float option;
+  wall_ms : float;
   quiesced : bool option;
   check_report : Owp_check.Checker.report option;
+  detail : detail;
 }
 
 let weights prefs = Weights.of_preference prefs
@@ -27,35 +45,99 @@ let stable_dynamics prefs =
   let outcome = Owp_stable.Fixtures.solve prefs in
   outcome.Owp_stable.Fixtures.matching
 
+(* deterministic (seed-derived) fail-stop schedule: each node crashes
+   independently with probability [frac] at a random early point of the
+   run, and never restarts *)
+let crash_schedule ~seed ~n frac =
+  if frac <= 0.0 then []
+  else begin
+    let rng = Owp_util.Prng.create (seed lxor 0xC4A5) in
+    List.init n (fun v -> v)
+    |> List.filter (fun _ -> Owp_util.Prng.bernoulli rng frac)
+    |> List.map (fun victim ->
+           {
+             Lid_reliable.victim;
+             crash_at = 0.1 +. Owp_util.Prng.float rng 5.0;
+             restart_at = None;
+           })
+  end
+
 (* which invariants a result is expected to satisfy: LIC/LID carry the
    full set of paper guarantees; global greedy is maximal and
    greedy-stable but has no Theorem 3 bound; the stable-fixtures
-   dynamics optimises preference stability, not eq. 9 weights, so only
-   the instance-level invariants apply *)
-let checkers_for = function
-  | Lid_distributed | Lic_centralized -> Owp_check.Checker.names
-  | Global_greedy ->
-      List.filter (fun n -> n <> "theorem3") Owp_check.Checker.names
-  | Stable_dynamics ->
-      [ "edge-validity"; "quota"; "weight-symmetry"; "satisfaction-range" ]
+   dynamics optimises preference stability, not eq. 9 weights, and the
+   Byzantine restricted matching is deliberately partial, so only the
+   instance-level invariants apply to those *)
+let instance_level = [ "edge-validity"; "quota"; "weight-symmetry"; "satisfaction-range" ]
 
-let run ?(seed = 7) ?(check = false) algorithm prefs =
+let checkers_for = function
+  | Lic | Lic_indexed | Lid -> Owp_check.Checker.names
+  | Lid_reliable ->
+      (* exact under pure channel faults, but a crashed peer legitimately
+         breaks maximality/Theorem 3 for its survivors *)
+      Owp_check.Checker.names
+  | Greedy -> List.filter (fun n -> n <> "theorem3") Owp_check.Checker.names
+  | Lid_byzantine | Dynamics -> instance_level
+
+let run_config cfg prefs =
+  let cfg =
+    match Run_config.validate cfg with
+    | Ok cfg -> cfg
+    | Error msg -> invalid_arg ("Pipeline.run_config: " ^ msg)
+  in
   let w = weights prefs in
   let capacity = capacity_of prefs in
-  let bmax = Preference.max_quota prefs in
-  let matching, messages, guarantee, quiesced =
-    match algorithm with
-    | Lid_distributed ->
-        let r = Lid.run ~seed w ~capacity in
-        (r.Lid.matching, Some (r.Lid.prop_count + r.Lid.rej_count),
-         Some (Theory.theorem3_bound ~bmax), Some r.Lid.all_terminated)
-    | Lic_centralized ->
-        (Lic.run w ~capacity, None, Some (Theory.theorem3_bound ~bmax), None)
-    | Global_greedy -> (Owp_matching.Greedy.run w ~capacity, None, None, None)
-    | Stable_dynamics -> (stable_dynamics prefs, None, None, None)
-  in
-  let profile = satisfaction_profile prefs matching in
   let g = Preference.graph prefs in
+  let n = Graph.node_count g in
+  let bmax = Preference.max_quota prefs in
+  let bound = Theory.theorem3_bound ~bmax in
+  let seed = cfg.Run_config.seed in
+  let t0 = Unix.gettimeofday () in
+  let matching, messages, guarantee, quiesced, rounds, detail =
+    match cfg.Run_config.engine with
+    | Lic -> (Lic.run w ~capacity, None, Some bound, None, None, Plain)
+    | Lic_indexed -> (Lic_indexed.run w ~capacity, None, Some bound, None, None, Plain)
+    | Lid ->
+        let r = Lid.run ~seed w ~capacity in
+        ( r.Lid.matching,
+          Some (r.Lid.prop_count + r.Lid.rej_count),
+          Some bound,
+          Some r.Lid.all_terminated,
+          Some r.Lid.completion_time,
+          Distributed r )
+    | Lid_reliable ->
+        let f = cfg.Run_config.faults in
+        let crashes = crash_schedule ~seed ~n f.Faults.crash in
+        let r =
+          Lid_reliable.run ~seed ~fifo:f.Faults.fifo ~faults:(Faults.channel f)
+            ?patience:(Faults.effective_patience f) ~crashes w ~capacity
+        in
+        ( r.Lid_reliable.matching,
+          Some (r.Lid_reliable.prop_count + r.Lid_reliable.rej_count),
+          (* under pure channel faults the edge set is exactly LIC's, so
+             Theorem 3 applies; once hosts crash, it does not *)
+          (if crashes = [] then Some bound else None),
+          Some r.Lid_reliable.all_terminated,
+          Some r.Lid_reliable.completion_time,
+          Reliable r )
+    | Lid_byzantine ->
+        let spec = Option.get cfg.Run_config.byzantine in
+        let rng = Owp_util.Prng.create (seed lxor 0xB12) in
+        let adversaries =
+          Owp_simnet.Adversary.assign rng ~n (Owp_simnet.Adversary.parse_spec spec)
+        in
+        let r = Lid_byzantine.run ~seed ~guard:cfg.Run_config.guard ~adversaries prefs in
+        ( r.Lid_byzantine.matching,
+          Some (r.Lid_byzantine.prop_count + r.Lid_byzantine.rej_count),
+          None,
+          Some r.Lid_byzantine.all_correct_terminated,
+          Some r.Lid_byzantine.completion_time,
+          Byzantine r )
+    | Greedy -> (Owp_matching.Greedy.run w ~capacity, None, None, None, None, Plain)
+    | Dynamics -> (stable_dynamics prefs, None, None, None, None, Plain)
+  in
+  let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  let profile = satisfaction_profile prefs matching in
   let nodes_with_lists = ref 0 and total = ref 0.0 in
   Array.iteri
     (fun i s ->
@@ -65,14 +147,15 @@ let run ?(seed = 7) ?(check = false) algorithm prefs =
       end)
     profile;
   let check_report =
-    if check then
+    if cfg.Run_config.check then
       Some
         (Owp_check.Checker.run
-           ~only:(checkers_for algorithm)
+           ~only:(checkers_for cfg.Run_config.engine)
            (Owp_check.Checker.of_matching ~prefs w matching))
     else None
   in
   {
+    engine = cfg.Run_config.engine;
     matching;
     total_satisfaction = !total;
     mean_satisfaction =
@@ -80,6 +163,26 @@ let run ?(seed = 7) ?(check = false) algorithm prefs =
     total_weight = Bmatching.weight matching w;
     guarantee;
     messages;
+    rounds;
+    wall_ms;
     quiesced;
     check_report;
+    detail;
   }
+
+(* ------------------------------------------------------------------ *)
+(* deprecated wrappers                                                  *)
+(* ------------------------------------------------------------------ *)
+
+type algorithm = Lid_distributed | Lic_centralized | Global_greedy | Stable_dynamics
+
+let engine_of_algorithm = function
+  | Lid_distributed -> Lid
+  | Lic_centralized -> Lic
+  | Global_greedy -> Greedy
+  | Stable_dynamics -> Dynamics
+
+let run ?(seed = 7) ?(check = false) algorithm prefs =
+  run_config
+    (Run_config.make ~engine:(engine_of_algorithm algorithm) ~seed ~check ())
+    prefs

@@ -2,43 +2,93 @@
     overlay.
 
     This is the API an application uses: it derives the eq. 9 weights,
-    runs the chosen algorithm and reports the achieved satisfaction
-    together with the guarantee that applies (Theorem 3 for LID/LIC). *)
+    runs the engine chosen in a {!Run_config.t} and reports the achieved
+    satisfaction together with the guarantee that applies (Theorem 3 for
+    LID/LIC).  Callers pick the algorithm via configuration
+    ({!Run_config.engine}) instead of importing the per-variant driver
+    modules; the historical {!algorithm}/{!run} pair survives as a thin
+    wrapper. *)
 
-type algorithm =
-  | Lid_distributed  (** Algorithm 1 on the simulated network *)
-  | Lic_centralized  (** Algorithm 2 *)
-  | Global_greedy  (** the paper's OPT comparator *)
-  | Stable_dynamics  (** blocking-pair dynamics (fixtures baseline) *)
+type engine = Run_config.engine =
+  | Lic
+  | Lic_indexed
+  | Lid
+  | Lid_reliable
+  | Lid_byzantine
+  | Greedy
+  | Dynamics
+      (** Re-export of {!Run_config.engine} so [Pipeline.Lic_indexed]
+          and friends are in scope for pipeline users. *)
+
+(** Engine-specific diagnostics the generic outcome cannot carry: the
+    full per-driver report, for callers (the CLI, experiments) that
+    print transport or adversary accounting. *)
+type detail =
+  | Plain  (** centralized engines: no protocol run *)
+  | Distributed of Lid.report
+  | Reliable of Lid_reliable.report
+  | Byzantine of Lid_byzantine.report
 
 type outcome = {
+  engine : engine;  (** what actually ran *)
   matching : Owp_matching.Bmatching.t;
   total_satisfaction : float;  (** Σ_i S_i, eq. 1 *)
   mean_satisfaction : float;  (** over nodes with non-empty lists *)
   total_weight : float;  (** under eq. 9 weights *)
   guarantee : float option;
       (** the proven lower bound on the satisfaction ratio vs optimum,
-          when the algorithm has one: ¼(1+1/b_max) for LID/LIC *)
-  messages : int option;  (** PROP+REJ for LID, None otherwise *)
+          when the engine has one: ¼(1+1/b_max) for LID/LIC (and for
+          the reliable driver under pure channel faults, where the edge
+          set is still exactly LIC's) *)
+  messages : int option;  (** PROP+REJ for the distributed engines *)
+  rounds : float option;
+      (** virtual completion time of the protocol run — the
+          asynchronous analogue of a round count; [None] for
+          centralized engines *)
+  wall_ms : float;  (** wall-clock of the engine run, milliseconds *)
   quiesced : bool option;
-      (** for LID, whether every node terminated cleanly on the
-          simulated network (Lemma 5); [None] for the algorithms with
-          no protocol run.  Drivers should treat [Some false] as a
+      (** for the distributed engines, whether every (correct) node
+          terminated cleanly (Lemma 5); [None] for engines with no
+          protocol run.  Drivers should treat [Some false] as a
           failure, not a cosmetic detail *)
   check_report : Owp_check.Checker.report option;
-      (** invariant diagnostics, present when [run ~check:true] *)
+      (** invariant diagnostics, present when the config asked for
+          checking *)
+  detail : detail;
 }
 
 val weights : Preference.t -> Weights.t
 (** Eq. 9 weights of the preference system. *)
 
+val run_config : Run_config.t -> Preference.t -> outcome
+(** Solve the instance as the config says.  The config is
+    {!Run_config.validate}d first.
+    @raise Invalid_argument on an inconsistent config (e.g. channel
+    faults with a fault-intolerant engine). *)
+
+val crash_schedule :
+  seed:int -> n:int -> float -> Lid_reliable.crash_plan list
+(** The deterministic (seed-derived) fail-stop schedule behind
+    [faults.crash]: each node independently crashes with the given
+    probability at a random early point and never restarts.  Exposed so
+    experiments can reuse the CLI's exact schedule. *)
+
+(** {2 Deprecated wrappers}
+
+    The pre-PR-4 surface.  [run] forwards to {!run_config}; new code
+    should build a {!Run_config.t}. *)
+
+type algorithm = Lid_distributed | Lic_centralized | Global_greedy | Stable_dynamics
+
+val engine_of_algorithm : algorithm -> engine
+
 val run : ?seed:int -> ?check:bool -> algorithm -> Preference.t -> outcome
-(** [check] (default [false]) additionally runs the {!Owp_check.Checker}
-    diagnostics appropriate to the algorithm (the full registry for
-    LIC/LID, everything but Theorem 3 for greedy, the instance-level
-    invariants for the stable dynamics) and stores the structured report
-    in [check_report] — it never raises, so callers can render the
-    violations. *)
+(** [run ~seed ~check algo prefs] is
+    [run_config (Run_config.make ~engine:(engine_of_algorithm algo) ~seed ~check ())].
+    [check] selects the checker subset appropriate to the engine (the
+    full registry for LIC/LID, everything but Theorem 3 for greedy, the
+    instance-level invariants for the stable dynamics); it never raises
+    on violations — callers render [check_report]. *)
 
 val satisfaction_profile : Preference.t -> Owp_matching.Bmatching.t -> float array
 (** Per-node satisfaction values of a matching. *)

@@ -1,0 +1,103 @@
+module Faults = Owp_simnet.Faults
+
+type engine = Lic | Lic_indexed | Lid | Lid_reliable | Lid_byzantine | Greedy | Dynamics
+
+type t = {
+  engine : engine;
+  seed : int;
+  faults : Faults.t;
+  byzantine : string option;
+  guard : bool;
+  check : bool;
+}
+
+let default =
+  {
+    engine = Lid;
+    seed = 42;
+    faults = Faults.none;
+    byzantine = None;
+    guard = false;
+    check = false;
+  }
+
+let make ?(engine = default.engine) ?(seed = default.seed) ?(faults = default.faults)
+    ?byzantine ?(guard = false) ?(check = false) () =
+  { engine; seed; faults; byzantine; guard; check }
+
+let engine_name = function
+  | Lic -> "lic"
+  | Lic_indexed -> "lic-indexed"
+  | Lid -> "lid"
+  | Lid_reliable -> "lid-reliable"
+  | Lid_byzantine -> "lid-byzantine"
+  | Greedy -> "greedy"
+  | Dynamics -> "dynamics"
+
+let all_engines = [ Lic; Lic_indexed; Lid; Lid_reliable; Lid_byzantine; Greedy; Dynamics ]
+
+let engine_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "lic" -> Ok Lic
+  | "lic-indexed" | "lic_indexed" | "indexed" -> Ok Lic_indexed
+  | "lid" -> Ok Lid
+  | "lid-reliable" | "lid_reliable" | "reliable" -> Ok Lid_reliable
+  | "lid-byzantine" | "lid_byzantine" | "byzantine" -> Ok Lid_byzantine
+  | "greedy" -> Ok Greedy
+  | "dynamics" -> Ok Dynamics
+  | s ->
+      Error
+        (Printf.sprintf "unknown engine %S (expected %s)" s
+           (String.concat " | " (List.map engine_name all_engines)))
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* _ = Faults.validate t.faults in
+  let* () =
+    match t.byzantine with
+    | None ->
+        if t.engine = Lid_byzantine then
+          Error "engine lid-byzantine needs an adversary spec (--byzantine MODEL:FRAC)"
+        else Ok ()
+    | Some spec ->
+        if t.engine <> Lid_byzantine then
+          Error
+            (Printf.sprintf
+               "an adversary spec requires engine lid-byzantine (got %s)"
+               (engine_name t.engine))
+        else if Faults.any t.faults then
+          Error
+            "byzantine runs model adversarial peers on a fault-free network; channel \
+             faults and crashes cannot be combined with an adversary spec"
+        else begin
+          match Owp_simnet.Adversary.parse_spec spec with
+          | _ -> Ok ()
+          | exception Invalid_argument msg -> Error msg
+        end
+  in
+  let* () =
+    if Faults.any t.faults && t.engine <> Lid_reliable then
+      Error
+        (Printf.sprintf
+           "faults (%s) need engine lid-reliable; engine %s assumes a fault-free \
+            network"
+           (Faults.to_string t.faults) (engine_name t.engine))
+    else Ok ()
+  in
+  Ok t
+
+let to_string t =
+  String.concat " "
+    (List.concat
+       [
+         [ "engine=" ^ engine_name t.engine; Printf.sprintf "seed=%d" t.seed ];
+         (if t.faults = Faults.none then []
+          else [ "faults=" ^ Faults.to_string t.faults ]);
+         (match t.byzantine with
+         | Some spec -> [ "byzantine=" ^ spec ]
+         | None -> []);
+         (if t.guard then [ "guard" ] else []);
+         (if t.check then [ "check" ] else []);
+       ])
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,67 @@
+(** The unified run configuration.
+
+    One value answers "how should this instance be solved": which engine
+    ({!engine}), under which fault environment ({!Owp_simnet.Faults.t}),
+    with which seed, adversaries and diagnostics.  [owp run], [owp check]
+    and the benchmark harness all build one of these from their flags
+    and hand it to {!Pipeline.run_config}; before PR 4 each of them
+    threaded six optional arguments separately through the drivers, with
+    per-call-site defaults that could (and did) drift.
+
+    The instance itself (graph, preferences, quotas) stays out of the
+    record on purpose: a config is reusable across a sweep of instances,
+    which is exactly what the multicore runner needs. *)
+
+type engine =
+  | Lic  (** Algorithm 2, reference selection (O(Δ) rival rescans) *)
+  | Lic_indexed  (** Algorithm 2 over per-node max-weight edge indexes *)
+  | Lid  (** Algorithm 1 on the datagram simulator (fault-free only) *)
+  | Lid_reliable  (** Algorithm 1 over the ARQ transport (fault-tolerant) *)
+  | Lid_byzantine  (** Algorithm 1 with adversary-controlled peers *)
+  | Greedy  (** centralized global greedy comparator *)
+  | Dynamics  (** blocking-pair dynamics (stable-fixtures baseline) *)
+
+type t = {
+  engine : engine;
+  seed : int;
+  faults : Owp_simnet.Faults.t;
+  byzantine : string option;
+      (** adversary spec, {!Owp_simnet.Adversary.parse_spec} syntax *)
+  guard : bool;  (** inbound protocol guard (Byzantine runs) *)
+  check : bool;  (** run the invariant checkers on the result *)
+}
+
+val default : t
+(** [Lid], seed 42, {!Owp_simnet.Faults.none}, no adversaries, no guard,
+    no checkers. *)
+
+val make :
+  ?engine:engine ->
+  ?seed:int ->
+  ?faults:Owp_simnet.Faults.t ->
+  ?byzantine:string ->
+  ?guard:bool ->
+  ?check:bool ->
+  unit ->
+  t
+
+val engine_of_string : string -> (engine, string) result
+(** Recognises [lic], [lic-indexed]/[indexed], [lid], [lid-reliable]/
+    [reliable], [lid-byzantine]/[byzantine], [greedy], [dynamics]. *)
+
+val engine_name : engine -> string
+(** Canonical CLI name; [engine_of_string (engine_name e) = Ok e]. *)
+
+val all_engines : engine list
+
+val validate : t -> (t, string) result
+(** Cross-field consistency, the rules the CLI used to enforce ad hoc:
+    channel faults and crashes require [Lid_reliable]; an adversary spec
+    requires [Lid_byzantine] and a fault-free network — and
+    [Lid_byzantine] requires a spec; the spec itself must parse.  The
+    fault record is also range-checked ({!Owp_simnet.Faults.validate}). *)
+
+val to_string : t -> string
+(** One-line summary, e.g. ["engine=lid-reliable seed=7 faults=drop=0.2"]. *)
+
+val pp : Format.formatter -> t -> unit

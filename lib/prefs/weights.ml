@@ -23,6 +23,7 @@ let of_array g w =
 
 let graph t = t.graph
 let weight t e = t.w.(e)
+let unsafe_weights t = t.w
 
 let weight_uv t u v =
   match Graph.find_edge t.graph u v with

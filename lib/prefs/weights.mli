@@ -31,6 +31,12 @@ val graph : t -> Graph.t
 val weight : t -> int -> float
 (** Weight by edge id. *)
 
+val unsafe_weights : t -> float array
+(** The physical weight-by-edge-id array, {e shared, not copied} — the
+    caller must treat it as read-only.  Exists for index engines whose
+    inner loops cannot afford a closure call (or an O(m) snapshot) per
+    comparison; everything else should go through {!weight}. *)
+
 val weight_uv : t -> int -> int -> float
 (** @raise Not_found when the nodes are not adjacent. *)
 

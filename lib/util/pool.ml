@@ -1,0 +1,50 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Chunked work-stealing over a single atomic counter: each worker
+   repeatedly claims [chunk] consecutive task indices and fills the
+   corresponding result slots.  Slots are disjoint, so the only
+   synchronisation points are the counter and the final joins. *)
+let map ~jobs f tasks =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  let n = Array.length tasks in
+  if jobs = 1 || n <= 1 then Array.map f tasks
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    (* heavy tasks dominate here (whole protocol runs), so small chunks
+       balance better; the atomic is amortised all the same *)
+    let chunk = max 1 (n / (jobs * 8)) in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let lo = Atomic.fetch_and_add next chunk in
+        if lo >= n then continue := false
+        else
+          for i = lo to min (lo + chunk) n - 1 do
+            match f tasks.(i) with
+            | v -> results.(i) <- Some v
+            | exception e ->
+                let bt = Printexc.get_raw_backtrace () in
+                errors.(i) <- Some (e, bt)
+          done
+      done
+    in
+    let domains =
+      List.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join domains;
+    (* deterministic error choice: the failure at the lowest task index
+       wins, whatever the domain interleaving was *)
+    Array.iter
+      (function
+        | Some (e, bt) -> Printexc.raise_with_backtrace e bt | None -> ())
+      errors;
+    Array.map
+      (function Some v -> v | None -> assert false (* all slots filled *))
+      results
+  end
+
+let map_list ~jobs f tasks = Array.to_list (map ~jobs f (Array.of_list tasks))
+let run ~jobs thunks = map ~jobs (fun t -> t ()) thunks

@@ -1,0 +1,37 @@
+(** Multicore worker pool for embarrassingly parallel sweeps.
+
+    The benchmark harness and the experiment trial loops run many
+    independent (seed, size) jobs; this pool fans them out over OCaml 5
+    domains.  Design constraints, in order:
+
+    - {b Determinism}: results must be bit-identical whatever the domain
+      count.  The pool therefore never shares mutable state between
+      tasks: each task is a closure over its own inputs (callers give
+      every trial its own {!Prng} stream, keyed by trial index, not a
+      shared generator), and results land in a slot array indexed by
+      task position — the output order is the input order, regardless
+      of which domain finished first.
+    - {b Simplicity}: a chunk counter fetched with {!Atomic.fetch_and_add}
+      is the whole scheduler.  Tasks are grabbed in fixed-size chunks to
+      amortise the atomic per task.
+    - {b Safety}: the first exception a task raises is re-raised in the
+      caller's domain after every worker has joined (no abandoned
+      domains, no half-written slots observed). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], the sensible [--jobs] default. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs f tasks] applies [f] to every element, using up to [jobs]
+    domains ([jobs <= 1], an empty input, or a single task degrade to a
+    plain sequential map — no domain is ever spawned for them).
+    [f] must not touch shared mutable state; it runs concurrently.
+    Results are positionally ordered: [(map ~jobs f a).(i) = f a.(i)].
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val map_list : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** List version of {!map}; same ordering and determinism guarantees. *)
+
+val run : jobs:int -> (unit -> 'a) array -> 'a array
+(** [run ~jobs thunks] evaluates independent thunks; equivalent to
+    [map ~jobs (fun t -> t ()) thunks]. *)

@@ -4,6 +4,7 @@ let () =
   Alcotest.run "owp"
     [
       ("util.prng", Test_prng.suite);
+      ("util.pool", Test_pool.suite);
       ("util.heap", Test_heap.suite);
       ("util.dsu", Test_dsu.suite);
       ("util.stats", Test_stats.suite);
@@ -26,6 +27,7 @@ let () =
       ("matching.blossom", Test_blossom.suite);
       ("stable", Test_stable.suite);
       ("core.lic", Test_lic.suite);
+      ("core.lic_indexed", Test_lic_indexed.suite);
       ("core.lid", Test_lid.suite);
       ("core.lid_reliable", Test_lid_reliable.suite);
       ("core.guard", Test_guard.suite);
@@ -33,6 +35,7 @@ let () =
       ("core.theory", Test_theory.suite);
       ("check", Test_check.suite);
       ("core.pipeline", Test_pipeline.suite);
+      ("core.run_config", Test_run_config.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
       ("invariants", Test_invariants.suite);

@@ -1,0 +1,70 @@
+module Pool = Owp_util.Pool
+module Prng = Owp_util.Prng
+
+(* a trial that would expose shared-state or ordering bugs: each task
+   derives everything from its own index, like the sweep runners do *)
+let trial i =
+  let rng = Prng.create (1000 + i) in
+  let a = Prng.int rng 1_000_000 in
+  let b = Prng.float rng 1.0 in
+  (i, a, b)
+
+let test_positional_order () =
+  let input = Array.init 50 (fun i -> i) in
+  let out = Pool.map ~jobs:4 trial input in
+  Array.iteri
+    (fun i (j, _, _) -> Alcotest.(check int) "slot i holds task i" i j)
+    out
+
+let test_jobs_bit_identical () =
+  let input = Array.init 64 (fun i -> i) in
+  let serial = Pool.map ~jobs:1 trial input in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check bool)
+        (Printf.sprintf "jobs=%d identical to jobs=1" jobs)
+        true
+        (Pool.map ~jobs trial input = serial))
+    [ 2; 3; 8 ]
+
+let test_map_list () =
+  let input = List.init 20 (fun i -> i) in
+  Alcotest.(check bool) "map_list = sequential List.map" true
+    (Pool.map_list ~jobs:3 trial input = List.map trial input)
+
+let test_run_thunks () =
+  let thunks = Array.init 10 (fun i () -> i * i) in
+  Alcotest.(check (array int)) "run evaluates in slot order"
+    (Array.init 10 (fun i -> i * i))
+    (Pool.run ~jobs:4 thunks)
+
+let test_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty input" [||] (Pool.map ~jobs:4 (fun x -> x) [||]);
+  Alcotest.(check (array int)) "single task" [| 7 |] (Pool.map ~jobs:4 (fun x -> x + 1) [| 6 |])
+
+let test_exception_propagates () =
+  Alcotest.check_raises "task failure re-raised in caller" (Failure "task 3")
+    (fun () ->
+      ignore
+        (Pool.map ~jobs:4
+           (fun i -> if i = 3 then failwith "task 3" else i)
+           (Array.init 16 (fun i -> i))))
+
+let test_bad_jobs_rejected () =
+  Alcotest.check_raises "jobs=0 rejected" (Invalid_argument "Pool.map: jobs must be >= 1")
+    (fun () -> ignore (Pool.map ~jobs:0 (fun x -> x) [| 1 |]))
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "default_jobs >= 1" true (Pool.default_jobs () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "positional order" `Quick test_positional_order;
+    Alcotest.test_case "jobs bit-identical" `Quick test_jobs_bit_identical;
+    Alcotest.test_case "map_list" `Quick test_map_list;
+    Alcotest.test_case "run thunks" `Quick test_run_thunks;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+    Alcotest.test_case "bad jobs rejected" `Quick test_bad_jobs_rejected;
+    Alcotest.test_case "default jobs positive" `Quick test_default_jobs_positive;
+  ]
