@@ -6,7 +6,7 @@
      owp run         build an overlay matching with a chosen engine
      owp verify      check a saved matching against a graph and quota
      owp check       run the invariant checkers / interleaving explorer
-     owp experiment  regenerate a paper experiment table (E0..E23)
+     owp experiment  regenerate a paper experiment table (E0..E24)
      owp bench       experiments with the scale knobs: --jobs, --json, --gate
      owp list        list available experiments
 
@@ -243,68 +243,99 @@ let merge_faults (f : Faults.t) ~drop ~dup ~reorder ~no_fifo ~crash ~patience =
     patience = (match patience with Some _ -> patience | None -> f.patience);
   }
 
-(* --engine wins; otherwise --byzantine / --reliable pick the protocol
-   variant and --algo (legacy) supplies the base engine *)
+(* --engine wins; otherwise the composition flags pick the LID variant
+   and --algo (legacy) supplies the base engine.  Since the drivers
+   collapsed into the layered stack, --reliable/--faults/--byzantine/
+   --guard compose freely: they select middleware layers, not engines,
+   so any subset rides whatever LID-family engine resolves here. *)
 let resolve_engine engine_opt ~algo ~reliable ~byzantine =
   match engine_opt with
-  | Some e -> Ok e
+  | Some e -> e
   | None ->
-      if byzantine <> None && reliable then
-        Error
-          "--byzantine models adversarial peers on a fault-free network; it \
-           cannot be combined with --reliable (Run_config.validate rejects \
-           channel faults too)"
-      else if byzantine <> None then Ok RC.Lid_byzantine
-      else if reliable then Ok RC.Lid_reliable
-      else Ok algo
+      if byzantine <> None then RC.Lid_byzantine
+      else if reliable then RC.Lid_reliable
+      else algo
 
-let print_transport_detail (r : Owp_core.Lid_reliable.report) ~crash =
-  let module Lrel = Owp_core.Lid_reliable in
-  Printf.printf "wire frames         : %d (%d data + %d retrans + %d ack)\n"
-    r.Lrel.frames_sent r.Lrel.data_sent r.Lrel.retransmissions r.Lrel.acks_sent;
-  Printf.printf "transport overhead  : %.2f frames/protocol message\n" (Lrel.overhead r);
-  Printf.printf "channel losses      : %d dropped, %d straggled, %d dup-suppressed\n"
-    r.Lrel.dropped r.Lrel.reordered r.Lrel.duplicates_suppressed;
-  if crash > 0.0 || r.Lrel.peers_declared_dead > 0 then
-    Printf.printf "failures            : %d lost at down hosts, %d links given up, %d \
-                   synthetic REJ\n"
-      r.Lrel.lost_to_crashes r.Lrel.peers_declared_dead r.Lrel.synthetic_rejects
+(* The uniform per-layer counter table: one row per enabled middleware
+   layer, top of the stack first. *)
+let print_layer_table (r : Owp_core.Stack.report) =
+  print_endline "layer counters      :";
+  List.iter
+    (fun { Owp_core.Stack.layer; counters } ->
+      Printf.printf "  %-9s %s\n" layer
+        (if counters = [] then "-"
+         else
+           String.concat ", "
+             (List.map (fun (k, c) -> Printf.sprintf "%s=%d" k c) counters)))
+    r.Owp_core.Stack.layers
 
-let print_byzantine_detail inst prefs ~spec ~guard (r : Owp_core.Lid_byzantine.report) =
+(* One printer for every stack composition: transport accounting when
+   the ARQ layer ran, adversary/guard accounting when adversaries were
+   in play, then the per-layer counter table. *)
+let print_stack_detail prefs (cfg : RC.t) (r : Owp_core.Stack.report) =
+  let module Stack = Owp_core.Stack in
   let module LB = Owp_core.Lid_byzantine in
-  let n = Graph.node_count inst.Owp_bench.Workloads.graph in
-  let retained = LB.satisfaction_of_correct prefs r in
-  let reference = LB.reference_satisfaction prefs ~correct:r.LB.correct in
-  Printf.printf "adversaries         : %s (%d of %d peers)\n" spec r.LB.byz_count n;
-  Printf.printf "guard               : %s\n" (if guard then "on" else "off (baseline)");
-  Printf.printf "satisfaction        : %.4f retained of %.4f crash-only ideal (%.1f%%)\n"
-    retained reference
-    (if reference = 0.0 then 100.0 else 100.0 *. retained /. reference);
-  Printf.printf "adversarial msgs    : %d\n" r.LB.adversary_msgs;
-  Printf.printf "quarantines         : %d (%d false), %d of %d offenders caught\n"
-    r.LB.quarantine_events r.LB.false_quarantines r.LB.byz_quarantined
-    r.LB.byz_offenders;
-  if r.LB.offence_counts <> [] then
-    Printf.printf "offences            : %s\n"
-      (String.concat ", "
-         (List.map (fun (k, c) -> Printf.sprintf "%s x%d" k c) r.LB.offence_counts));
-  Printf.printf "wasted slots        : %d (locked towards Byzantine peers)\n"
-    r.LB.wasted_slots;
-  Printf.printf "give-ups            : %d synthetic REJ over %d quiet round(s)\n"
-    r.LB.synthetic_rejects r.LB.quiet_rounds;
-  (match r.LB.unterminated with
-  | [] -> ()
-  | stuck ->
-      Printf.printf "stuck correct peers : %s\n"
-        (String.concat " " (List.map string_of_int stuck)));
-  match r.LB.damage with
-  | [] ->
-      print_endline
-        "bounded damage      : certified (termination, feasibility, relativized \
-         Lemma 6)"
-  | vs ->
-      Printf.printf "bounded damage      : %d violation(s)\n" (List.length vs);
-      Format.printf "%a@." Owp_check.Violation.pp_list vs
+  let counter = Stack.counter r in
+  let transport_on = List.exists (fun l -> l.Stack.layer = "transport") r.Stack.layers in
+  if transport_on then begin
+    Printf.printf "wire frames         : %d (%d data + %d retrans + %d ack)\n"
+      (counter ~layer:"transport" "frames")
+      (counter ~layer:"transport" "data")
+      (counter ~layer:"transport" "retransmissions")
+      (counter ~layer:"transport" "acks");
+    Printf.printf "transport overhead  : %.2f frames/protocol message\n"
+      (Stack.overhead r)
+  end;
+  if r.Stack.dropped + r.Stack.reordered + r.Stack.lost_to_crashes > 0 then
+    Printf.printf "channel losses      : %d dropped, %d straggled, %d lost at down \
+                   hosts\n"
+      r.Stack.dropped r.Stack.reordered r.Stack.lost_to_crashes;
+  if r.Stack.synthetic_rejects > 0 then
+    Printf.printf "give-ups            : %d synthetic REJ (%d dead links, %d quiet \
+                   round(s))\n"
+      r.Stack.synthetic_rejects
+      (counter ~layer:"transport" "dead-links")
+      r.Stack.quiet_rounds;
+  (match cfg.RC.byzantine with
+  | None -> ()
+  | Some spec ->
+      let n = Array.length r.Stack.correct in
+      let retained = LB.satisfaction_of_correct prefs r in
+      let reference = LB.reference_satisfaction prefs ~correct:r.Stack.correct in
+      Printf.printf "adversaries         : %s (%d of %d peers)\n" spec r.Stack.byz_count
+        n;
+      Printf.printf "guard               : %s\n"
+        (if cfg.RC.guard then "on" else "off (baseline)");
+      Printf.printf
+        "satisfaction        : %.4f retained of %.4f crash-only ideal (%.1f%%)\n"
+        retained reference
+        (if reference = 0.0 then 100.0 else 100.0 *. retained /. reference);
+      Printf.printf "adversarial msgs    : %d\n" r.Stack.adversary_msgs;
+      Printf.printf "quarantines         : %d (%d false), %d of %d offenders caught\n"
+        r.Stack.quarantine_events r.Stack.false_quarantines r.Stack.byz_quarantined
+        r.Stack.byz_offenders;
+      if r.Stack.offence_counts <> [] then
+        Printf.printf "offences            : %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (k, c) -> Printf.sprintf "%s x%d" k c)
+                r.Stack.offence_counts));
+      Printf.printf "wasted slots        : %d (locked towards Byzantine peers)\n"
+        r.Stack.wasted_slots;
+      (match r.Stack.unterminated with
+      | [] -> ()
+      | stuck ->
+          Printf.printf "stuck correct peers : %s\n"
+            (String.concat " " (List.map string_of_int stuck)));
+      match r.Stack.damage with
+      | [] ->
+          print_endline
+            "bounded damage      : certified (termination, feasibility, relativized \
+             Lemma 6)"
+      | vs ->
+          Printf.printf "bounded damage      : %d violation(s)\n" (List.length vs);
+          Format.printf "%a@." Owp_check.Violation.pp_list vs);
+  print_layer_table r
 
 (* One printer for every engine: the generic outcome block, then the
    engine-specific accounting carried in [outcome.detail], then the
@@ -325,12 +356,8 @@ let print_outcome (cfg : RC.t) inst (out : P.outcome) save =
   | Some b -> Printf.printf "satisfaction bound  : %.4f of optimum (Theorem 3)\n" b
   | None -> ());
   (match out.P.detail with
-  | P.Plain | P.Distributed _ -> ()
-  | P.Reliable r -> print_transport_detail r ~crash:cfg.RC.faults.Faults.crash
-  | P.Byzantine r ->
-      print_byzantine_detail inst prefs
-        ~spec:(Option.value cfg.RC.byzantine ~default:"")
-        ~guard:cfg.RC.guard r);
+  | P.Plain -> ()
+  | P.Stack r -> print_stack_detail prefs cfg r);
   (match out.P.quiesced with
   | Some q -> Printf.printf "quiesced            : %b\n" q
   | None -> ());
@@ -346,7 +373,7 @@ let print_outcome (cfg : RC.t) inst (out : P.outcome) save =
     | Some m -> Printf.sprintf ", messages %d" m
     | None -> "");
   let damage_free =
-    match out.P.detail with P.Byzantine r -> r.Owp_core.Lid_byzantine.damage = [] | _ -> true
+    match out.P.detail with P.Stack r -> r.Owp_core.Stack.damage = [] | _ -> true
   in
   if out.P.quiesced <> Some false && damage_free then 0 else 1
 
@@ -354,10 +381,8 @@ let run_overlay seed family n quota model engine_opt algo graph_file save reliab
     faults_spec drop dup reorder no_fifo crash patience byzantine guard =
   let inst = build_instance seed family n quota model graph_file in
   let faults = merge_faults faults_spec ~drop ~dup ~reorder ~no_fifo ~crash ~patience in
-  let cfg =
-    Result.bind (resolve_engine engine_opt ~algo ~reliable ~byzantine) (fun engine ->
-        RC.validate (RC.make ~engine ~seed ~faults ?byzantine ~guard ()))
-  in
+  let engine = resolve_engine engine_opt ~algo ~reliable ~byzantine in
+  let cfg = RC.validate (RC.make ~engine ~seed ~faults ~reliable ?byzantine ~guard ()) in
   match cfg with
   | Error msg ->
       Printf.eprintf "run: %s\n" msg;
@@ -377,18 +402,18 @@ let reliable_arg =
 let drop_arg =
   Arg.(
     value & opt float 0.0
-    & info [ "drop" ] ~docv:"P" ~doc:"Per-message loss probability (requires --reliable).")
+    & info [ "drop" ] ~docv:"P" ~doc:"Per-message loss probability (mask it with --reliable).")
 
 let dup_arg =
   Arg.(
     value & opt float 0.0
-    & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability (requires --reliable).")
+    & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability (mask it with --reliable).")
 
 let reorder_arg =
   Arg.(
     value & opt float 0.0
     & info [ "reorder" ] ~docv:"P"
-        ~doc:"Per-message straggler probability — breaks FIFO even on FIFO links (requires --reliable).")
+        ~doc:"Per-message straggler probability — breaks FIFO even on FIFO links (mask it with --reliable).")
 
 let no_fifo_arg =
   Arg.(
@@ -401,8 +426,8 @@ let crash_arg =
     value & opt float 0.0
     & info [ "crash" ] ~docv:"FRAC"
         ~doc:
-          "Fraction of peers that fail-stop at a random early point (requires \
-           --reliable; arms a default patience of 60 unless --patience is given).")
+          "Fraction of peers that fail-stop at a random early point (arms a \
+           default patience of 60 unless --patience is given).")
 
 let patience_arg =
   Arg.(
@@ -654,11 +679,10 @@ let check_cmdline seed family n quota model engine_opt algo graph_file matching_
           let faults =
             merge_faults faults_spec ~drop ~dup ~reorder ~no_fifo ~crash ~patience
           in
+          let engine = resolve_engine engine_opt ~algo ~reliable ~byzantine in
           let cfg =
-            Result.bind (resolve_engine engine_opt ~algo ~reliable ~byzantine)
-              (fun engine ->
-                RC.validate
-                  (RC.make ~engine ~seed ~faults ?byzantine ~guard ~check:true ()))
+            RC.validate
+              (RC.make ~engine ~seed ~faults ~reliable ?byzantine ~guard ~check:true ())
           in
           match cfg with
           | Error msg ->
@@ -669,10 +693,23 @@ let check_cmdline seed family n quota model engine_opt algo graph_file matching_
               (match out.P.quiesced with
               | Some q -> Printf.printf "converged           : %b\n" q
               | None -> ());
-              print_check_report
-                ~converged:(out.P.quiesced <> Some false)
-                inst
-                (Option.get out.P.check_report)
+              let damage =
+                match out.P.detail with
+                | P.Stack r -> r.Owp_core.Stack.damage
+                | P.Plain -> []
+              in
+              if damage <> [] then begin
+                Printf.printf "bounded damage      : %d violation(s)\n"
+                  (List.length damage);
+                Format.printf "%a@." Owp_check.Violation.pp_list damage
+              end;
+              let rc =
+                print_check_report
+                  ~converged:(out.P.quiesced <> Some false)
+                  inst
+                  (Option.get out.P.check_report)
+              in
+              if damage = [] then rc else 1
         end
   end
 
@@ -753,7 +790,7 @@ let experiment quick ids =
 
 let experiment_cmd =
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Trimmed sweeps.") in
-  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E0..E23); all when omitted.") in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E0..E24); all when omitted.") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper experiment table")
     Term.(const experiment $ quick $ ids)

@@ -6,6 +6,7 @@
 module Tbl = Owp_util.Tablefmt
 module BM = Owp_matching.Bmatching
 module Prng = Owp_util.Prng
+module Stack = Owp_core.Stack
 
 let correct_satisfaction prefs silent m =
   let g = Preference.graph prefs in
@@ -52,14 +53,14 @@ let run ~quick =
         Owp_core.Lid_robust.run ~seed:2 ~silent inst.Workloads.weights
           ~capacity:inst.Workloads.capacity
       in
-      let s, c = correct_satisfaction inst.Workloads.prefs silent r.Owp_core.Lid_robust.matching in
+      let s, c = correct_satisfaction inst.Workloads.prefs silent r.Stack.matching in
       let mean = if c = 0 then 0.0 else s /. float_of_int c in
       Tbl.add_row t
         [
           Tbl.icell pct;
-          (if r.Owp_core.Lid_robust.all_correct_terminated then "yes" else "NO");
-          Tbl.icell r.Owp_core.Lid_robust.timeouts_fired;
-          Tbl.icell r.Owp_core.Lid_robust.dropped;
+          (if r.Stack.all_terminated then "yes" else "NO");
+          Tbl.icell (Stack.counter r ~layer:"detector" "patience-fired");
+          Tbl.icell r.Stack.dropped;
           Tbl.fcell mean;
           Tbl.pct (if baseline = 0.0 then 0.0 else mean /. baseline);
         ])
@@ -83,12 +84,12 @@ let run ~quick =
         Owp_core.Lid_robust.run ~seed:3 ~timeout ~silent inst.Workloads.weights
           ~capacity:inst.Workloads.capacity
       in
-      let s, c = correct_satisfaction inst.Workloads.prefs silent r.Owp_core.Lid_robust.matching in
+      let s, c = correct_satisfaction inst.Workloads.prefs silent r.Stack.matching in
       Tbl.add_row t2
         [
           Tbl.fcell2 timeout;
-          (if r.Owp_core.Lid_robust.all_correct_terminated then "yes" else "NO");
-          Tbl.icell r.Owp_core.Lid_robust.timeouts_fired;
+          (if r.Stack.all_terminated then "yes" else "NO");
+          Tbl.icell (Stack.counter r ~layer:"detector" "patience-fired");
           Tbl.fcell (if c = 0 then 0.0 else s /. float_of_int c);
         ])
     [ 2.0; 5.0; 10.0; 40.0 ];
@@ -114,13 +115,13 @@ let run ~quick =
         Owp_core.Lid_robust.run ~seed:4 ~faults ~silent inst.Workloads.weights
           ~capacity:inst.Workloads.capacity
       in
-      let s, c = correct_satisfaction inst.Workloads.prefs silent r.Owp_core.Lid_robust.matching in
+      let s, c = correct_satisfaction inst.Workloads.prefs silent r.Stack.matching in
       Tbl.add_row t3
         [
           Tbl.fcell2 drop;
-          (if r.Owp_core.Lid_robust.all_correct_terminated then "yes" else "NO");
-          Tbl.icell r.Owp_core.Lid_robust.timeouts_fired;
-          Tbl.icell r.Owp_core.Lid_robust.dropped;
+          (if r.Stack.all_terminated then "yes" else "NO");
+          Tbl.icell (Stack.counter r ~layer:"detector" "patience-fired");
+          Tbl.icell r.Stack.dropped;
           Tbl.fcell (if c = 0 then 0.0 else s /. float_of_int c);
         ])
     [ 0.0; 0.1; 0.3 ];

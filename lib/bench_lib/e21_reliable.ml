@@ -16,6 +16,7 @@ module Sim = Owp_simnet.Simnet
 module Lid = Owp_core.Lid
 module Lic = Owp_core.Lic
 module Lrel = Owp_core.Lid_reliable
+module Stack = Owp_core.Stack
 module Prng = Owp_util.Prng
 
 let yn b = if b then "yes" else "NO"
@@ -58,12 +59,12 @@ let run ~quick =
           Tbl.fcell2 drop;
           yn fifo;
           (if plain.Lid.all_terminated then "terminates" else "STUCK");
-          yn r.Lrel.all_terminated;
-          yn (BM.equal r.Lrel.matching lic);
-          Tbl.icell r.Lrel.dropped;
-          Tbl.icell r.Lrel.retransmissions;
+          yn r.Stack.all_terminated;
+          yn (BM.equal r.Stack.matching lic);
+          Tbl.icell r.Stack.dropped;
+          Tbl.icell (Stack.counter r ~layer:"transport" "retransmissions");
           Tbl.fcell2 (Lrel.overhead r);
-          Tbl.fcell2 r.Lrel.completion_time;
+          Tbl.fcell2 r.Stack.completion_time;
         ])
     [ (0.0, true); (0.1, true); (0.3, true); (0.0, false); (0.3, false) ];
 
@@ -89,10 +90,10 @@ let run ~quick =
         [
           Tbl.fcell2 dup;
           Tbl.fcell2 reorder;
-          yn r.Lrel.all_terminated;
-          yn (BM.equal r.Lrel.matching lic);
-          Tbl.icell r.Lrel.duplicates_suppressed;
-          Tbl.icell r.Lrel.reordered;
+          yn r.Stack.all_terminated;
+          yn (BM.equal r.Stack.matching lic);
+          Tbl.icell (Stack.counter r ~layer:"transport" "dup-suppressed");
+          Tbl.icell r.Stack.reordered;
           Tbl.fcell2 (Lrel.overhead r);
         ])
     [ (0.0, 0.0); (0.2, 0.0); (0.5, 0.0); (0.0, 0.3); (0.2, 0.3); (0.5, 0.3) ];
@@ -135,11 +136,11 @@ let run ~quick =
                      { Lrel.victim; crash_at; restart_at })
             in
             let r = Lrel.run ~seed ~faults ~patience:60.0 ~crashes w ~capacity in
-            ( r.Lrel.all_terminated,
-              r.Lrel.synthetic_rejects,
-              r.Lrel.peers_declared_dead,
-              Exp_common.total_satisfaction inst.Workloads.prefs r.Lrel.matching,
-              r.Lrel.completion_time ))
+            ( r.Stack.all_terminated,
+              r.Stack.synthetic_rejects,
+              Stack.counter r ~layer:"transport" "dead-links",
+              Exp_common.total_satisfaction inst.Workloads.prefs r.Stack.matching,
+              r.Stack.completion_time ))
           seeds
       in
       let converged = ref 0 and srej = ref 0 and deadl = ref 0 in

@@ -19,6 +19,7 @@
 module Tbl = Owp_util.Tablefmt
 module Adversary = Owp_simnet.Adversary
 module LB = Owp_core.Lid_byzantine
+module Stack = Owp_core.Stack
 
 let yn b = if b then "yes" else "NO"
 
@@ -33,16 +34,16 @@ let cells ~seeds ~prefs ~spec ~guard =
       let rng = Owp_util.Prng.create (0xE22 + (7919 * seed)) in
       let adversaries = Adversary.assign rng ~n (Adversary.parse_spec spec) in
       let r = LB.run ~seed ~guard ~adversaries prefs in
-      if r.LB.all_correct_terminated then incr term;
-      damage := !damage + List.length r.LB.damage;
-      quar := !quar + r.LB.quarantine_events;
-      falseq := !falseq + r.LB.false_quarantines;
-      offenders := !offenders + r.LB.byz_offenders;
-      caught := !caught + r.LB.byz_quarantined;
-      wasted := !wasted + r.LB.wasted_slots;
-      msgs := !msgs + r.LB.prop_count + r.LB.rej_count + r.LB.synthetic_rejects;
+      if r.Stack.all_terminated then incr term;
+      damage := !damage + List.length r.Stack.damage;
+      quar := !quar + r.Stack.quarantine_events;
+      falseq := !falseq + r.Stack.false_quarantines;
+      offenders := !offenders + r.Stack.byz_offenders;
+      caught := !caught + r.Stack.byz_quarantined;
+      wasted := !wasted + r.Stack.wasted_slots;
+      msgs := !msgs + r.Stack.prop_count + r.Stack.rej_count + r.Stack.synthetic_rejects;
       retained := !retained +. LB.satisfaction_of_correct prefs r;
-      reference := !reference +. LB.reference_satisfaction prefs ~correct:r.LB.correct)
+      reference := !reference +. LB.reference_satisfaction prefs ~correct:r.Stack.correct)
     seeds;
   let recall =
     if !offenders = 0 then "n/a"

@@ -24,6 +24,7 @@ let all =
     E21_reliable.exp;
     E22_byzantine.exp;
     E23_scale.exp;
+    E24_composition.exp;
   ]
 
 let find id =

@@ -5,6 +5,7 @@ type instance = {
   edges : int list;
   consumed : int array;
   unterminated : int list;
+  overclaimed : (int * int) list;
 }
 
 let name = "byzantine-damage"
@@ -134,6 +135,24 @@ let blocking_violations inst =
       end);
   List.rev !out
 
+(* A slot locked to a peer whose bootstrap advertisement provably
+   exceeded its public 1/b bound is avoidable damage: the claim was a
+   verifiable lie at t = 0, so a guarded node never ranks (or proposes
+   to) the advertiser, while an unguarded node hands it a slot.  The
+   driver reports the (victim, liar) pairs; each one voids the
+   bounded-damage certificate. *)
+let overclaim_violations inst =
+  List.map
+    (fun (victim, liar) ->
+      Violation.v ~checker:"byzantine-overclaim" (Violation.Edge (victim, liar))
+        ~expected:
+          "no slot locked to a peer whose advertised half-weight provably \
+           exceeds its public 1/b bound"
+        ~actual:
+          (Printf.sprintf "correct peer %d locked over-claiming advertiser %d"
+             victim liar))
+    inst.overclaimed
+
 let check inst =
   let g = Weights.graph inst.weights in
   let n = Graph.node_count g in
@@ -146,3 +165,4 @@ let check inst =
   @ restriction_violations inst
   @ feasibility_violations inst
   @ blocking_violations inst
+  @ overclaim_violations inst

@@ -36,6 +36,11 @@ type instance = {
       (** per-node total locked slots, Byzantine partners included
           (|K_i|); only correct nodes' entries are inspected *)
   unterminated : int list;  (** correct nodes that failed to quiesce *)
+  overclaimed : (int * int) list;
+      (** [(victim, liar)] locks a correct node holds on a peer whose
+          bootstrap advertisement provably exceeded its public [1/b]
+          bound — avoidable damage the guard prevents at t = 0, so
+          each entry voids the certificate ([byzantine-overclaim]) *)
 }
 
 val name : string
@@ -47,5 +52,5 @@ val doc : string
 val check : instance -> Violation.t list
 (** Empty iff the terminal state satisfies the bounded-damage
     guarantee.  Violations are tagged [byzantine-termination],
-    [byzantine-feasibility], [byzantine-restriction] and
-    [byzantine-blocking-pair]. *)
+    [byzantine-feasibility], [byzantine-restriction],
+    [byzantine-blocking-pair] and [byzantine-overclaim]. *)

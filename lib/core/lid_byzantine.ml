@@ -1,433 +1,37 @@
-module Simnet = Owp_simnet.Simnet
+(* LID under Byzantine peers as a stack configuration: the adversary
+   behaviours, the bootstrap advert round, the guard layer and the
+   quiet-round give-up all live in Stack — this module keeps the
+   preference-level entry point, the satisfaction accounting the
+   experiments report, and the exhaustive verification repertoire. *)
+
 module Adversary = Owp_simnet.Adversary
-module Bmatching = Owp_matching.Bmatching
-module Violation = Owp_check.Violation
-module Byzantine = Owp_check.Byzantine
 module Explore = Owp_check.Explore
+module Byzantine = Owp_check.Byzantine
+module Bmatching = Owp_matching.Bmatching
 
-(* ------------------------------------------------------------------ *)
-(* eq. 9 halves                                                        *)
-(* ------------------------------------------------------------------ *)
-
-(* ΔS̄_i(j): node i's half of edge (i,j)'s symmetric weight.  Matches
-   Weights.of_preference exactly (same static_delta calls, and IEEE
-   addition is commutative), so an all-honest perceived ranking is
-   bit-identical to Lid's default weight list. *)
-let half prefs i j =
-  let b = Preference.quota prefs i and l = Preference.list_len prefs i in
-  if b = 0 || l = 0 then 0.0
-  else Satisfaction.static_delta ~quota:b ~list_len:l ~rank:(Preference.rank prefs i j)
-
-(* the public structural bound: ΔS̄_j(·) = (1 − R/L)/b_j ≤ 1/b_j, and
-   b_j is public — any claim above this is a provable lie *)
-let bound prefs j =
-  let b = Preference.quota prefs j in
-  if b <= 0 then 0.0 else 1.0 /. float_of_int b
-
-(* what node j advertises about its half of edge (j, i) *)
-let advert_of prefs adversaries j i =
-  match adversaries.(j) with
-  | Some (Adversary.Weight_liar lam) -> (1.0 +. lam) *. bound prefs j
-  | _ -> half prefs j i
-
-(* perceived ranking of node i: neighbours by decreasing
-   own-half + advertised-half, Lid's tie-break order *)
-let ranking_of g perceived i =
-  let entries =
-    Array.to_list (Graph.neighbors g i)
-    |> List.filter (fun (v, _) -> Hashtbl.mem perceived v)
-  in
-  let pw (v, _) = (Hashtbl.find perceived v : float) in
-  let sorted =
-    List.sort
-      (fun ((_, e) as a) ((_, f) as b) ->
-        let c = Float.compare (pw b) (pw a) in
-        if c <> 0 then c
-        else begin
-          let ue, ve = Graph.edge_endpoints g e and uf, vf = Graph.edge_endpoints g f in
-          compare (uf, vf, f) (ue, ve, e)
-        end)
-      entries
-  in
-  Array.of_list sorted
-
-(* ------------------------------------------------------------------ *)
-(* adversary behaviours                                                *)
-(* ------------------------------------------------------------------ *)
-
-let prop claim = { Guard.epoch = 0; body = Guard.Prop { claim } }
-let rej = { Guard.epoch = 0; body = Guard.Rej }
-
-(* f's own (truthful) preference order over its neighbours *)
-let own_order prefs g f =
-  let entries = Array.to_list (Graph.neighbors g f) in
-  List.sort
-    (fun (v1, _) (v2, _) ->
-      Float.compare
-        (half prefs f v2 +. half prefs v2 f)
-        (half prefs f v1 +. half prefs v1 f))
-    entries
-  |> List.map fst
-
-let rec take k = function
-  | [] -> []
-  | _ when k <= 0 -> []
-  | x :: tl -> x :: take (k - 1) tl
-
-(* a roughly honest responder: proposes to its top-b, accepts up to
-   [limit] partners, declines the rest — every proposal it receives is
-   eventually answered.  [claim v] is what it writes into its PROPs. *)
-let responder ~claim ~order ~limit =
-  let sent = Hashtbl.create 8 in
-  let partners = Hashtbl.create 8 in
-  let declined = Hashtbl.create 8 in
-  let prop_to ~send v =
-    if not (Hashtbl.mem sent v) then begin
-      Hashtbl.replace sent v ();
-      send ~dst:v (prop (claim v))
-    end
-  in
-  let on_init ~send = List.iter (prop_to ~send) (take limit order) in
-  let on_receive ~src (m : Guard.msg) ~send =
-    match m.body with
-    | Guard.Prop _ ->
-        if Hashtbl.mem partners src then ()
-        else if Hashtbl.mem sent src then Hashtbl.replace partners src ()
-        else if Hashtbl.length partners < limit && not (Hashtbl.mem declined src)
-        then begin
-          Hashtbl.replace partners src ();
-          prop_to ~send src
-        end
-        else if not (Hashtbl.mem declined src) then begin
-          Hashtbl.replace declined src ();
-          send ~dst:src rej
-        end
-    | Guard.Rej -> Hashtbl.remove sent src
-  in
-  { Adversary.on_init; on_receive }
-
-let make_behaviour prefs g adversaries f model =
-  let nbrs = Array.map fst (Graph.neighbors g f) in
-  let b = Preference.quota prefs f in
-  let order = own_order prefs g f in
-  match (model : Adversary.model) with
-  | Adversary.Weight_liar _ ->
-      (* state-machine-clean; the dishonesty is entirely in the claim,
-         which must match the bootstrap advert to stay stealthy *)
-      responder ~claim:(advert_of prefs adversaries f) ~order ~limit:b
-  | Adversary.Equivocator ->
-      (* proposes to everyone once; every proposal it ever receives is
-         answered by that standing accept — per-link perfectly legal *)
-      {
-        Adversary.on_init =
-          (fun ~send -> Array.iter (fun v -> send ~dst:v (prop (half prefs f v))) nbrs);
-        on_receive = (fun ~src:_ _ ~send:_ -> ());
-      }
-  | Adversary.Flooder k ->
-      (* every receipt triggers [k] full PROP sweeps over the
-         neighbourhood; a total budget stops flooder pairs from
-         amplifying each other forever *)
-      let sweeps_left = ref (4 * max 1 k) in
-      {
-        Adversary.on_init = (fun ~send:_ -> ());
-        on_receive =
-          (fun ~src:_ _ ~send ->
-            let burst = min (max 1 k) !sweeps_left in
-            sweeps_left := !sweeps_left - burst;
-            for _ = 1 to burst do
-              Array.iter (fun v -> send ~dst:v (prop (half prefs f v))) nbrs
-            done);
-      }
-  | Adversary.Replayer ->
-      (* honest-looking play plus duplicates of its own past messages,
-         every other one with a stale epoch *)
-      let inner = responder ~claim:(half prefs f) ~order ~limit:b in
-      let log = ref [] in
-      let replays = ref 0 in
-      let recording send ~dst m =
-        log := (dst, m) :: !log;
-        send ~dst m
-      in
-      {
-        Adversary.on_init = (fun ~send -> inner.Adversary.on_init ~send:(recording send));
-        on_receive =
-          (fun ~src m ~send ->
-            inner.Adversary.on_receive ~src m ~send:(recording send);
-            match !log with
-            | [] -> ()
-            | l ->
-                let dst, (m : Guard.msg) = List.nth l (!replays mod List.length l) in
-                incr replays;
-                let epoch = if !replays mod 2 = 0 then m.epoch else -1 in
-                send ~dst { m with epoch });
-      }
-  | Adversary.State_violator ->
-      (* PROP-to-stranger at startup, REJ right after a lock forms, and
-         proposals from others are never answered (liveness violation:
-         unguarded peers starve waiting for its reply) *)
-      let sent = Hashtbl.create 8 in
-      let n = Graph.node_count g in
-      let neighbour = Hashtbl.create 8 in
-      Array.iter (fun v -> Hashtbl.replace neighbour v ()) nbrs;
-      let stranger =
-        let rec find i =
-          if i >= n then None
-          else if i <> f && not (Hashtbl.mem neighbour i) then Some i
-          else find (i + 1)
-        in
-        find 0
-      in
-      {
-        Adversary.on_init =
-          (fun ~send ->
-            List.iter
-              (fun v ->
-                Hashtbl.replace sent v ();
-                send ~dst:v (prop (half prefs f v)))
-              (take (max 1 b) order);
-            Option.iter (fun w -> send ~dst:w (prop (bound prefs f))) stranger);
-        on_receive =
-          (fun ~src (m : Guard.msg) ~send ->
-            match m.body with
-            | Guard.Prop _ when Hashtbl.mem sent src ->
-                (* mutual proposal: the victim just locked us — renege *)
-                Hashtbl.remove sent src;
-                send ~dst:src rej
-            | _ -> ());
-      }
-
-(* ------------------------------------------------------------------ *)
-(* the simulation driver                                               *)
-(* ------------------------------------------------------------------ *)
-
-type report = {
-  matching : Bmatching.t;
-  correct : bool array;
-  byz_count : int;
-  prop_count : int;
-  rej_count : int;
-  adversary_msgs : int;
-  delivered : int;
-  completion_time : float;
-  quarantine_events : int;
-  false_quarantines : int;
-  byz_offenders : int;
-  byz_quarantined : int;
-  offence_counts : (string * int) list;
-  synthetic_rejects : int;
-  quiet_rounds : int;
-  wasted_slots : int;
-  all_correct_terminated : bool;
-  unterminated : int list;
-  damage : Violation.t list;
-}
-
-let run ?(seed = 0xB12) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
-    ?(guard = true) ?(guard_config = Guard.default_config) ~adversaries prefs =
+let run ?(seed = 0xB12) ?(delay = Owp_simnet.Simnet.Uniform (0.5, 1.5))
+    ?(fifo = true) ?(guard = true) ?(guard_config = Guard.default_config)
+    ~adversaries prefs =
   let g = Preference.graph prefs in
   let n = Graph.node_count g in
   if Array.length adversaries <> n then
     invalid_arg "Lid_byzantine.run: adversary array arity mismatch";
-  let correct = Array.map (fun m -> m = None) adversaries in
-  if not (Array.exists Fun.id correct) then
+  if not (Array.exists (fun m -> m = None) adversaries) then
     invalid_arg "Lid_byzantine.run: no correct node left";
-  let byz_count = Array.fold_left (fun acc c -> if c then acc else acc + 1) 0 correct in
   let capacity = Array.init n (Preference.quota prefs) in
   let w = Weights.of_preference prefs in
-  let guards =
-    Array.init n (fun i ->
-        Guard.create ~config:guard_config ~bound:(bound prefs) ~graph:g ~me:i ())
-  in
-  (* counters *)
-  let prop_count = ref 0 and rej_count = ref 0 in
-  let adversary_msgs = ref 0 in
-  let quarantine_events = ref 0 and false_quarantines = ref 0 in
-  let synthetic_rejects = ref 0 and quiet_rounds = ref 0 in
-  (* --- bootstrap: advertise half-weights, vet them, build rankings --- *)
-  let perceived = Array.init n (fun _ -> Hashtbl.create 8) in
-  let bootstrap_rejects = ref [] in
-  for i = 0 to n - 1 do
-    if correct.(i) then
-      Array.iter
-        (fun (v, _) ->
-          let a = advert_of prefs adversaries v i in
-          if guard then begin
-            let verdict = Guard.on_advert guards.(i) ~peer:v ~claim:a in
-            if verdict.Guard.quarantine then begin
-              incr quarantine_events;
-              if correct.(v) then incr false_quarantines;
-              bootstrap_rejects := (i, v) :: !bootstrap_rejects
-            end;
-            if verdict.Guard.accept then
-              Hashtbl.replace perceived.(i) v (half prefs i v +. a)
-          end
-          else Hashtbl.replace perceived.(i) v (half prefs i v +. a))
-        (Graph.neighbors g i)
-  done;
-  let ranking i = if correct.(i) then ranking_of g perceived.(i) i else [||] in
-  let st, initial = Lid.init ~ranking w ~capacity in
-  let net = Simnet.create ~seed ~fifo ~nodes:(max n 1) ~delay () in
-  let behaviours =
-    Array.mapi
-      (fun f -> function
-        | None -> Adversary.silent
-        | Some m -> make_behaviour prefs g adversaries f m)
-      adversaries
-  in
-  let byz_send f ~dst m =
-    incr adversary_msgs;
-    Simnet.send net ~src:f ~dst m
-  in
-  let wrap src dst = function
-    | Lid.Prop ->
-        incr prop_count;
-        { Guard.epoch = 0; body = Guard.Prop { claim = half prefs src dst } }
-    | Lid.Rej ->
-        incr rej_count;
-        { Guard.epoch = 0; body = Guard.Rej }
-  in
-  let process events =
-    List.iter
-      (function
-        | Lid.Send (src, dst, m) -> Simnet.send net ~src ~dst (wrap src dst m)
-        | Lid.Lock _ -> ())
-      events
-  in
-  let synthetic_reject at ~peer =
-    incr synthetic_rejects;
-    process (Lid.deliver st ~src:peer ~dst:at Lid.Rej)
-  in
-  let quarantine at ~peer =
-    incr quarantine_events;
-    if correct.(peer) then incr false_quarantines;
-    (* re-announce the decline on the wire, then release any obligation
-       towards the offender through the Lid_reliable escape hatch *)
-    incr rej_count;
-    Simnet.send net ~src:at ~dst:peer rej;
-    synthetic_reject at ~peer
-  in
-  let deliver_to_lid at ~src (m : Guard.msg) =
-    let lm = match m.body with Guard.Prop _ -> Lid.Prop | Guard.Rej -> Lid.Rej in
-    process (Lid.deliver st ~src ~dst:at lm)
-  in
-  Simnet.set_handler net (fun ~src ~dst m ->
-      if not correct.(dst) then
-        behaviours.(dst).Adversary.on_receive ~src m ~send:(byz_send dst)
-      else if guard then begin
-        let verdict = Guard.inspect guards.(dst) ~peer:src m in
-        if verdict.Guard.accept then deliver_to_lid dst ~src m
-        else if verdict.Guard.quarantine then quarantine dst ~peer:src
-      end
-      else deliver_to_lid dst ~src m);
-  (* adversaries open their mouths first, then the honest burst *)
-  Array.iteri
-    (fun f c -> if not c then behaviours.(f).Adversary.on_init ~send:(byz_send f))
-    correct;
-  process initial;
-  List.iter
-    (fun (i, p) ->
-      incr rej_count;
-      Simnet.send net ~src:i ~dst:p rej)
-    !bootstrap_rejects;
-  Simnet.run net;
-  (* quiet rounds (guarded only): when the network idles with correct
-     nodes still stuck, give up exactly the pendings towards
-     adversary-controlled or quarantined peers — the eventually-perfect
-     failure detector.  Honest-honest pendings are never cut: they
-     resolve transitively once the Byzantine leaves are. *)
-  let correct_stragglers () =
-    List.filter (fun i -> correct.(i)) (Lid.unterminated_nodes st)
-  in
-  if guard then begin
-    let continue = ref true in
-    let max_rounds = (2 * n) + 8 in
-    while !continue && correct_stragglers () <> [] && !quiet_rounds < max_rounds do
-      let progress = ref false in
-      List.iter
-        (fun i ->
-          Array.iter
-            (fun (v, _) ->
-              if
-                Lid.awaiting_reply st ~node:i ~peer:v
-                && ((not correct.(v)) || Guard.quarantined guards.(i) ~peer:v)
-              then begin
-                progress := true;
-                synthetic_reject i ~peer:v
-              end)
-            (Graph.neighbors g i))
-        (correct_stragglers ());
-      if !progress then begin
-        incr quiet_rounds;
-        Simnet.run net
-      end
-      else continue := false
-    done
-  end;
-  (* --- terminal accounting --- *)
-  let locked = Lid.locked_edge_ids st in
-  let matching = Bmatching.of_edge_ids g ~capacity locked in
-  let consumed = Array.init n (fun i -> List.length (Lid.locks st i)) in
-  let wasted_slots = ref 0 in
-  for i = 0 to n - 1 do
-    if correct.(i) then
-      List.iter (fun v -> if not correct.(v) then incr wasted_slots) (Lid.locks st i)
-  done;
-  let offence_tbl = Hashtbl.create 8 in
-  let offenders = Hashtbl.create 8 in
-  let quarantined_byz = Hashtbl.create 8 in
-  for i = 0 to n - 1 do
-    if correct.(i) then begin
-      List.iter
-        (fun (k, c) ->
-          Hashtbl.replace offence_tbl k
-            (c + Option.value ~default:0 (Hashtbl.find_opt offence_tbl k)))
-        (Guard.offence_counts guards.(i));
-      List.iter
-        (fun (p, _) -> if not correct.(p) then Hashtbl.replace offenders p ())
-        (Guard.offences guards.(i));
-      List.iter
-        (fun p -> if not correct.(p) then Hashtbl.replace quarantined_byz p ())
-        (Guard.quarantined_peers guards.(i))
-    end
-  done;
-  let unterminated = correct_stragglers () in
-  let damage =
-    Byzantine.check
-      { Byzantine.weights = w; capacity; correct; edges = locked; consumed; unterminated }
-  in
-  {
-    matching;
-    correct;
-    byz_count;
-    prop_count = !prop_count;
-    rej_count = !rej_count;
-    adversary_msgs = !adversary_msgs;
-    delivered = Simnet.messages_delivered net;
-    completion_time = Simnet.now net;
-    quarantine_events = !quarantine_events;
-    false_quarantines = !false_quarantines;
-    byz_offenders = Hashtbl.length offenders;
-    byz_quarantined = Hashtbl.length quarantined_byz;
-    offence_counts =
-      Hashtbl.fold (fun k c acc -> (k, c) :: acc) offence_tbl [] |> List.sort compare;
-    synthetic_rejects = !synthetic_rejects;
-    quiet_rounds = !quiet_rounds;
-    wasted_slots = !wasted_slots;
-    all_correct_terminated = unterminated = [];
-    unterminated;
-    damage;
-  }
+  Stack.run ~seed ~delay ~fifo ~adversaries ~guard ~guard_config ~prefs w ~capacity
 
 (* ------------------------------------------------------------------ *)
 (* satisfaction accounting                                             *)
 (* ------------------------------------------------------------------ *)
 
-let satisfaction_of_correct prefs (r : report) =
-  let conns = Bmatching.connection_lists r.matching in
+let satisfaction_of_correct prefs (r : Stack.report) =
+  let conns = Bmatching.connection_lists r.Stack.matching in
   let total = ref 0.0 in
   Array.iteri
     (fun i c -> if c then total := !total +. Preference.satisfaction prefs i conns.(i))
-    r.correct;
+    r.Stack.correct;
   !total
 
 let reference_satisfaction prefs ~correct =
@@ -443,8 +47,7 @@ let reference_satisfaction prefs ~correct =
     let arr = Array.make (Graph.edge_count sub) 0.0 in
     Graph.iter_edges sub (fun eid u v ->
         let ou = old_of_new.(u) and ov = old_of_new.(v) in
-        arr.(eid) <-
-          (half prefs ou ov +. half prefs ov ou));
+        arr.(eid) <- Stack.half prefs ou ov +. Stack.half prefs ov ou);
     Weights.of_array sub arr
   in
   let capacity = Array.map (Preference.quota prefs) old_of_new in
@@ -455,15 +58,14 @@ let reference_satisfaction prefs ~correct =
     (fun ni oi ->
       total :=
         !total
-        +. Preference.satisfaction prefs oi (List.map (fun nv -> old_of_new.(nv)) conns.(ni)))
+        +. Preference.satisfaction prefs oi
+             (List.map (fun nv -> old_of_new.(nv)) conns.(ni)))
     old_of_new;
   !total
 
 (* ------------------------------------------------------------------ *)
-(* exhaustive verification (Explore)                                   *)
+(* exhaustive verification (Explore over the stack's composition)      *)
 (* ------------------------------------------------------------------ *)
-
-type explore_state = { lid : Lid.state; eguards : Guard.t array option }
 
 let verify_exhaustively ?(guard = true) ?(guard_config = Guard.default_config)
     ?(budget = 2) ?max_configs ~byz prefs =
@@ -473,131 +75,27 @@ let verify_exhaustively ?(guard = true) ?(guard_config = Guard.default_config)
   let capacity = Array.init n (Preference.quota prefs) in
   let w = Weights.of_preference prefs in
   let correct i = i <> byz in
-  (* adverts are honest in the exhaustive model: the liar's over-bound
-     claims enter through the injection repertoire instead, so every
-     attack is interleaved with deliveries rather than fixed at t=0 *)
-  let ranking i =
-    if correct i then begin
-      let perceived = Hashtbl.create 8 in
-      Array.iter
-        (fun (v, _) ->
-          Hashtbl.replace perceived v (half prefs i v +. half prefs v i))
-        (Graph.neighbors g i);
-      ranking_of g perceived i
-    end
-    else [||]
-  in
-  let wrap events =
-    List.filter_map
-      (function
-        | Lid.Send (src, dst, m) ->
-            let body =
-              match m with
-              | Lid.Prop -> Guard.Prop { claim = half prefs src dst }
-              | Lid.Rej -> Guard.Rej
-            in
-            Some { Explore.src; dst; payload = { Guard.epoch = 0; body } }
-        | Lid.Lock _ -> None)
-      events
-  in
-  let mk_guards () =
-    if guard then
-      Some
-        (Array.init n (fun i ->
-             Guard.create ~config:guard_config ~bound:(bound prefs) ~graph:g ~me:i ()))
-    else None
-  in
-  let deliver st ~src ~dst (m : Guard.msg) =
-    if not (correct dst) then []
-    else begin
-      match st.eguards with
-      | None ->
-          let lm = match m.body with Guard.Prop _ -> Lid.Prop | Guard.Rej -> Lid.Rej in
-          wrap (Lid.deliver st.lid ~src ~dst lm)
-      | Some gs ->
-          let verdict = Guard.inspect gs.(dst) ~peer:src m in
-          if verdict.Guard.accept then begin
-            let lm =
-              match m.body with Guard.Prop _ -> Lid.Prop | Guard.Rej -> Lid.Rej
-            in
-            wrap (Lid.deliver st.lid ~src ~dst lm)
-          end
-          else if verdict.Guard.quarantine then
-            { Explore.src = dst; dst = src; payload = rej }
-            :: wrap (Lid.deliver st.lid ~src ~dst:dst Lid.Rej)
-          else []
-    end
-  in
-  let tags = Hashtbl.create 16 in
-  let msg_tag (m : Guard.msg) =
-    match Hashtbl.find_opt tags m with
-    | Some t -> t
-    | None ->
-        let t = Hashtbl.length tags in
-        Hashtbl.add tags m t;
-        t
-  in
-  let stragglers st =
-    List.filter (fun i -> correct i) (Lid.unterminated_nodes st.lid)
-  in
-  let protocol =
-    {
-      Explore.init =
-        (fun () ->
-          let lid, events = Lid.init ~ranking w ~capacity in
-          ({ lid; eguards = mk_guards () }, wrap events));
-      deliver;
-      copy =
-        (fun st ->
-          {
-            lid = Lid.copy_state st.lid;
-            eguards = Option.map (Array.map Guard.copy) st.eguards;
-          });
-      fingerprint =
-        (fun st ->
-          let b = Buffer.create 256 in
-          Buffer.add_string b (Lid.fingerprint st.lid);
-          (match st.eguards with
-          | None -> ()
-          | Some gs ->
-              Array.iter
-                (fun gd ->
-                  Buffer.add_char b '|';
-                  Buffer.add_string b (Guard.fingerprint gd))
-                gs);
-          Buffer.contents b);
-      quiesced = (fun st -> stragglers st = []);
-      stragglers;
-      observe = (fun st -> Lid.locked_edge_ids st.lid);
-      msg_tag;
-      give_up =
-        (if guard then
-           Some
-             (fun st ~self ~peer ->
-               if correct self then wrap (Lid.deliver st.lid ~src:peer ~dst:self Lid.Rej)
-               else [])
-         else None);
-    }
-  in
+  let protocol = Stack.explore_protocol ~guard ~guard_config ~correct prefs in
+  let prop claim = { Guard.epoch = 0; body = Guard.Prop { claim } } in
+  let rej = { Guard.epoch = 0; body = Guard.Rej } in
   (* repertoire: per neighbour an honest-looking PROP, an over-bound
      PROP, a REJ and a stale-epoch PROP; plus one PROP to a stranger *)
   let injections =
     let lie =
-      let b = bound prefs byz in
+      let b = Stack.bound prefs byz in
       if b > 0.0 then 1.5 *. b else 0.5
     in
-    let towards =
-      Array.to_list (Array.map fst (Graph.neighbors g byz))
-    in
+    let towards = Array.to_list (Array.map fst (Graph.neighbors g byz)) in
     let per_neighbour v =
       [
-        { Explore.src = byz; dst = v; payload = prop (half prefs byz v) };
+        { Explore.src = byz; dst = v; payload = prop (Stack.half prefs byz v) };
         { Explore.src = byz; dst = v; payload = prop lie };
         { Explore.src = byz; dst = v; payload = rej };
         {
           Explore.src = byz;
           dst = v;
-          payload = { Guard.epoch = -1; body = Guard.Prop { claim = half prefs byz v } };
+          payload =
+            { Guard.epoch = -1; body = Guard.Prop { claim = Stack.half prefs byz v } };
         };
       ]
     in
@@ -607,15 +105,15 @@ let verify_exhaustively ?(guard = true) ?(guard_config = Guard.default_config)
       let rec find i =
         if i >= n then []
         else if i <> byz && not (Hashtbl.mem neighbour_set i) then
-          [ { Explore.src = byz; dst = i; payload = prop (bound prefs byz) } ]
+          [ { Explore.src = byz; dst = i; payload = prop (Stack.bound prefs byz) } ]
         else find (i + 1)
       in
       find 0
     in
     List.concat_map per_neighbour towards @ stranger
   in
-  let on_terminal st =
-    let lid = st.lid in
+  let on_terminal est =
+    let lid = Stack.explore_lid est in
     let correct_arr = Array.init n correct in
     let consumed = Array.init n (fun i -> List.length (Lid.locks lid i)) in
     Byzantine.check
@@ -626,6 +124,7 @@ let verify_exhaustively ?(guard = true) ?(guard_config = Guard.default_config)
         edges = Lid.locked_edge_ids lid;
         consumed;
         unterminated = List.filter correct (Lid.unterminated_nodes lid);
+        overclaimed = [];
       }
   in
   Explore.explore ?max_configs

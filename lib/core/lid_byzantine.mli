@@ -2,11 +2,16 @@
 
     {!Lid_robust} and {!Lid_reliable} cover the {e benign} half of the
     paper's §7 "disruptive nodes": silent peers and lossy channels.
-    This driver covers the malicious half.  A subset of nodes is handed
-    to {!Owp_simnet.Adversary} behaviours instead of the protocol state
-    machine; every {e correct} node keeps running the unchanged
-    {!Lid.deliver} transitions, optionally behind a {!Guard} that
-    validates all inbound traffic and quarantines offenders.
+    This configuration covers the malicious half.  A subset of nodes is
+    handed to {!Owp_simnet.Adversary} behaviours instead of the
+    protocol state machine; every {e correct} node keeps running the
+    unchanged {!Lid.deliver} transitions, optionally behind a {!Guard}
+    that validates all inbound traffic and quarantines offenders.  The
+    behaviours, the bootstrap advertisement round, the guard layer and
+    the quiet-round give-up discipline are all the {!Stack}'s — this
+    module is [Stack.run ~adversaries ~guard ~prefs] plus the
+    satisfaction accounting the experiments report and the exhaustive
+    verification harness.
 
     The wire format adds to each PROP the sender's claimed half-weight
     ΔS̄ (eq. 9) and an epoch, and the run opens with a bootstrap
@@ -23,7 +28,7 @@
     {b Give-up discipline.}  A guarded run must terminate even when an
     adversary simply refuses to answer.  Real timers cannot tell a
     silent Byzantine peer from a slow honest chain without risking
-    false declines, so the driver models an {e eventually-perfect
+    false declines, so the stack models an {e eventually-perfect
     failure detector}: whenever the network goes quiet with correct
     nodes still stuck, each stuck node gives up — synthetic REJ, the
     {!Lid_reliable} escape hatch — on exactly its pending proposals
@@ -35,31 +40,6 @@
 
 module Adversary = Owp_simnet.Adversary
 
-type report = {
-  matching : Owp_matching.Bmatching.t;
-      (** locks mutual between correct peers (the restricted matching) *)
-  correct : bool array;
-  byz_count : int;
-  prop_count : int;  (** PROPs sent by correct peers *)
-  rej_count : int;  (** REJs sent by correct peers (re-announces included) *)
-  adversary_msgs : int;  (** messages injected by adversary behaviours *)
-  delivered : int;
-  completion_time : float;
-  quarantine_events : int;  (** directed (observer, peer) quarantines *)
-  false_quarantines : int;  (** quarantines whose target was correct *)
-  byz_offenders : int;  (** Byzantine peers with >= 1 recorded offence *)
-  byz_quarantined : int;  (** Byzantine peers quarantined by >= 1 neighbour *)
-  offence_counts : (string * int) list;  (** offence name -> count, aggregated *)
-  synthetic_rejects : int;
-  quiet_rounds : int;
-  wasted_slots : int;  (** slots correct peers locked towards Byzantine peers *)
-  all_correct_terminated : bool;
-  unterminated : int list;  (** correct nodes that failed to quiesce *)
-  damage : Owp_check.Violation.t list;
-      (** {!Owp_check.Byzantine} bounded-damage verdict on the terminal
-          state (always computed; empty means certified) *)
-}
-
 val run :
   ?seed:int ->
   ?delay:Owp_simnet.Simnet.delay_model ->
@@ -68,15 +48,18 @@ val run :
   ?guard_config:Guard.config ->
   adversaries:Adversary.model option array ->
   Preference.t ->
-  report
+  Stack.report
 (** Simulate LID with the given adversary assignment ([None] entries
     are correct peers).  Capacities are the preference system's quotas.
     [guard] defaults to [true]; with [guard:false] the run is the
     vulnerable baseline: no advert vetting, no quarantine, no quiet
-    rounds.  @raise Invalid_argument if [adversaries] has the wrong
-    arity or leaves no correct node. *)
+    rounds.  The report's [damage] field carries the
+    {!Owp_check.Byzantine} bounded-damage verdict (including the
+    overclaim-lock audit); empty means certified.
+    @raise Invalid_argument if [adversaries] has the wrong arity or
+    leaves no correct node. *)
 
-val satisfaction_of_correct : Preference.t -> report -> float
+val satisfaction_of_correct : Preference.t -> Stack.report -> float
 (** Total satisfaction (eq. 4/5) of the correct peers under the
     restricted matching — the quantity E22 reports as "retained". *)
 
@@ -100,8 +83,10 @@ val verify_exhaustively :
     attack the runtime models express on the wire (honest-looking PROPs,
     over-bound weight claims, REJs, stale epochs, PROPs to strangers),
     [budget] (default 2) injections per schedule, interleaved every
-    possible way with ordinary deliveries ({!Owp_check.Explore}).  At
-    every terminal configuration the {!Owp_check.Byzantine} certificate
-    is checked; with [guard] (default [true]) the verdict must be clean,
-    while [guard:false] exhibits the unguarded protocol's starvation
+    possible way with ordinary deliveries ({!Owp_check.Explore}) — over
+    the {!Stack.explore_protocol} composition, i.e. the production
+    guard-above-[Lid.deliver] inbound path.  At every terminal
+    configuration the {!Owp_check.Byzantine} certificate is checked;
+    with [guard] (default [true]) the verdict must be clean, while
+    [guard:false] exhibits the unguarded protocol's starvation
     deadlocks as [explore-termination] violations. *)

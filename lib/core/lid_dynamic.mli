@@ -23,7 +23,10 @@
     against a from-scratch static LID run after the same event trace
     (typically a few percent, at a small fraction of the messages). *)
 
-type event = Join of int | Leave of int
+type event = Stack.node_event = Join of int | Leave of int
+(** Churn events are the {!Stack}'s node events: the same [Join]/[Leave]
+    vocabulary drives both this eager dynamic variant and the stack's
+    crash/restart scheduling ([Stack.run ~events]). *)
 
 type step_report = {
   event : event;

@@ -1,152 +1,18 @@
-module Simnet = Owp_simnet.Simnet
-module Transport = Owp_simnet.Transport
-module Bmatching = Owp_matching.Bmatching
-module Violation = Owp_check.Violation
-module Checker = Owp_check.Checker
+(* LID over the ARQ transport as a stack configuration: the transport
+   layer is enabled, everything else rides the stack's shared loop
+   (crash plans desugar to Leave/Join events; patience timers and
+   transport give-ups live in the detector layer). *)
 
-type crash_plan = { victim : int; crash_at : float; restart_at : float option }
-
-type report = {
-  matching : Bmatching.t;
-  prop_count : int;
-  rej_count : int;
-  data_sent : int;
-  retransmissions : int;
-  acks_sent : int;
-  duplicates_suppressed : int;
-  frames_sent : int;
-  dropped : int;
-  reordered : int;
-  lost_to_crashes : int;
-  peers_declared_dead : int;
-  synthetic_rejects : int;
-  completion_time : float;
-  all_terminated : bool;
-  quiescence : Violation.t list;
+type crash_plan = Stack.crash_plan = {
+  victim : int;
+  crash_at : float;
+  restart_at : float option;
 }
 
-let overhead r =
-  let protocol = r.prop_count + r.rej_count in
-  if protocol = 0 then 1.0 else float_of_int r.frames_sent /. float_of_int protocol
+let overhead = Stack.overhead
 
-let run ?(seed = 0x2E1) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
-    ?(faults = Simnet.no_faults) ?transport ?patience ?(crashes = [])
-    ?(on_lock = fun _ _ _ -> ()) ?(check = false) w ~capacity =
-  let st, initial = Lid.init w ~capacity in
-  let g = Weights.graph w in
-  let n = Graph.node_count g in
-  List.iter
-    (fun { victim; crash_at; restart_at } ->
-      if victim < 0 || victim >= n then
-        invalid_arg "Lid_reliable.run: crash victim out of range";
-      if crash_at < 0.0 then invalid_arg "Lid_reliable.run: negative crash time";
-      match restart_at with
-      | Some t when t <= crash_at ->
-          invalid_arg "Lid_reliable.run: restart not after crash"
-      | _ -> ())
-    crashes;
-  (match patience with
-  | Some p when p <= 0.0 -> invalid_arg "Lid_reliable.run: patience must be positive"
-  | _ -> ());
-  let net = Simnet.create ~seed ~fifo ~faults ~nodes:(max n 1) ~delay () in
-  let prop_count = ref 0 and rej_count = ref 0 and synthetic = ref 0 in
-  (* a restarted node lost its volatile protocol state: it rejoins
-     "retired" — it declines everything and claims nothing *)
-  let retired = Array.make (max n 1) false in
-  let tr = ref None in
-  let transport_of () = Option.get !tr in
-  let send_protocol src dst m =
-    (match m with Lid.Prop -> incr prop_count | Lid.Rej -> incr rej_count);
-    Transport.send (transport_of ()) ~src ~dst m
-  in
-  let live i = Simnet.is_up net i && not retired.(i) in
-  (* deliver a transition's output; arms a patience timer per PROP when
-     patience is finite, mirroring Lid_robust's implicit-REJ remedy *)
-  let rec process events =
-    List.iter
-      (function
-        | Lid.Send (src, dst, m) ->
-            send_protocol src dst m;
-            (match (m, patience) with
-            | Lid.Prop, Some limit -> arm_patience src dst limit
-            | _ -> ())
-        | Lid.Lock (i, v) -> on_lock (Simnet.now net) i v)
-      events
-  and arm_patience i v limit =
-    Simnet.schedule net ~delay:limit (fun () ->
-        if live i && Lid.awaiting_reply st ~node:i ~peer:v then synthetic_rej ~at:i ~from:v)
-  and synthetic_rej ~at ~from =
-    incr synthetic;
-    process (Lid.deliver st ~src:from ~dst:at Lid.Rej)
-  in
-  let handle_delivery ~src ~dst m =
-    if retired.(dst) then begin
-      (* amnesiac: the pre-crash state is gone, decline everything *)
-      match m with Lid.Prop -> send_protocol dst src Lid.Rej | Lid.Rej -> ()
-    end
-    else process (Lid.deliver st ~src ~dst m)
-  in
-  let transport =
-    Transport.create ?config:transport net ~on_deliver:handle_delivery
-      ~on_peer_dead:(fun ~node ~peer ->
-        (* retries exhausted: same "treat as silent" handling as
-           Lid_robust — the peer implicitly declined *)
-        if live node then synthetic_rej ~at:node ~from:peer)
-  in
-  tr := Some transport;
-  List.iter
-    (fun { victim; crash_at; restart_at } ->
-      Simnet.schedule net ~delay:crash_at (fun () -> Simnet.crash net victim);
-      match restart_at with
-      | None -> ()
-      | Some t ->
-          Simnet.schedule net ~delay:t (fun () ->
-              if not (Simnet.is_up net victim) then begin
-                Simnet.restart net victim;
-                Transport.restart_node transport victim;
-                retired.(victim) <- true;
-                (* announce the amnesia: an explicit decline to every
-                   neighbour releases anyone still waiting on us *)
-                Array.iter
-                  (fun (v, _) -> send_protocol victim v Lid.Rej)
-                  (Graph.neighbors g victim)
-              end))
-    crashes;
-  process initial;
-  Simnet.run net;
-  (* edges incident to dead or amnesiac nodes are gone with their state *)
-  let ids = List.filter
-      (fun eid ->
-        let a, b = Graph.edge_endpoints g eid in
-        live a && live b)
-      (Lid.locked_edge_ids st)
-  in
-  let matching = Bmatching.of_edge_ids g ~capacity ids in
-  if check then
-    Checker.assert_ok
-      ~only:[ "edge-validity"; "quota"; "blocking-pair"; "maximality" ]
-      (Checker.of_matching w matching);
-  let quiescence =
-    List.filter
-      (fun v ->
-        match v.Violation.subject with Violation.Node i -> live i | _ -> true)
-      (Lid.quiescence_violations st)
-  in
-  {
-    matching;
-    prop_count = !prop_count;
-    rej_count = !rej_count;
-    data_sent = Transport.data_sent transport;
-    retransmissions = Transport.retransmissions transport;
-    acks_sent = Transport.acks_sent transport;
-    duplicates_suppressed = Transport.duplicates_suppressed transport;
-    frames_sent = Transport.frames_sent transport;
-    dropped = Simnet.messages_dropped net;
-    reordered = Simnet.messages_reordered net;
-    lost_to_crashes = Simnet.messages_lost_to_crashes net;
-    peers_declared_dead = Transport.peers_declared_dead transport;
-    synthetic_rejects = !synthetic;
-    completion_time = Simnet.now net;
-    all_terminated = quiescence = [];
-    quiescence;
-  }
+let run ?(seed = 0x2E1) ?(delay = Owp_simnet.Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
+    ?(faults = Owp_simnet.Simnet.no_faults) ?transport ?patience ?(crashes = [])
+    ?on_lock ?check w ~capacity =
+  Stack.run ~seed ~delay ~fifo ~faults ~reliable:true ?transport ?patience ~crashes
+    ?on_lock ?check w ~capacity

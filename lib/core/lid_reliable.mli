@@ -3,63 +3,40 @@
     Plain {!Lid.run} executes Alg. 1 directly on the datagram
     {!Owp_simnet.Simnet}: a single dropped PROP or REJ leaves its
     recipient waiting forever and the run ends with quiescence
-    violations.  This driver keeps the protocol state machine untouched
-    ({!Lid.init} / {!Lid.deliver} — the logic is {e not} forked) and
-    puts {!Owp_simnet.Transport} underneath it, which masks message
-    loss, duplication and reordering with per-link sequence numbers,
-    cumulative ACKs and retransmission with exponential backoff.
+    violations.  This configuration keeps the protocol state machine
+    untouched ({!Lid.init} / {!Lid.deliver} — the logic is {e not}
+    forked) and enables the {!Stack}'s transport layer underneath it,
+    which masks message loss, duplication and reordering with per-link
+    sequence numbers, cumulative ACKs and retransmission with
+    exponential backoff.
 
     Faults the transport {e masks} (drop, duplicate, reorder, non-FIFO
     delivery): the protocol sees reliable per-link FIFO channels, so
     Lemmas 5-6 apply verbatim — every node terminates and the locked
     edge set equals {!Lic}'s, at the price of retransmission and ACK
-    overhead reported per run.
+    overhead reported in the stack report's ["transport"] layer row.
 
-    Faults it can only {e recover} from (crash, crash-restart,
-    retries exhausted): the escape hatch is the same implicit decline
-    {!Lid_robust} uses.  A peer the transport declares dead is fed to
-    the state machine as a synthetic REJ; an optional [patience] timer
-    (off by default) additionally times out protocol-level waits on
-    peers that fell silent after their traffic was ACKed — necessary
-    for convergence when nodes crash without restarting.  A node that
+    Faults it can only {e recover} from (crash, crash-restart, retries
+    exhausted): the escape hatch is the implicit decline of the stack's
+    detector layer.  A peer the transport declares dead is fed to the
+    state machine as a synthetic REJ; an optional [patience] timer (off
+    by default) additionally times out protocol-level waits on peers
+    that fell silent after their traffic was ACKed — necessary for
+    convergence when nodes crash without restarting.  A node that
     restarts rejoins {e retired}: its volatile state is gone, so it
     declines every proposal (explicitly re-announcing the decline to
     all neighbours) and its pre-crash locks are excluded from the
     result.  In these regimes the edge set may deviate from LIC's;
     experiment E21 quantifies the satisfaction retained. *)
 
-type crash_plan = {
+type crash_plan = Stack.crash_plan = {
   victim : int;
   crash_at : float;  (** virtual time of the crash *)
   restart_at : float option;  (** [None]: fail-stop, never returns *)
 }
 
-type report = {
-  matching : Owp_matching.Bmatching.t;
-      (** locked edges between live, non-retired endpoints *)
-  prop_count : int;  (** protocol-level PROP sends *)
-  rej_count : int;  (** protocol-level REJ sends (incl. retirement bursts) *)
-  data_sent : int;  (** first transmissions of protocol messages *)
-  retransmissions : int;
-  acks_sent : int;
-  duplicates_suppressed : int;  (** receiver-side dedup hits *)
-  frames_sent : int;  (** wire total: data + retransmissions + ACKs *)
-  dropped : int;  (** frames lost to channel faults *)
-  reordered : int;  (** frames turned into stragglers *)
-  lost_to_crashes : int;  (** frames lost at/from down hosts *)
-  peers_declared_dead : int;  (** transport give-ups (directed links) *)
-  synthetic_rejects : int;  (** implicit declines fed to the machine *)
-  completion_time : float;
-  all_terminated : bool;
-      (** every live, non-retired node reached U_i = ∅ *)
-  quiescence : Owp_check.Violation.t list;
-      (** stragglers among live nodes, as structured reports *)
-}
-
-val overhead : report -> float
-(** Wire frames per protocol message — 1.0 means ACK-free fault-free
-    delivery (impossible; ~2.0 is the ACK floor), higher means
-    retransmission cost. *)
+val overhead : Stack.report -> float
+(** Alias of {!Stack.overhead}: wire frames per protocol message. *)
 
 val run :
   ?seed:int ->
@@ -73,8 +50,8 @@ val run :
   ?check:bool ->
   Weights.t ->
   capacity:int array ->
-  report
-(** Simulate LID over the reliable transport until quiescence.
+  Stack.report
+(** [Stack.run ~reliable:true] with this module's historical defaults.
 
     [patience] (default: none) arms a one-shot timer per outgoing PROP:
     if the proposal is still unanswered when it fires, the peer is

@@ -1,179 +1,9 @@
-module Simnet = Owp_simnet.Simnet
-module Bmatching = Owp_matching.Bmatching
+(* Fail-silent peers as a stack configuration: silent nodes are handed
+   to the (no-op) adversary layer, and the per-proposal timeout is the
+   detector layer's patience timer.  The PROP/REJ transitions this
+   module used to duplicate live only in Lid; the stack runs them via
+   Lid.init/Lid.deliver. *)
 
-type message = Prop | Rej
-
-type report = {
-  matching : Bmatching.t;
-  prop_count : int;
-  rej_count : int;
-  timeouts_fired : int;
-  dropped : int;
-  completion_time : float;
-  all_correct_terminated : bool;
-}
-
-type node_state = {
-  wsorted : (int * int) array;
-  u_set : (int, unit) Hashtbl.t;
-  in_p : (int, unit) Hashtbl.t;
-  pending : (int, unit) Hashtbl.t;
-  a_set : (int, unit) Hashtbl.t;
-  k_set : (int, unit) Hashtbl.t;
-  mutable ptr : int;
-  mutable finished : bool;
-}
-
-let run ?(seed = 0x50B) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(faults = Simnet.no_faults)
-    ?(timeout = 10.0) ~silent w ~capacity =
-  let g = Weights.graph w in
-  let n = Graph.node_count g in
-  if Array.length silent <> n then invalid_arg "Lid_robust.run: silent mask arity";
-  Array.iter (fun b -> if b < 0 then invalid_arg "Lid_robust.run: negative capacity") capacity;
-  let quota = Array.mapi (fun i b -> min b (Graph.degree g i)) capacity in
-  let net = Simnet.create ~seed ~faults ~nodes:(max n 1) ~delay () in
-  let prop_count = ref 0 and rej_count = ref 0 and timeouts_fired = ref 0 in
-  let send_prop src dst =
-    if not silent.(src) then begin
-      incr prop_count;
-      Simnet.send net ~src ~dst Prop
-    end
-  in
-  let send_rej src dst =
-    if not silent.(src) then begin
-      incr rej_count;
-      Simnet.send net ~src ~dst Rej
-    end
-  in
-  let state =
-    Array.init n (fun i ->
-        let ws = Array.copy (Graph.neighbors g i) in
-        Array.sort (fun (_, e) (_, f) -> Weights.compare_edges w f e) ws;
-        let u_set = Hashtbl.create 16 in
-        Array.iter (fun (v, _) -> Hashtbl.replace u_set v ()) ws;
-        {
-          wsorted = ws;
-          u_set;
-          in_p = Hashtbl.create 8;
-          pending = Hashtbl.create 8;
-          a_set = Hashtbl.create 8;
-          k_set = Hashtbl.create 8;
-          ptr = 0;
-          finished = false;
-        })
-  in
-  let check_done i =
-    let s = state.(i) in
-    if (not s.finished) && Hashtbl.length s.pending = 0 then begin
-      Hashtbl.iter (fun v () -> send_rej i v) s.u_set;
-      Hashtbl.reset s.u_set;
-      s.finished <- true
-    end
-  in
-  let lock i v =
-    let s = state.(i) in
-    Hashtbl.remove s.u_set v;
-    Hashtbl.remove s.a_set v;
-    Hashtbl.remove s.pending v;
-    Hashtbl.replace s.k_set v ()
-  in
-  (* implicit REJ when a proposal to [v] stays unanswered: only acts if
-     the wait is still outstanding when the timer fires *)
-  let rec arm_timeout i v =
-    Simnet.schedule net ~delay:timeout (fun () ->
-        let s = state.(i) in
-        if (not s.finished) && Hashtbl.mem s.pending v then begin
-          incr timeouts_fired;
-          Hashtbl.remove s.u_set v;
-          Hashtbl.remove s.pending v;
-          propose_next i;
-          check_done i
-        end)
-  and propose_next i =
-    let s = state.(i) in
-    let len = Array.length s.wsorted in
-    let rec advance () =
-      if s.ptr >= len then None
-      else begin
-        let v, _ = s.wsorted.(s.ptr) in
-        if Hashtbl.mem s.u_set v && not (Hashtbl.mem s.in_p v) then Some v
-        else begin
-          s.ptr <- s.ptr + 1;
-          advance ()
-        end
-      end
-    in
-    match advance () with
-    | None -> ()
-    | Some v ->
-        Hashtbl.replace s.in_p v ();
-        Hashtbl.replace s.pending v ();
-        send_prop i v;
-        arm_timeout i v;
-        if Hashtbl.mem s.a_set v then lock i v
-  in
-  let handle ~src ~dst m =
-    let i = dst and u = src in
-    if not silent.(i) then begin
-      let s = state.(i) in
-      if not s.finished then begin
-        (match m with
-        | Prop ->
-            Hashtbl.replace s.a_set u ();
-            if Hashtbl.mem s.pending u then lock i u
-        | Rej ->
-            Hashtbl.remove s.u_set u;
-            if Hashtbl.mem s.pending u then begin
-              Hashtbl.remove s.pending u;
-              propose_next i
-            end);
-        check_done i
-      end
-    end
-  in
-  Simnet.set_handler net handle;
-  for i = 0 to n - 1 do
-    if not silent.(i) then begin
-      let s = state.(i) in
-      let target = quota.(i) in
-      let made = ref 0 in
-      while !made < target && s.ptr < Array.length s.wsorted do
-        let v, _ = s.wsorted.(s.ptr) in
-        if (not (Hashtbl.mem s.in_p v)) && Hashtbl.mem s.u_set v then begin
-          Hashtbl.replace s.in_p v ();
-          Hashtbl.replace s.pending v ();
-          send_prop i v;
-          arm_timeout i v;
-          incr made
-        end;
-        s.ptr <- s.ptr + 1
-      done;
-      s.ptr <- 0;
-      check_done i
-    end
-  done;
-  Simnet.run net;
-  let all_correct_terminated =
-    let ok = ref true in
-    for i = 0 to n - 1 do
-      if (not silent.(i)) && not state.(i).finished then ok := false
-    done;
-    !ok
-  in
-  let ids = ref [] in
-  Graph.iter_edges g (fun eid a b ->
-      if
-        (not silent.(a)) && (not silent.(b))
-        && Hashtbl.mem state.(a).k_set b
-        && Hashtbl.mem state.(b).k_set a
-      then ids := eid :: !ids);
-  let matching = Bmatching.of_edge_ids g ~capacity !ids in
-  {
-    matching;
-    prop_count = !prop_count;
-    rej_count = !rej_count;
-    timeouts_fired = !timeouts_fired;
-    dropped = Simnet.messages_dropped net;
-    completion_time = Simnet.now net;
-    all_correct_terminated;
-  }
+let run ?(seed = 0x50B) ?(delay = Owp_simnet.Simnet.Uniform (0.5, 1.5))
+    ?(faults = Owp_simnet.Simnet.no_faults) ?(timeout = 10.0) ~silent w ~capacity =
+  Stack.run ~seed ~delay ~faults ~patience:timeout ~silent w ~capacity

@@ -3,10 +3,16 @@
     Static LID relies on every neighbour eventually answering (Lemma 5's
     setting: reliable channels, correct peers).  A fail-silent peer —
     crashed, overloaded, or deliberately stonewalling — would leave its
-    neighbours waiting forever.  This variant adds the standard remedy:
-    a timeout per outstanding wait; a neighbour that stays silent past
-    the timeout is treated as having declined (implicit REJ), locally
-    and conservatively.
+    neighbours waiting forever.  The standard remedy is a timeout per
+    outstanding wait: a neighbour that stays silent past the timeout is
+    treated as having declined (implicit REJ), locally and
+    conservatively.
+
+    This module is a thin {!Stack} configuration: the silent peers go
+    to the stack's adversary layer (with the no-op behaviour) and the
+    timeout is the detector layer's patience timer — there is no
+    robust-specific event loop or transition code left; the protocol is
+    {!Lid.init}/{!Lid.deliver} behind the stack's layers.
 
     Guarantees kept: termination (now unconditional), capacity
     feasibility, and — among the correct peers that actually answer —
@@ -14,17 +20,11 @@
     aggressive timeouts a slow-but-correct peer can be misclassified, so
     the edge set may deviate from LIC's; experiment E15 measures the
     satisfaction degradation as a function of the fraction of silent
-    peers and of the timeout. *)
+    peers and of the timeout.
 
-type report = {
-  matching : Owp_matching.Bmatching.t;
-  prop_count : int;
-  rej_count : int;
-  timeouts_fired : int;
-  dropped : int;  (** messages lost to channel faults during the run *)
-  completion_time : float;
-  all_correct_terminated : bool;  (** every responsive node reached U=∅ *)
-}
+    In the report, [all_terminated] covers the responsive nodes and the
+    fired timeouts are [Stack.counter r ~layer:"detector"
+    "patience-fired"]. *)
 
 val run :
   ?seed:int ->
@@ -34,7 +34,7 @@ val run :
   silent:bool array ->
   Weights.t ->
   capacity:int array ->
-  report
+  Stack.report
 (** [silent.(v)] marks a fail-silent peer: it receives traffic but never
     sends anything.  [timeout] (default 10.0 virtual time units) is the
     patience per outstanding proposal/wait.  [faults] additionally

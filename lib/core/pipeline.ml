@@ -10,11 +10,7 @@ type engine = Run_config.engine =
   | Greedy
   | Dynamics
 
-type detail =
-  | Plain
-  | Distributed of Lid.report
-  | Reliable of Lid_reliable.report
-  | Byzantine of Lid_byzantine.report
+type detail = Plain | Stack of Stack.report
 
 type outcome = {
   engine : engine;
@@ -56,7 +52,7 @@ let crash_schedule ~seed ~n frac =
     |> List.filter (fun _ -> Owp_util.Prng.bernoulli rng frac)
     |> List.map (fun victim ->
            {
-             Lid_reliable.victim;
+             Stack.victim;
              crash_at = 0.1 +. Owp_util.Prng.float rng 5.0;
              restart_at = None;
            })
@@ -65,19 +61,25 @@ let crash_schedule ~seed ~n frac =
 (* which invariants a result is expected to satisfy: LIC/LID carry the
    full set of paper guarantees; global greedy is maximal and
    greedy-stable but has no Theorem 3 bound; the stable-fixtures
-   dynamics optimises preference stability, not eq. 9 weights, and the
-   Byzantine restricted matching is deliberately partial, so only the
+   dynamics optimises preference stability, not eq. 9 weights, and a
+   Byzantine-restricted matching is deliberately partial, so only the
    instance-level invariants apply to those *)
 let instance_level = [ "edge-validity"; "quota"; "weight-symmetry"; "satisfaction-range" ]
 
-let checkers_for = function
-  | Lic | Lic_indexed | Lid -> Owp_check.Checker.names
-  | Lid_reliable ->
-      (* exact under pure channel faults, but a crashed peer legitimately
-         breaks maximality/Theorem 3 for its survivors *)
-      Owp_check.Checker.names
-  | Greedy -> List.filter (fun n -> n <> "theorem3") Owp_check.Checker.names
-  | Lid_byzantine | Dynamics -> instance_level
+let checkers_for cfg =
+  if cfg.Run_config.byzantine <> None then instance_level
+  else
+    match cfg.Run_config.engine with
+    | Lic | Lic_indexed | Lid ->
+        (* under crashes, a crashed peer legitimately breaks
+           maximality/Theorem 3 for its survivors — but so does an
+           unguarded lossy channel, so the checker subset is decided by
+           the caller's check flag together with what quiesced, not
+           restricted here *)
+        Owp_check.Checker.names
+    | Lid_reliable -> Owp_check.Checker.names
+    | Greedy -> List.filter (fun n -> n <> "theorem3") Owp_check.Checker.names
+    | Lid_byzantine | Dynamics -> instance_level
 
 let run_config cfg prefs =
   let cfg =
@@ -97,42 +99,38 @@ let run_config cfg prefs =
     match cfg.Run_config.engine with
     | Lic -> (Lic.run w ~capacity, None, Some bound, None, None, Plain)
     | Lic_indexed -> (Lic_indexed.run w ~capacity, None, Some bound, None, None, Plain)
-    | Lid ->
-        let r = Lid.run ~seed w ~capacity in
-        ( r.Lid.matching,
-          Some (r.Lid.prop_count + r.Lid.rej_count),
-          Some bound,
-          Some r.Lid.all_terminated,
-          Some r.Lid.completion_time,
-          Distributed r )
-    | Lid_reliable ->
+    | (Lid | Lid_reliable | Lid_byzantine) as engine ->
         let f = cfg.Run_config.faults in
+        let reliable = cfg.Run_config.reliable || engine = Lid_reliable in
         let crashes = crash_schedule ~seed ~n f.Faults.crash in
-        let r =
-          Lid_reliable.run ~seed ~fifo:f.Faults.fifo ~faults:(Faults.channel f)
-            ?patience:(Faults.effective_patience f) ~crashes w ~capacity
-        in
-        ( r.Lid_reliable.matching,
-          Some (r.Lid_reliable.prop_count + r.Lid_reliable.rej_count),
-          (* under pure channel faults the edge set is exactly LIC's, so
-             Theorem 3 applies; once hosts crash, it does not *)
-          (if crashes = [] then Some bound else None),
-          Some r.Lid_reliable.all_terminated,
-          Some r.Lid_reliable.completion_time,
-          Reliable r )
-    | Lid_byzantine ->
-        let spec = Option.get cfg.Run_config.byzantine in
-        let rng = Owp_util.Prng.create (seed lxor 0xB12) in
         let adversaries =
-          Owp_simnet.Adversary.assign rng ~n (Owp_simnet.Adversary.parse_spec spec)
+          match cfg.Run_config.byzantine with
+          | None -> None
+          | Some spec ->
+              let rng = Owp_util.Prng.create (seed lxor 0xB12) in
+              Some
+                (Owp_simnet.Adversary.assign rng ~n
+                   (Owp_simnet.Adversary.parse_spec spec))
         in
-        let r = Lid_byzantine.run ~seed ~guard:cfg.Run_config.guard ~adversaries prefs in
-        ( r.Lid_byzantine.matching,
-          Some (r.Lid_byzantine.prop_count + r.Lid_byzantine.rej_count),
-          None,
-          Some r.Lid_byzantine.all_correct_terminated,
-          Some r.Lid_byzantine.completion_time,
-          Byzantine r )
+        let r =
+          Stack.run ~seed ~fifo:f.Faults.fifo ~faults:(Faults.channel f) ~reliable
+            ?patience:(Faults.effective_patience f) ~crashes ?adversaries
+            ~guard:cfg.Run_config.guard ~prefs w ~capacity
+        in
+        let exact =
+          (* the edge set is exactly LIC's — so Theorem 3 applies — only
+             when no peer misbehaved or died and every channel fault was
+             masked by the transport *)
+          cfg.Run_config.byzantine = None
+          && crashes = []
+          && ((not (Faults.channel_faulty f)) || reliable)
+        in
+        ( r.Stack.matching,
+          Some (r.Stack.prop_count + r.Stack.rej_count),
+          (if exact then Some bound else None),
+          Some r.Stack.all_terminated,
+          Some r.Stack.completion_time,
+          Stack r )
     | Greedy -> (Owp_matching.Greedy.run w ~capacity, None, None, None, None, Plain)
     | Dynamics -> (stable_dynamics prefs, None, None, None, None, Plain)
   in
@@ -149,8 +147,7 @@ let run_config cfg prefs =
   let check_report =
     if cfg.Run_config.check then
       Some
-        (Owp_check.Checker.run
-           ~only:(checkers_for cfg.Run_config.engine)
+        (Owp_check.Checker.run ~only:(checkers_for cfg)
            (Owp_check.Checker.of_matching ~prefs w matching))
     else None
   in

@@ -7,7 +7,13 @@
     LID/LIC).  Callers pick the algorithm via configuration
     ({!Run_config.engine}) instead of importing the per-variant driver
     modules; the historical {!algorithm}/{!run} pair survives as a thin
-    wrapper. *)
+    wrapper.
+
+    All three LID-family engines dispatch to the one layered
+    {!Stack.run} loop: the config's [faults], [reliable], [byzantine]
+    and [guard] knobs select middleware layers, in any combination
+    {!Run_config.validate} admits, and the protocol diagnostics come
+    back as one uniform {!Stack.report} in {!detail}. *)
 
 type engine = Run_config.engine =
   | Lic
@@ -20,14 +26,14 @@ type engine = Run_config.engine =
       (** Re-export of {!Run_config.engine} so [Pipeline.Lic_indexed]
           and friends are in scope for pipeline users. *)
 
-(** Engine-specific diagnostics the generic outcome cannot carry: the
-    full per-driver report, for callers (the CLI, experiments) that
-    print transport or adversary accounting. *)
+(** Engine-specific diagnostics the generic outcome cannot carry.  The
+    per-driver report variants collapsed with the drivers themselves:
+    every protocol run — plain, faulty, reliable, Byzantine, or any
+    composition — yields the same {!Stack.report} with its per-layer
+    counter table. *)
 type detail =
   | Plain  (** centralized engines: no protocol run *)
-  | Distributed of Lid.report
-  | Reliable of Lid_reliable.report
-  | Byzantine of Lid_byzantine.report
+  | Stack of Stack.report  (** LID-family engines: the stack's report *)
 
 type outcome = {
   engine : engine;  (** what actually ran *)
@@ -37,9 +43,9 @@ type outcome = {
   total_weight : float;  (** under eq. 9 weights *)
   guarantee : float option;
       (** the proven lower bound on the satisfaction ratio vs optimum,
-          when the engine has one: ¼(1+1/b_max) for LID/LIC (and for
-          the reliable driver under pure channel faults, where the edge
-          set is still exactly LIC's) *)
+          when the run provably achieves LIC's edge set: ¼(1+1/b_max)
+          for LIC and for LID runs with no adversaries, no crashes, and
+          either a clean channel or the transport masking it *)
   messages : int option;  (** PROP+REJ for the distributed engines *)
   rounds : float option;
       (** virtual completion time of the protocol run — the
@@ -63,11 +69,10 @@ val weights : Preference.t -> Weights.t
 val run_config : Run_config.t -> Preference.t -> outcome
 (** Solve the instance as the config says.  The config is
     {!Run_config.validate}d first.
-    @raise Invalid_argument on an inconsistent config (e.g. channel
-    faults with a fault-intolerant engine). *)
+    @raise Invalid_argument on an inconsistent config (e.g. a guard
+    with no adversary spec). *)
 
-val crash_schedule :
-  seed:int -> n:int -> float -> Lid_reliable.crash_plan list
+val crash_schedule : seed:int -> n:int -> float -> Stack.crash_plan list
 (** The deterministic (seed-derived) fail-stop schedule behind
     [faults.crash]: each node independently crashes with the given
     probability at a random early point and never restarts.  Exposed so
@@ -87,8 +92,9 @@ val run : ?seed:int -> ?check:bool -> algorithm -> Preference.t -> outcome
     [run_config (Run_config.make ~engine:(engine_of_algorithm algo) ~seed ~check ())].
     [check] selects the checker subset appropriate to the engine (the
     full registry for LIC/LID, everything but Theorem 3 for greedy, the
-    instance-level invariants for the stable dynamics); it never raises
-    on violations — callers render [check_report]. *)
+    instance-level invariants for the stable dynamics and adversary
+    runs); it never raises on violations — callers render
+    [check_report]. *)
 
 val satisfaction_profile : Preference.t -> Owp_matching.Bmatching.t -> float array
 (** Per-node satisfaction values of a matching. *)

@@ -6,6 +6,7 @@ type t = {
   engine : engine;
   seed : int;
   faults : Faults.t;
+  reliable : bool;
   byzantine : string option;
   guard : bool;
   check : bool;
@@ -16,14 +17,15 @@ let default =
     engine = Lid;
     seed = 42;
     faults = Faults.none;
+    reliable = false;
     byzantine = None;
     guard = false;
     check = false;
   }
 
 let make ?(engine = default.engine) ?(seed = default.seed) ?(faults = default.faults)
-    ?byzantine ?(guard = false) ?(check = false) () =
-  { engine; seed; faults; byzantine; guard; check }
+    ?(reliable = false) ?byzantine ?(guard = false) ?(check = false) () =
+  { engine; seed; faults; reliable; byzantine; guard; check }
 
 let engine_name = function
   | Lic -> "lic"
@@ -50,6 +52,13 @@ let engine_of_string s =
         (Printf.sprintf "unknown engine %S (expected %s)" s
            (String.concat " | " (List.map engine_name all_engines)))
 
+(* The engines that execute through the layered Stack.run loop — the
+   only ones for which faults, the reliable transport, adversaries and
+   the guard are meaningful. *)
+let lid_family = function
+  | Lid | Lid_reliable | Lid_byzantine -> true
+  | Lic | Lic_indexed | Greedy | Dynamics -> false
+
 let validate t =
   let ( let* ) = Result.bind in
   let* _ = Faults.validate t.faults in
@@ -60,15 +69,12 @@ let validate t =
           Error "engine lid-byzantine needs an adversary spec (--byzantine MODEL:FRAC)"
         else Ok ()
     | Some spec ->
-        if t.engine <> Lid_byzantine then
+        if not (lid_family t.engine) then
           Error
             (Printf.sprintf
-               "an adversary spec requires engine lid-byzantine (got %s)"
+               "an adversary spec needs a LID-family engine (lid, lid-reliable or \
+                lid-byzantine); engine %s has no peers to subvert"
                (engine_name t.engine))
-        else if Faults.any t.faults then
-          Error
-            "byzantine runs model adversarial peers on a fault-free network; channel \
-             faults and crashes cannot be combined with an adversary spec"
         else begin
           match Owp_simnet.Adversary.parse_spec spec with
           | _ -> Ok ()
@@ -76,12 +82,28 @@ let validate t =
         end
   in
   let* () =
-    if Faults.any t.faults && t.engine <> Lid_reliable then
+    if t.guard && t.byzantine = None then
+      Error
+        "--guard vets adversarial traffic; without --byzantine MODEL:FRAC there is \
+         nothing to guard against (drop --guard, or add an adversary spec)"
+    else Ok ()
+  in
+  let* () =
+    if Faults.any t.faults && not (lid_family t.engine) then
       Error
         (Printf.sprintf
-           "faults (%s) need engine lid-reliable; engine %s assumes a fault-free \
-            network"
+           "faults (%s) need a LID-family engine (lid, lid-reliable or \
+            lid-byzantine); engine %s does not simulate a network"
            (Faults.to_string t.faults) (engine_name t.engine))
+    else Ok ()
+  in
+  let* () =
+    if t.reliable && not (lid_family t.engine) then
+      Error
+        (Printf.sprintf
+           "--reliable enables the ARQ transport under a LID-family engine; engine \
+            %s does not send messages"
+           (engine_name t.engine))
     else Ok ()
   in
   Ok t
@@ -93,6 +115,7 @@ let to_string t =
          [ "engine=" ^ engine_name t.engine; Printf.sprintf "seed=%d" t.seed ];
          (if t.faults = Faults.none then []
           else [ "faults=" ^ Faults.to_string t.faults ]);
+         (if t.reliable then [ "reliable" ] else []);
          (match t.byzantine with
          | Some spec -> [ "byzantine=" ^ spec ]
          | None -> []);

@@ -8,6 +8,14 @@
     threaded six optional arguments separately through the drivers, with
     per-call-site defaults that could (and did) drift.
 
+    Since the drivers collapsed into the layered {!Stack}, the knobs
+    compose: any combination of [faults], [reliable], [byzantine] and
+    [guard] on a LID-family engine selects a set of middleware layers
+    over the same protocol loop.  {!validate} only rejects combinations
+    that are genuinely meaningless (a guard with nothing to guard
+    against, network knobs on engines that do not simulate a network),
+    not merely unusual ones.
+
     The instance itself (graph, preferences, quotas) stays out of the
     record on purpose: a config is reusable across a sweep of instances,
     which is exactly what the multicore runner needs. *)
@@ -15,8 +23,8 @@
 type engine =
   | Lic  (** Algorithm 2, reference selection (O(Δ) rival rescans) *)
   | Lic_indexed  (** Algorithm 2 over per-node max-weight edge indexes *)
-  | Lid  (** Algorithm 1 on the datagram simulator (fault-free only) *)
-  | Lid_reliable  (** Algorithm 1 over the ARQ transport (fault-tolerant) *)
+  | Lid  (** Algorithm 1 on the datagram simulator *)
+  | Lid_reliable  (** Algorithm 1 with the ARQ transport layer enabled *)
   | Lid_byzantine  (** Algorithm 1 with adversary-controlled peers *)
   | Greedy  (** centralized global greedy comparator *)
   | Dynamics  (** blocking-pair dynamics (stable-fixtures baseline) *)
@@ -25,20 +33,23 @@ type t = {
   engine : engine;
   seed : int;
   faults : Owp_simnet.Faults.t;
+  reliable : bool;
+      (** enable the ARQ transport layer (implied by [Lid_reliable]) *)
   byzantine : string option;
       (** adversary spec, {!Owp_simnet.Adversary.parse_spec} syntax *)
-  guard : bool;  (** inbound protocol guard (Byzantine runs) *)
+  guard : bool;  (** inbound protocol guard (needs an adversary spec) *)
   check : bool;  (** run the invariant checkers on the result *)
 }
 
 val default : t
-(** [Lid], seed 42, {!Owp_simnet.Faults.none}, no adversaries, no guard,
-    no checkers. *)
+(** [Lid], seed 42, {!Owp_simnet.Faults.none}, datagram transport, no
+    adversaries, no guard, no checkers. *)
 
 val make :
   ?engine:engine ->
   ?seed:int ->
   ?faults:Owp_simnet.Faults.t ->
+  ?reliable:bool ->
   ?byzantine:string ->
   ?guard:bool ->
   ?check:bool ->
@@ -54,14 +65,21 @@ val engine_name : engine -> string
 
 val all_engines : engine list
 
+val lid_family : engine -> bool
+(** [Lid], [Lid_reliable] or [Lid_byzantine]: the engines that execute
+    through the layered {!Stack} loop and accept network/adversary
+    knobs. *)
+
 val validate : t -> (t, string) result
-(** Cross-field consistency, the rules the CLI used to enforce ad hoc:
-    channel faults and crashes require [Lid_reliable]; an adversary spec
-    requires [Lid_byzantine] and a fault-free network — and
-    [Lid_byzantine] requires a spec; the spec itself must parse.  The
-    fault record is also range-checked ({!Owp_simnet.Faults.validate}). *)
+(** Cross-field consistency.  Rejected: an adversary spec, faults or
+    [reliable] on a non-LID-family engine; [Lid_byzantine] without a
+    spec; [guard] without a spec; an unparsable spec; out-of-range
+    fault fields ({!Owp_simnet.Faults.validate}).  Everything else —
+    in particular faults + reliable + byzantine + guard together — is
+    a legal layer composition. *)
 
 val to_string : t -> string
-(** One-line summary, e.g. ["engine=lid-reliable seed=7 faults=drop=0.2"]. *)
+(** One-line summary, e.g. ["engine=lid seed=7 faults=drop=0.2 reliable
+    byzantine=liar:0.2 guard"]. *)
 
 val pp : Format.formatter -> t -> unit

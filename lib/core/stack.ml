@@ -1,0 +1,946 @@
+module Simnet = Owp_simnet.Simnet
+module Transport = Owp_simnet.Transport
+module Adversary = Owp_simnet.Adversary
+module Bmatching = Owp_matching.Bmatching
+module Violation = Owp_check.Violation
+module Checker = Owp_check.Checker
+module Byzantine = Owp_check.Byzantine
+module Explore = Owp_check.Explore
+
+(* ------------------------------------------------------------------ *)
+(* public types                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type node_event = Join of int | Leave of int
+type crash_plan = { victim : int; crash_at : float; restart_at : float option }
+type layer = { layer : string; counters : (string * int) list }
+
+type report = {
+  matching : Bmatching.t;
+  correct : bool array;
+  byz_count : int;
+  prop_count : int;
+  rej_count : int;
+  adversary_msgs : int;
+  delivered : int;
+  dropped : int;
+  reordered : int;
+  lost_to_crashes : int;
+  synthetic_rejects : int;
+  quarantine_events : int;
+  false_quarantines : int;
+  byz_offenders : int;
+  byz_quarantined : int;
+  offence_counts : (string * int) list;
+  wasted_slots : int;
+  quiet_rounds : int;
+  completion_time : float;
+  all_terminated : bool;
+  unterminated : int list;
+  quiescence : Violation.t list;
+  damage : Violation.t list;
+  layers : layer list;
+}
+
+let counter r ~layer name =
+  match List.find_opt (fun l -> l.layer = layer) r.layers with
+  | None -> 0
+  | Some l -> Option.value ~default:0 (List.assoc_opt name l.counters)
+
+let overhead r =
+  let protocol = r.prop_count + r.rej_count in
+  let frames = counter r ~layer:"transport" "frames" in
+  if protocol = 0 || frames = 0 then 1.0
+  else float_of_int frames /. float_of_int protocol
+
+(* ------------------------------------------------------------------ *)
+(* eq. 9 halves                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* ΔS̄_i(j): node i's half of edge (i,j)'s symmetric weight.  Matches
+   Weights.of_preference exactly (same static_delta calls, and IEEE
+   addition is commutative), so an all-honest perceived ranking is
+   bit-identical to Lid's default weight list. *)
+let half prefs i j =
+  let b = Preference.quota prefs i and l = Preference.list_len prefs i in
+  if b = 0 || l = 0 then 0.0
+  else Satisfaction.static_delta ~quota:b ~list_len:l ~rank:(Preference.rank prefs i j)
+
+(* the public structural bound: ΔS̄_j(·) = (1 − R/L)/b_j ≤ 1/b_j, and
+   b_j is public — any claim above this is a provable lie *)
+let bound prefs j =
+  let b = Preference.quota prefs j in
+  if b <= 0 then 0.0 else 1.0 /. float_of_int b
+
+(* what node j advertises about its half of edge (j, i) *)
+let advert_of prefs adversaries j i =
+  match adversaries.(j) with
+  | Some (Adversary.Weight_liar lam) -> (1.0 +. lam) *. bound prefs j
+  | _ -> half prefs j i
+
+(* perceived ranking of node i: neighbours by decreasing
+   own-half + advertised-half, Lid's tie-break order *)
+let ranking_of g perceived i =
+  let entries =
+    Array.to_list (Graph.neighbors g i)
+    |> List.filter (fun (v, _) -> Hashtbl.mem perceived v)
+  in
+  let pw (v, _) = (Hashtbl.find perceived v : float) in
+  let sorted =
+    List.sort
+      (fun ((_, e) as a) ((_, f) as b) ->
+        let c = Float.compare (pw b) (pw a) in
+        if c <> 0 then c
+        else begin
+          let ue, ve = Graph.edge_endpoints g e and uf, vf = Graph.edge_endpoints g f in
+          compare (uf, vf, f) (ue, ve, e)
+        end)
+      entries
+  in
+  Array.of_list sorted
+
+(* ------------------------------------------------------------------ *)
+(* adversary behaviours (the adversary layer's node programs)          *)
+(* ------------------------------------------------------------------ *)
+
+let prop claim = { Guard.epoch = 0; body = Guard.Prop { claim } }
+let rej = { Guard.epoch = 0; body = Guard.Rej }
+
+(* f's own (truthful) preference order over its neighbours *)
+let own_order prefs g f =
+  let entries = Array.to_list (Graph.neighbors g f) in
+  List.sort
+    (fun (v1, _) (v2, _) ->
+      Float.compare
+        (half prefs f v2 +. half prefs v2 f)
+        (half prefs f v1 +. half prefs v1 f))
+    entries
+  |> List.map fst
+
+let rec take k = function
+  | [] -> []
+  | _ when k <= 0 -> []
+  | x :: tl -> x :: take (k - 1) tl
+
+(* a roughly honest responder: proposes to its top-b, accepts up to
+   [limit] partners, declines the rest — every proposal it receives is
+   eventually answered.  [claim v] is what it writes into its PROPs. *)
+let responder ~claim ~order ~limit =
+  let sent = Hashtbl.create 8 in
+  let partners = Hashtbl.create 8 in
+  let declined = Hashtbl.create 8 in
+  let prop_to ~send v =
+    if not (Hashtbl.mem sent v) then begin
+      Hashtbl.replace sent v ();
+      send ~dst:v (prop (claim v))
+    end
+  in
+  let on_init ~send = List.iter (prop_to ~send) (take limit order) in
+  let on_receive ~src (m : Guard.msg) ~send =
+    match m.body with
+    | Guard.Prop _ ->
+        if Hashtbl.mem partners src then ()
+        else if Hashtbl.mem sent src then Hashtbl.replace partners src ()
+        else if Hashtbl.length partners < limit && not (Hashtbl.mem declined src)
+        then begin
+          Hashtbl.replace partners src ();
+          prop_to ~send src
+        end
+        else if not (Hashtbl.mem declined src) then begin
+          Hashtbl.replace declined src ();
+          send ~dst:src rej
+        end
+    | Guard.Rej -> Hashtbl.remove sent src
+  in
+  { Adversary.on_init; on_receive }
+
+let make_behaviour prefs g adversaries f model =
+  let nbrs = Array.map fst (Graph.neighbors g f) in
+  let b = Preference.quota prefs f in
+  let order = own_order prefs g f in
+  match (model : Adversary.model) with
+  | Adversary.Weight_liar _ ->
+      (* state-machine-clean; the dishonesty is entirely in the claim,
+         which must match the bootstrap advert to stay stealthy *)
+      responder ~claim:(advert_of prefs adversaries f) ~order ~limit:b
+  | Adversary.Equivocator ->
+      (* proposes to everyone once; every proposal it ever receives is
+         answered by that standing accept — per-link perfectly legal *)
+      {
+        Adversary.on_init =
+          (fun ~send -> Array.iter (fun v -> send ~dst:v (prop (half prefs f v))) nbrs);
+        on_receive = (fun ~src:_ _ ~send:_ -> ());
+      }
+  | Adversary.Flooder k ->
+      (* every receipt triggers [k] full PROP sweeps over the
+         neighbourhood; a total budget stops flooder pairs from
+         amplifying each other forever *)
+      let sweeps_left = ref (4 * max 1 k) in
+      {
+        Adversary.on_init = (fun ~send:_ -> ());
+        on_receive =
+          (fun ~src:_ _ ~send ->
+            let burst = min (max 1 k) !sweeps_left in
+            sweeps_left := !sweeps_left - burst;
+            for _ = 1 to burst do
+              Array.iter (fun v -> send ~dst:v (prop (half prefs f v))) nbrs
+            done);
+      }
+  | Adversary.Replayer ->
+      (* honest-looking play plus duplicates of its own past messages,
+         every other one with a stale epoch *)
+      let inner = responder ~claim:(half prefs f) ~order ~limit:b in
+      let log = ref [] in
+      let replays = ref 0 in
+      let recording send ~dst m =
+        log := (dst, m) :: !log;
+        send ~dst m
+      in
+      {
+        Adversary.on_init = (fun ~send -> inner.Adversary.on_init ~send:(recording send));
+        on_receive =
+          (fun ~src m ~send ->
+            inner.Adversary.on_receive ~src m ~send:(recording send);
+            match !log with
+            | [] -> ()
+            | l ->
+                let dst, (m : Guard.msg) = List.nth l (!replays mod List.length l) in
+                incr replays;
+                let epoch = if !replays mod 2 = 0 then m.epoch else -1 in
+                send ~dst { m with epoch });
+      }
+  | Adversary.State_violator ->
+      (* PROP-to-stranger at startup, REJ right after a lock forms, and
+         proposals from others are never answered (liveness violation:
+         unguarded peers starve waiting for its reply) *)
+      let sent = Hashtbl.create 8 in
+      let n = Graph.node_count g in
+      let neighbour = Hashtbl.create 8 in
+      Array.iter (fun v -> Hashtbl.replace neighbour v ()) nbrs;
+      let stranger =
+        let rec find i =
+          if i >= n then None
+          else if i <> f && not (Hashtbl.mem neighbour i) then Some i
+          else find (i + 1)
+        in
+        find 0
+      in
+      {
+        Adversary.on_init =
+          (fun ~send ->
+            List.iter
+              (fun v ->
+                Hashtbl.replace sent v ();
+                send ~dst:v (prop (half prefs f v)))
+              (take (max 1 b) order);
+            Option.iter (fun w -> send ~dst:w (prop (bound prefs f))) stranger);
+        on_receive =
+          (fun ~src (m : Guard.msg) ~send ->
+            match m.body with
+            | Guard.Prop _ when Hashtbl.mem sent src ->
+                (* mutual proposal: the victim just locked us — renege *)
+                Hashtbl.remove sent src;
+                send ~dst:src rej
+            | _ -> ());
+      }
+
+(* ------------------------------------------------------------------ *)
+(* the layer signature                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One middleware layer on the message path.  [on_send] filters or
+   rewrites an outbound protocol message, [on_deliver] an inbound one;
+   [None] swallows the message (any completion side effects — a
+   quarantine announcement, say — are the layer's own).  Timers are
+   layer-owned {!Simnet.schedule} callbacks.  [mw_counters] is the
+   layer's row of the report's counter table. *)
+type mw = {
+  mw_name : string;
+  on_send : src:int -> dst:int -> Guard.msg -> Guard.msg option;
+  on_deliver : src:int -> dst:int -> Guard.msg -> Guard.msg option;
+  mw_counters : unit -> (string * int) list;
+}
+
+let pass ~src:_ ~dst:_ m = Some m
+
+let rec fold_send layers ~src ~dst m =
+  match layers with
+  | [] -> Some m
+  | l :: tl -> (
+      match l.on_send ~src ~dst m with
+      | None -> None
+      | Some m -> fold_send tl ~src ~dst m)
+
+let rec fold_deliver layers ~src ~dst m =
+  match layers with
+  | [] -> Some m
+  | l :: tl -> (
+      match l.on_deliver ~src ~dst m with
+      | None -> None
+      | Some m -> fold_deliver tl ~src ~dst m)
+
+(* ------------------------------------------------------------------ *)
+(* the run loop                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
+    ?(faults = Simnet.no_faults) ?(reliable = false) ?transport ?patience
+    ?(crashes = []) ?(events = []) ?silent ?adversaries ?(guard = false)
+    ?(guard_config = Guard.default_config) ?prefs ?(on_lock = fun _ _ _ -> ())
+    ?(check = false) w ~capacity =
+  let g = Weights.graph w in
+  let n = Graph.node_count g in
+  (* --- argument validation ------------------------------------------ *)
+  List.iter
+    (fun { victim; crash_at; restart_at } ->
+      if victim < 0 || victim >= n then
+        invalid_arg "Stack.run: crash victim out of range";
+      if crash_at < 0.0 then invalid_arg "Stack.run: negative crash time";
+      match restart_at with
+      | Some t when t <= crash_at -> invalid_arg "Stack.run: restart not after crash"
+      | _ -> ())
+    crashes;
+  List.iter
+    (fun (t, ev) ->
+      let v = match ev with Join v | Leave v -> v in
+      if v < 0 || v >= n then invalid_arg "Stack.run: event node out of range";
+      if t < 0.0 then invalid_arg "Stack.run: negative event time")
+    events;
+  (match patience with
+  | Some p when p <= 0.0 -> invalid_arg "Stack.run: patience must be positive"
+  | _ -> ());
+  (match silent with
+  | Some s when Array.length s <> n ->
+      invalid_arg "Stack.run: silent array arity mismatch"
+  | _ -> ());
+  (match adversaries with
+  | Some a when Array.length a <> n ->
+      invalid_arg "Stack.run: adversary array arity mismatch"
+  | _ -> ());
+  let adv_enabled = adversaries <> None in
+  if adv_enabled && prefs = None then
+    invalid_arg "Stack.run: adversaries need ~prefs (claims are preference halves)";
+  if guard && not adv_enabled then
+    invalid_arg "Stack.run: guard without an adversary environment is meaningless";
+  let adv = match adversaries with Some a -> a | None -> Array.make (max n 1) None in
+  let is_silent =
+    match silent with Some s -> s | None -> Array.make (max n 1) false
+  in
+  let correct = Array.init n (fun i -> adv.(i) = None && not is_silent.(i)) in
+  if adv_enabled && not (Array.exists Fun.id correct) then
+    invalid_arg "Stack.run: no correct node left";
+  let byz_count =
+    Array.fold_left (fun acc m -> if m = None then acc else acc + 1) 0 adv
+  in
+  (* --- counters ----------------------------------------------------- *)
+  let prop_count = ref 0 and rej_count = ref 0 in
+  let adversary_msgs = ref 0 in
+  let quarantine_events = ref 0 and false_quarantines = ref 0 in
+  let synthetic_rejects = ref 0 and quiet_rounds = ref 0 in
+  let inspected = ref 0 in
+  let dedup_prop = ref 0 and dedup_rej = ref 0 in
+  let lid_delivered = ref 0 in
+  let patience_armed = ref 0 and patience_fired = ref 0 in
+  let transport_giveups = ref 0 and quarantine_giveups = ref 0 in
+  let stub_rejects = ref 0 in
+  (* --- bootstrap: advertise half-weights, vet them, build rankings -- *)
+  let guards =
+    if guard then begin
+      let p = Option.get prefs in
+      Some
+        (Array.init n (fun i ->
+             Guard.create ~config:guard_config ~bound:(bound p) ~graph:g ~me:i ()))
+    end
+    else None
+  in
+  let bootstrap_rejects = ref [] in
+  let ranking =
+    match prefs with
+    | Some p when adv_enabled ->
+        let perceived = Array.init n (fun _ -> Hashtbl.create 8) in
+        for i = 0 to n - 1 do
+          if correct.(i) then
+            Array.iter
+              (fun (v, _) ->
+                let a = advert_of p adv v i in
+                match guards with
+                | Some gs ->
+                    let verdict = Guard.on_advert gs.(i) ~peer:v ~claim:a in
+                    if verdict.Guard.quarantine then begin
+                      incr quarantine_events;
+                      if correct.(v) then incr false_quarantines;
+                      bootstrap_rejects := (i, v) :: !bootstrap_rejects
+                    end;
+                    if verdict.Guard.accept then
+                      Hashtbl.replace perceived.(i) v (half p i v +. a)
+                | None -> Hashtbl.replace perceived.(i) v (half p i v +. a))
+              (Graph.neighbors g i)
+        done;
+        Some (fun i -> if correct.(i) then ranking_of g perceived.(i) i else [||])
+    | _ -> None
+  in
+  let st, initial = Lid.init ?ranking w ~capacity in
+  let net = Simnet.create ~seed ~fifo ~faults ~nodes:(max n 1) ~delay () in
+  (* a restarted node lost its volatile protocol state: it rejoins
+     "retired" — it declines everything and claims nothing *)
+  let retired = Array.make (max n 1) false in
+  let live i = Simnet.is_up net i && not retired.(i) in
+  (* --- outbound boundary: ARQ transport or raw datagram frames ------ *)
+  let tr = ref None in
+  let wire_send ~src ~dst (gm : Guard.msg) =
+    match !tr with
+    | Some t -> Transport.send t ~src ~dst gm
+    | None ->
+        Simnet.send net ~src ~dst (Transport.Data { epoch = 0; seq = 0; payload = gm })
+  in
+  let byz_send f ~dst m =
+    incr adversary_msgs;
+    wire_send ~src:f ~dst m
+  in
+  let behaviours =
+    Array.init n (fun f ->
+        match adv.(f) with
+        | Some m -> make_behaviour (Option.get prefs) g adv f m
+        | None -> Adversary.silent)
+  in
+  (* --- protocol sends and the detector ------------------------------ *)
+  let wrap src dst = function
+    | Lid.Prop ->
+        incr prop_count;
+        let claim = match prefs with Some p -> half p src dst | None -> 0.0 in
+        prop claim
+    | Lid.Rej ->
+        incr rej_count;
+        rej
+  in
+  let send_rej_wire src dst =
+    incr rej_count;
+    wire_send ~src ~dst rej
+  in
+  let outbound = ref [] in
+  let rec process evs =
+    List.iter
+      (function
+        | Lid.Send (src, dst, m) -> (
+            let gm = wrap src dst m in
+            (match fold_send !outbound ~src ~dst gm with
+            | Some gm -> wire_send ~src ~dst gm
+            | None -> ());
+            match (m, patience) with
+            | Lid.Prop, Some limit -> arm_patience src dst limit
+            | _ -> ())
+        | Lid.Lock (i, v) -> on_lock (Simnet.now net) i v)
+      evs
+  and arm_patience i v limit =
+    incr patience_armed;
+    Simnet.schedule net ~delay:limit (fun () ->
+        if live i && Lid.awaiting_reply st ~node:i ~peer:v then begin
+          incr patience_fired;
+          synthetic_reject i ~peer:v
+        end)
+  and synthetic_reject at ~peer =
+    incr synthetic_rejects;
+    process (Lid.deliver st ~src:peer ~dst:at Lid.Rej)
+  in
+  let quarantine at ~peer =
+    (* re-announce the decline on the wire, then release any obligation
+       towards the offender through the synthetic-REJ escape hatch *)
+    send_rej_wire at peer;
+    incr quarantine_giveups;
+    synthetic_reject at ~peer
+  in
+  (* --- inbound middleware ------------------------------------------- *)
+  let guard_mw =
+    Option.map
+      (fun gs ->
+        {
+          mw_name = "guard";
+          on_send = pass;
+          on_deliver =
+            (fun ~src ~dst m ->
+              incr inspected;
+              let verdict = Guard.inspect gs.(dst) ~peer:src m in
+              if verdict.Guard.accept then Some m
+              else begin
+                (* [quarantine] is true exactly when this message pushed
+                   the peer over the threshold — complete the quarantine
+                   once, then swallow its traffic silently forever *)
+                if verdict.Guard.quarantine then begin
+                  incr quarantine_events;
+                  if correct.(src) then incr false_quarantines;
+                  if not retired.(dst) then quarantine dst ~peer:src
+                end;
+                None
+              end);
+          mw_counters =
+            (fun () ->
+              let offences = Hashtbl.create 8 in
+              Array.iteri
+                (fun i gd ->
+                  if correct.(i) then
+                    List.iter
+                      (fun (k, c) ->
+                        Hashtbl.replace offences k
+                          (c + Option.value ~default:0 (Hashtbl.find_opt offences k)))
+                      (Guard.offence_counts gd))
+                gs;
+              [
+                ("inspected", !inspected);
+                ("quarantines", !quarantine_events);
+                ("false-quarantines", !false_quarantines);
+              ]
+              @ (Hashtbl.fold (fun k c acc -> (k, c) :: acc) offences []
+                |> List.sort compare));
+        })
+      guards
+  in
+  (* protocol-level duplicate suppression: each directed link of a
+     correct run carries at most one PROP and one REJ ever, and
+     Lid.deliver is idempotent to repeats — suppression is
+     outcome-neutral, purely an accounting layer.  It sits BELOW the
+     guard on the inbound path: the guard must see raw per-link
+     traffic, because a duplicate is itself an offence to score
+     (dedup-above-guard would blind the quarantine scoring). *)
+  let dedup_mw =
+    let seen_prop = Hashtbl.create 64 and seen_rej = Hashtbl.create 64 in
+    {
+      mw_name = "dedup";
+      on_send = pass;
+      on_deliver =
+        (fun ~src ~dst (m : Guard.msg) ->
+          let tbl, cnt =
+            match m.Guard.body with
+            | Guard.Prop _ -> (seen_prop, dedup_prop)
+            | Guard.Rej -> (seen_rej, dedup_rej)
+          in
+          if Hashtbl.mem tbl (src, dst) then begin
+            incr cnt;
+            None
+          end
+          else begin
+            Hashtbl.replace tbl (src, dst) ();
+            Some m
+          end);
+      mw_counters =
+        (fun () ->
+          [ ("suppressed-prop", !dedup_prop); ("suppressed-rej", !dedup_rej) ]);
+    }
+  in
+  let inbound = (match guard_mw with Some l -> [ l ] | None -> []) @ [ dedup_mw ] in
+  outbound := inbound;
+  (* --- inbound dispatch --------------------------------------------- *)
+  let deliver_payload ~src ~dst (gm : Guard.msg) =
+    if not correct.(dst) then
+      behaviours.(dst).Adversary.on_receive ~src gm ~send:(byz_send dst)
+    else begin
+      match fold_deliver inbound ~src ~dst gm with
+      | None -> ()
+      | Some gm ->
+          if retired.(dst) then begin
+            (* amnesiac membership stub: the pre-crash state is gone,
+               decline everything *)
+            match gm.Guard.body with
+            | Guard.Prop _ ->
+                incr stub_rejects;
+                send_rej_wire dst src
+            | Guard.Rej -> ()
+          end
+          else begin
+            incr lid_delivered;
+            let lm =
+              match gm.Guard.body with
+              | Guard.Prop _ -> Lid.Prop
+              | Guard.Rej -> Lid.Rej
+            in
+            process (Lid.deliver st ~src ~dst lm)
+          end
+    end
+  in
+  if reliable then
+    tr :=
+      Some
+        (Transport.create ?config:transport net ~on_deliver:deliver_payload
+           ~on_peer_dead:(fun ~node ~peer ->
+             (* retries exhausted: the peer implicitly declined *)
+             if live node && correct.(node) then begin
+               incr transport_giveups;
+               synthetic_reject node ~peer
+             end))
+  else
+    Simnet.set_handler net (fun ~src ~dst frame ->
+        match frame with
+        | Transport.Data { payload; _ } -> deliver_payload ~src ~dst payload
+        | Transport.Ack _ -> ());
+  (* --- membership events (crash plans desugar to Leave/Join) -------- *)
+  let all_events =
+    List.concat_map
+      (fun { victim; crash_at; restart_at } ->
+        (crash_at, Leave victim)
+        ::
+        (match restart_at with Some t -> [ (t, Join victim) ] | None -> []))
+      crashes
+    @ events
+  in
+  List.iter
+    (fun (t, ev) ->
+      Simnet.schedule net ~delay:t (fun () ->
+          match ev with
+          | Leave v -> if Simnet.is_up net v then Simnet.crash net v
+          | Join v ->
+              if not (Simnet.is_up net v) then begin
+                Simnet.restart net v;
+                Option.iter (fun t -> Transport.restart_node t v) !tr;
+                retired.(v) <- true;
+                (* announce the amnesia: an explicit decline to every
+                   neighbour releases anyone still waiting on us *)
+                Array.iter (fun (u, _) -> send_rej_wire v u) (Graph.neighbors g v)
+              end))
+    all_events;
+  (* --- go: adversaries open their mouths first, then the honest burst,
+     then the re-announced bootstrap declines ------------------------- *)
+  Array.iteri
+    (fun f c -> if not c then behaviours.(f).Adversary.on_init ~send:(byz_send f))
+    correct;
+  process
+    (List.filter
+       (function Lid.Send (src, _, _) -> correct.(src) | Lid.Lock _ -> true)
+       initial);
+  List.iter (fun (i, p) -> send_rej_wire i p) !bootstrap_rejects;
+  Simnet.run net;
+  (* quiet rounds (guarded only): when the network idles with correct
+     nodes still stuck, give up exactly the pendings towards
+     adversary-controlled or quarantined peers — the eventually-perfect
+     failure detector.  Honest-honest pendings are never cut: they
+     resolve transitively once the Byzantine leaves are. *)
+  let correct_stragglers () =
+    List.filter (fun i -> correct.(i) && live i) (Lid.unterminated_nodes st)
+  in
+  (match guards with
+  | None -> ()
+  | Some gs ->
+      let continue = ref true in
+      let max_rounds = (2 * n) + 8 in
+      while !continue && correct_stragglers () <> [] && !quiet_rounds < max_rounds do
+        let progress = ref false in
+        List.iter
+          (fun i ->
+            Array.iter
+              (fun (v, _) ->
+                if
+                  Lid.awaiting_reply st ~node:i ~peer:v
+                  && ((not correct.(v)) || Guard.quarantined gs.(i) ~peer:v)
+                then begin
+                  progress := true;
+                  synthetic_reject i ~peer:v
+                end)
+              (Graph.neighbors g i))
+          (correct_stragglers ());
+        if !progress then begin
+          incr quiet_rounds;
+          Simnet.run net
+        end
+        else continue := false
+      done);
+  (* --- terminal accounting ------------------------------------------ *)
+  let locked = Lid.locked_edge_ids st in
+  let ids =
+    List.filter
+      (fun eid ->
+        let a, b = Graph.edge_endpoints g eid in
+        live a && live b)
+      locked
+  in
+  let matching = Bmatching.of_edge_ids g ~capacity ids in
+  if check && not adv_enabled then
+    Checker.assert_ok
+      ~only:[ "edge-validity"; "quota"; "blocking-pair"; "maximality" ]
+      (Checker.of_matching w matching);
+  let unterminated = correct_stragglers () in
+  let quiescence =
+    List.filter
+      (fun v ->
+        match v.Violation.subject with
+        | Violation.Node i -> correct.(i) && live i
+        | _ -> true)
+      (Lid.quiescence_violations st)
+  in
+  let wasted_slots = ref 0 in
+  if adv_enabled then
+    for i = 0 to n - 1 do
+      if correct.(i) then
+        List.iter (fun v -> if not correct.(v) then incr wasted_slots) (Lid.locks st i)
+    done;
+  let offence_tbl = Hashtbl.create 8 in
+  let offenders = Hashtbl.create 8 in
+  let quarantined_byz = Hashtbl.create 8 in
+  (match guards with
+  | None -> ()
+  | Some gs ->
+      for i = 0 to n - 1 do
+        if correct.(i) then begin
+          List.iter
+            (fun (k, c) ->
+              Hashtbl.replace offence_tbl k
+                (c + Option.value ~default:0 (Hashtbl.find_opt offence_tbl k)))
+            (Guard.offence_counts gs.(i));
+          List.iter
+            (fun (p, _) -> if not correct.(p) then Hashtbl.replace offenders p ())
+            (Guard.offences gs.(i));
+          List.iter
+            (fun p -> if not correct.(p) then Hashtbl.replace quarantined_byz p ())
+            (Guard.quarantined_peers gs.(i))
+        end
+      done);
+  let damage =
+    if not adv_enabled then []
+    else begin
+      let p = Option.get prefs in
+      let consumed = Array.init n (fun i -> List.length (Lid.locks st i)) in
+      (* the overclaim-lock audit: a slot locked to a peer whose
+         bootstrap advert provably exceeded its public 1/b bound is
+         avoidable damage — the guard quarantines such peers before a
+         single proposal, so only unguarded runs can exhibit it *)
+      let overclaimed = ref [] in
+      for i = n - 1 downto 0 do
+        if correct.(i) then
+          List.iter
+            (fun v ->
+              if
+                (not correct.(v))
+                && advert_of p adv v i > bound p v +. guard_config.Guard.tolerance
+              then overclaimed := (i, v) :: !overclaimed)
+            (Lid.locks st i)
+      done;
+      Byzantine.check
+        {
+          Byzantine.weights = w;
+          capacity;
+          correct;
+          edges = locked;
+          consumed;
+          unterminated;
+          overclaimed = !overclaimed;
+        }
+    end
+  in
+  (* --- the per-layer counter table, top layer first ----------------- *)
+  let layers =
+    List.concat
+      [
+        [
+          {
+            layer = "lid";
+            counters =
+              [
+                ("prop", !prop_count);
+                ("rej", !rej_count);
+                ("delivered", !lid_delivered);
+                ("locks", List.length ids);
+              ];
+          };
+          {
+            layer = "detector";
+            counters =
+              [
+                ("patience-armed", !patience_armed);
+                ("patience-fired", !patience_fired);
+                ("transport-give-ups", !transport_giveups);
+                ("quarantine-give-ups", !quarantine_giveups);
+                ("synthetic-rej", !synthetic_rejects);
+                ("quiet-rounds", !quiet_rounds);
+                ("stub-rej", !stub_rejects);
+              ];
+          };
+        ];
+        (if adv_enabled then
+           [
+             {
+               layer = "adversary";
+               counters =
+                 [ ("peers", byz_count); ("messages", !adversary_msgs) ];
+             };
+           ]
+         else []);
+        (match guard_mw with
+        | Some l -> [ { layer = l.mw_name; counters = l.mw_counters () } ]
+        | None -> []);
+        [ { layer = dedup_mw.mw_name; counters = dedup_mw.mw_counters () } ];
+        (match !tr with
+        | Some t ->
+            [
+              {
+                layer = "transport";
+                counters =
+                  [
+                    ("data", Transport.data_sent t);
+                    ("retransmissions", Transport.retransmissions t);
+                    ("acks", Transport.acks_sent t);
+                    ("dup-suppressed", Transport.duplicates_suppressed t);
+                    ("frames", Transport.frames_sent t);
+                    ("dead-links", Transport.peers_declared_dead t);
+                  ];
+              };
+            ]
+        | None -> []);
+        [
+          {
+            layer = "channel";
+            counters =
+              [
+                ("sent", Simnet.messages_sent net);
+                ("delivered", Simnet.messages_delivered net);
+                ("dropped", Simnet.messages_dropped net);
+                ("reordered", Simnet.messages_reordered net);
+                ("lost-to-crashes", Simnet.messages_lost_to_crashes net);
+                ("crashes", Simnet.crash_events net);
+              ];
+          };
+        ];
+      ]
+  in
+  {
+    matching;
+    correct;
+    byz_count;
+    prop_count = !prop_count;
+    rej_count = !rej_count;
+    adversary_msgs = !adversary_msgs;
+    delivered = Simnet.messages_delivered net;
+    dropped = Simnet.messages_dropped net;
+    reordered = Simnet.messages_reordered net;
+    lost_to_crashes = Simnet.messages_lost_to_crashes net;
+    synthetic_rejects = !synthetic_rejects;
+    quarantine_events = !quarantine_events;
+    false_quarantines = !false_quarantines;
+    byz_offenders = Hashtbl.length offenders;
+    byz_quarantined = Hashtbl.length quarantined_byz;
+    offence_counts =
+      Hashtbl.fold (fun k c acc -> (k, c) :: acc) offence_tbl [] |> List.sort compare;
+    wasted_slots = !wasted_slots;
+    quiet_rounds = !quiet_rounds;
+    completion_time = Simnet.now net;
+    all_terminated = unterminated = [];
+    unterminated;
+    quiescence;
+    damage;
+    layers;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* exhaustive exploration (the inbound composition, pure)              *)
+(* ------------------------------------------------------------------ *)
+
+type explore_state = { lid : Lid.state; eguards : Guard.t array option }
+
+let explore_lid st = st.lid
+
+let explore_protocol ?(guard = false) ?(guard_config = Guard.default_config) ~correct
+    prefs =
+  let g = Preference.graph prefs in
+  let n = Graph.node_count g in
+  let capacity = Array.init n (Preference.quota prefs) in
+  let w = Weights.of_preference prefs in
+  (* adverts are honest in the exhaustive model: adversarial over-bound
+     claims enter through the explorer's injection repertoire instead,
+     so every attack is interleaved with deliveries rather than fixed
+     at t = 0 *)
+  let ranking i =
+    if correct i then begin
+      let perceived = Hashtbl.create 8 in
+      Array.iter
+        (fun (v, _) -> Hashtbl.replace perceived v (half prefs i v +. half prefs v i))
+        (Graph.neighbors g i);
+      ranking_of g perceived i
+    end
+    else [||]
+  in
+  let wrap events =
+    List.filter_map
+      (function
+        | Lid.Send (src, dst, m) ->
+            let body =
+              match m with
+              | Lid.Prop -> Guard.Prop { claim = half prefs src dst }
+              | Lid.Rej -> Guard.Rej
+            in
+            Some { Explore.src; dst; payload = { Guard.epoch = 0; body } }
+        | Lid.Lock _ -> None)
+      events
+  in
+  let mk_guards () =
+    if guard then
+      Some
+        (Array.init n (fun i ->
+             Guard.create ~config:guard_config ~bound:(bound prefs) ~graph:g ~me:i ()))
+    else None
+  in
+  let deliver st ~src ~dst (m : Guard.msg) =
+    if not (correct dst) then []
+    else begin
+      match st.eguards with
+      | None ->
+          let lm = match m.body with Guard.Prop _ -> Lid.Prop | Guard.Rej -> Lid.Rej in
+          wrap (Lid.deliver st.lid ~src ~dst lm)
+      | Some gs ->
+          let verdict = Guard.inspect gs.(dst) ~peer:src m in
+          if verdict.Guard.accept then begin
+            let lm =
+              match m.body with Guard.Prop _ -> Lid.Prop | Guard.Rej -> Lid.Rej
+            in
+            wrap (Lid.deliver st.lid ~src ~dst lm)
+          end
+          else if verdict.Guard.quarantine then
+            { Explore.src = dst; dst = src; payload = rej }
+            :: wrap (Lid.deliver st.lid ~src ~dst:dst Lid.Rej)
+          else []
+    end
+  in
+  let tags = Hashtbl.create 16 in
+  let msg_tag (m : Guard.msg) =
+    match Hashtbl.find_opt tags m with
+    | Some t -> t
+    | None ->
+        let t = Hashtbl.length tags in
+        Hashtbl.add tags m t;
+        t
+  in
+  let stragglers st =
+    List.filter (fun i -> correct i) (Lid.unterminated_nodes st.lid)
+  in
+  {
+    Explore.init =
+      (fun () ->
+        let lid, events = Lid.init ~ranking w ~capacity in
+        ({ lid; eguards = mk_guards () }, wrap events));
+    deliver;
+    copy =
+      (fun st ->
+        {
+          lid = Lid.copy_state st.lid;
+          eguards = Option.map (Array.map Guard.copy) st.eguards;
+        });
+    fingerprint =
+      (fun st ->
+        let b = Buffer.create 256 in
+        Buffer.add_string b (Lid.fingerprint st.lid);
+        (match st.eguards with
+        | None -> ()
+        | Some gs ->
+            Array.iter
+              (fun gd ->
+                Buffer.add_char b '|';
+                Buffer.add_string b (Guard.fingerprint gd))
+              gs);
+        Buffer.contents b);
+    quiesced = (fun st -> stragglers st = []);
+    stragglers;
+    observe = (fun st -> Lid.locked_edge_ids st.lid);
+    msg_tag;
+    give_up =
+      (if guard then
+         Some
+           (fun st ~self ~peer ->
+             if correct self then wrap (Lid.deliver st.lid ~src:peer ~dst:self Lid.Rej)
+             else [])
+       else None);
+  }

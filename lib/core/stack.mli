@@ -1,0 +1,197 @@
+(** The composable LID protocol stack.
+
+    One runtime replaces the four simulation drivers that grew around
+    {!Lid} (robust, reliable, byzantine, and the crash-plan plumbing of
+    the pipeline): the pure state machine {!Lid.init}/{!Lid.deliver} is
+    the top layer, and everything else is middleware on the message
+    path, each piece enabled independently:
+
+    {v
+      outbound:  Lid events -> adversary behaviours -> ARQ transport?
+                 -> channel faults / crash silence -> Simnet
+      inbound:   Simnet -> transport dedup? -> adversary routing
+                 -> guard / quarantine -> protocol dedup
+                 -> membership stub -> Lid.deliver
+    v}
+
+    Every layer implements one internal signature ([on_send] /
+    [on_deliver] / timers via {!Owp_simnet.Simnet.schedule} /
+    [counters]) and contributes one row to the per-layer counter table
+    of the {!report}.  Because the layers compose, any combination of
+    channel faults, the reliable transport, crash plans, Byzantine
+    peers, fail-silent peers and the guard runs through this single
+    loop — and quiescence/termination detection (Lemma 5) lives in
+    exactly one place: the detector layer (patience timers, transport
+    give-ups, quarantine give-ups and the guarded quiet rounds).
+
+    The historical drivers survive as thin configurations:
+    {!Lid_robust}, {!Lid_reliable} and {!Lid_byzantine} each call
+    {!run} with one particular layer selection and return the same
+    {!report}.  {!Lid.run} itself is kept as the reference
+    single-schedule executor with zero middleware; the bit-identity of
+    [Stack.run] with no layers enabled against [Lid.run] is asserted by
+    a 100-seed property test. *)
+
+(** {1 Membership events}
+
+    Crash plans and churn share one event vocabulary.  [Leave v]
+    crash-stops [v] (silent, loses volatile state); [Join v] restarts a
+    down node {e retired} — amnesiac, declining every proposal and
+    re-announcing the decline to its neighbours, exactly the
+    crash-restart semantics the reliable driver introduced.  [Join] of
+    a node that is up is a no-op.  {!Lid_dynamic} shares this event
+    type for its churn scripts. *)
+
+type node_event = Join of int | Leave of int
+
+type crash_plan = {
+  victim : int;
+  crash_at : float;  (** virtual time of the crash *)
+  restart_at : float option;  (** [None]: fail-stop, never returns *)
+}
+(** Sugar for [(crash_at, Leave victim)] plus, when [restart_at] is
+    set, [(restart_at, Join victim)]. *)
+
+(** {1 The per-layer counter table} *)
+
+type layer = {
+  layer : string;
+      (** ["lid"], ["detector"], ["adversary"], ["guard"], ["dedup"],
+          ["transport"], ["channel"] — top to bottom; only enabled
+          layers appear *)
+  counters : (string * int) list;
+}
+
+type report = {
+  matching : Owp_matching.Bmatching.t;
+      (** locked edges between live, non-retired, correct endpoints *)
+  correct : bool array;
+      (** [correct.(i)] iff [i] is neither adversary-controlled nor
+          fail-silent *)
+  byz_count : int;  (** adversary-controlled peers *)
+  prop_count : int;  (** protocol-level PROP sends by correct nodes *)
+  rej_count : int;
+      (** protocol-level REJ sends (retirement bursts, bootstrap and
+          quarantine re-announcements included) *)
+  adversary_msgs : int;  (** wire messages originated by adversaries *)
+  delivered : int;  (** frames the channel delivered *)
+  dropped : int;  (** frames lost to channel faults *)
+  reordered : int;  (** frames turned into stragglers *)
+  lost_to_crashes : int;  (** frames lost at/from down hosts *)
+  synthetic_rejects : int;
+      (** implicit declines the detector fed to the machine *)
+  quarantine_events : int;
+  false_quarantines : int;  (** quarantines of correct peers *)
+  byz_offenders : int;  (** adversaries with at least one offence *)
+  byz_quarantined : int;  (** adversaries quarantined somewhere *)
+  offence_counts : (string * int) list;
+      (** guard offences aggregated by name, alphabetical *)
+  wasted_slots : int;  (** correct-node locks on adversary peers *)
+  quiet_rounds : int;  (** guarded failure-detector rounds *)
+  completion_time : float;  (** virtual time at quiescence *)
+  all_terminated : bool;
+      (** every live, non-retired, correct node reached U_i = ∅ *)
+  unterminated : int list;  (** the live correct stragglers *)
+  quiescence : Owp_check.Violation.t list;
+      (** Lemma 5 violations among live correct nodes *)
+  damage : Owp_check.Violation.t list;
+      (** bounded-damage certificate ({!Owp_check.Byzantine.check}),
+          computed when adversaries are in play; empty otherwise *)
+  layers : layer list;  (** the counter table, top layer first *)
+}
+
+val counter : report -> layer:string -> string -> int
+(** [counter r ~layer name] is the named counter of the named layer, 0
+    when the layer is disabled or the counter absent. *)
+
+val overhead : report -> float
+(** Wire frames per protocol message when the transport layer is
+    enabled (~2.0 is the ACK floor); 1.0 without it. *)
+
+(** {1 Eq. 9 helpers}
+
+    Shared by the adversary/guard layers, the bounded-damage
+    accounting, and the experiments. *)
+
+val half : Preference.t -> int -> int -> float
+(** [half prefs i j]: ΔS̄_i(j), node [i]'s half of edge [(i,j)]'s
+    symmetric weight — matches {!Weights.of_preference} bit-for-bit. *)
+
+val bound : Preference.t -> int -> float
+(** The public structural bound [1/b_j] no honest half-weight
+    advertisement can exceed. *)
+
+(** {1 The run loop} *)
+
+val run :
+  ?seed:int ->
+  ?delay:Owp_simnet.Simnet.delay_model ->
+  ?fifo:bool ->
+  ?faults:Owp_simnet.Simnet.faults ->
+  ?reliable:bool ->
+  ?transport:Owp_simnet.Transport.config ->
+  ?patience:float ->
+  ?crashes:crash_plan list ->
+  ?events:(float * node_event) list ->
+  ?silent:bool array ->
+  ?adversaries:Owp_simnet.Adversary.model option array ->
+  ?guard:bool ->
+  ?guard_config:Guard.config ->
+  ?prefs:Preference.t ->
+  ?on_lock:(float -> int -> int -> unit) ->
+  ?check:bool ->
+  Weights.t ->
+  capacity:int array ->
+  report
+(** Run LID with the selected middleware until quiescence.
+
+    Layer selection: [reliable] puts the ARQ transport under the
+    protocol (masking drop/duplicate/reorder); [patience] arms a
+    one-shot timer per outgoing PROP (the implicit-decline remedy for
+    fail-silent and crashed peers); [crashes]/[events] script
+    membership changes; [silent] marks fail-silent peers (receive,
+    never send); [adversaries] hands nodes to Byzantine behaviours
+    (requires [prefs] — adverts and claims are preference halves);
+    [guard] vets bootstrap adverts and inbound messages, quarantining
+    provable offenders (requires [adversaries] and [prefs]).
+
+    With adversaries in play the run ends with the bounded-damage
+    certificate in [damage]: {!Owp_check.Byzantine.check} plus the
+    overclaim-lock audit (a slot locked to a peer whose bootstrap
+    advert provably exceeded its public [1/b] bound is avoidable
+    damage — the guard provably prevents it, so its absence is what an
+    unguarded run is penalised for).
+
+    [check] (default false) asserts the structural invariant checkers
+    on the final matching — meaningful only for adversary-free runs
+    that converge cleanly.
+
+    @raise Invalid_argument on arity mismatches, out-of-range or
+    ill-ordered crash plans, non-positive patience, adversaries or
+    guard without [prefs], or guard without an adversary environment. *)
+
+(** {1 Exhaustive exploration}
+
+    The inbound composition (guard above the unchanged {!Lid.deliver})
+    as a pure {!Owp_check.Explore.protocol}, so the interleaving
+    explorer model-checks the {e production} layer stack.
+    {!Lid_byzantine.verify_exhaustively} supplies the adversary
+    repertoire on top of this. *)
+
+type explore_state
+
+val explore_lid : explore_state -> Lid.state
+(** The protocol layer of an explored configuration (for terminal
+    certificates). *)
+
+val explore_protocol :
+  ?guard:bool ->
+  ?guard_config:Guard.config ->
+  correct:(int -> bool) ->
+  Preference.t ->
+  (explore_state, Guard.msg) Owp_check.Explore.protocol
+(** The guarded (or bare) stack over the preference system's weights:
+    honest bootstrap adverts, perceived rankings, [Guard.inspect] above
+    [Lid.deliver], quarantine re-announcement, and the quiet-round
+    give-up hook. Deliveries to non-[correct] nodes are no-ops (the
+    explorer's adversary injects their traffic instead). *)

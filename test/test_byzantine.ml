@@ -6,6 +6,7 @@ module Byz = Owp_check.Byzantine
 module Explore = Owp_check.Explore
 module BM = Owp_matching.Bmatching
 module Prng = Owp_util.Prng
+module Stack = Owp_core.Stack
 
 let violation =
   Alcotest.testable (fun ppf v -> Owp_check.Violation.pp ppf v) ( = )
@@ -67,14 +68,14 @@ let test_honest_run_is_plain_lid () =
       let w = Weights.of_preference prefs in
       let capacity = Array.init n (Preference.quota prefs) in
       let lic = Lic.run w ~capacity in
-      Alcotest.(check bool) "terminated" true r.LB.all_correct_terminated;
+      Alcotest.(check bool) "terminated" true r.Stack.all_terminated;
       Alcotest.(check (list int))
         (Printf.sprintf "edge set = LIC (guard:%b)" guard)
-        (BM.edge_ids lic) (BM.edge_ids r.LB.matching);
-      Alcotest.(check int) "no quarantines" 0 r.LB.quarantine_events;
-      Alcotest.(check int) "no adversary messages" 0 r.LB.adversary_msgs;
-      Alcotest.(check int) "no quiet rounds" 0 r.LB.quiet_rounds;
-      Alcotest.(check (list violation)) "damage clean" [] r.LB.damage)
+        (BM.edge_ids lic) (BM.edge_ids r.Stack.matching);
+      Alcotest.(check int) "no quarantines" 0 r.Stack.quarantine_events;
+      Alcotest.(check int) "no adversary messages" 0 r.Stack.adversary_msgs;
+      Alcotest.(check int) "no quiet rounds" 0 r.Stack.quiet_rounds;
+      Alcotest.(check (list violation)) "damage clean" [] r.Stack.damage)
     [ true; false ]
 
 (* ---------------- the bounded-damage acceptance property ---------------- *)
@@ -94,9 +95,9 @@ let test_guarded_bounded_damage_all_models () =
           let label fmt = Printf.sprintf "%s seed %d: %s" spec seed fmt in
           Alcotest.(check bool)
             (label "all correct terminated")
-            true r.LB.all_correct_terminated;
-          Alcotest.(check (list violation)) (label "damage") [] r.LB.damage;
-          Alcotest.(check int) (label "no false quarantine") 0 r.LB.false_quarantines)
+            true r.Stack.all_terminated;
+          Alcotest.(check (list violation)) (label "damage") [] r.Stack.damage;
+          Alcotest.(check int) (label "no false quarantine") 0 r.Stack.false_quarantines)
         [ 1; 2; 3 ])
     Adversary.all_defaults
 
@@ -109,10 +110,10 @@ let test_unguarded_violator_starves () =
     let prefs = random_prefs seed 30 6 2 in
     let adversaries = roles seed prefs "violator:0.2" in
     let r = LB.run ~seed ~guard:false ~adversaries prefs in
-    if not r.LB.all_correct_terminated then begin
+    if not r.Stack.all_terminated then begin
       starved := true;
       Alcotest.(check bool)
-        "damage checker reports the starvation" false (r.LB.damage = [])
+        "damage checker reports the starvation" false (r.Stack.damage = [])
     end
   done;
   Alcotest.(check bool) "some unguarded run starves" true !starved
@@ -121,13 +122,13 @@ let test_guarded_liar_caught_at_bootstrap () =
   let prefs = random_prefs 11 40 6 2 in
   let adversaries = roles 11 prefs "liar:0.2" in
   let r = LB.run ~seed:11 ~guard:true ~adversaries prefs in
-  Alcotest.(check bool) "terminated" true r.LB.all_correct_terminated;
-  Alcotest.(check bool) "liars quarantined" true (r.LB.byz_quarantined > 0);
-  Alcotest.(check int) "no slot wasted on a liar" 0 r.LB.wasted_slots;
+  Alcotest.(check bool) "terminated" true r.Stack.all_terminated;
+  Alcotest.(check bool) "liars quarantined" true (r.Stack.byz_quarantined > 0);
+  Alcotest.(check int) "no slot wasted on a liar" 0 r.Stack.wasted_slots;
   Alcotest.(check bool) "overclaim offences recorded" true
-    (List.mem_assoc "overclaim" r.LB.offence_counts);
+    (List.mem_assoc "overclaim" r.Stack.offence_counts);
   Alcotest.(check int) "precision: no correct peer quarantined" 0
-    r.LB.false_quarantines
+    r.Stack.false_quarantines
 
 let test_unguarded_liar_wastes_slots () =
   (* without advert vetting the inflated halves jump the victims'
@@ -137,7 +138,7 @@ let test_unguarded_liar_wastes_slots () =
     let prefs = random_prefs seed 30 6 2 in
     let adversaries = roles seed prefs "liar:0.2" in
     let r = LB.run ~seed ~guard:false ~adversaries prefs in
-    wasted := !wasted + r.LB.wasted_slots
+    wasted := !wasted + r.Stack.wasted_slots
   done;
   Alcotest.(check bool) "liars captured slots somewhere" true (!wasted > 0)
 
@@ -147,45 +148,45 @@ let test_equivocator_locally_undetectable () =
   let prefs = random_prefs 13 40 6 2 in
   let adversaries = roles 13 prefs "equivocator:0.2" in
   let r = LB.run ~seed:13 ~guard:true ~adversaries prefs in
-  Alcotest.(check bool) "terminated" true r.LB.all_correct_terminated;
-  Alcotest.(check int) "no offence recorded" 0 (List.length r.LB.offence_counts);
-  Alcotest.(check int) "no quarantine" 0 r.LB.quarantine_events;
-  Alcotest.(check (list violation)) "damage clean" [] r.LB.damage
+  Alcotest.(check bool) "terminated" true r.Stack.all_terminated;
+  Alcotest.(check int) "no offence recorded" 0 (List.length r.Stack.offence_counts);
+  Alcotest.(check int) "no quarantine" 0 r.Stack.quarantine_events;
+  Alcotest.(check (list violation)) "damage clean" [] r.Stack.damage
 
 let test_flooder_quarantined_and_contained () =
   let prefs = random_prefs 17 40 6 2 in
   let adversaries = roles 17 prefs "flooder:0.15" in
   let guarded = LB.run ~seed:17 ~guard:true ~adversaries prefs in
-  Alcotest.(check bool) "flooders quarantined" true (guarded.LB.byz_quarantined > 0);
+  Alcotest.(check bool) "flooders quarantined" true (guarded.Stack.byz_quarantined > 0);
   Alcotest.(check bool) "duplicate props recorded" true
-    (List.mem_assoc "duplicate-prop" guarded.LB.offence_counts);
+    (List.mem_assoc "duplicate-prop" guarded.Stack.offence_counts);
   Alcotest.(check bool) "terminates despite spam" true
-    guarded.LB.all_correct_terminated;
-  Alcotest.(check int) "precision" 0 guarded.LB.false_quarantines;
-  Alcotest.(check (list violation)) "damage clean" [] guarded.LB.damage
+    guarded.Stack.all_terminated;
+  Alcotest.(check int) "precision" 0 guarded.Stack.false_quarantines;
+  Alcotest.(check (list violation)) "damage clean" [] guarded.Stack.damage
 
 let test_replayer_quarantined () =
   let prefs = random_prefs 19 40 6 2 in
   let adversaries = roles 19 prefs "replayer:0.2" in
   let r = LB.run ~seed:19 ~guard:true ~adversaries prefs in
-  Alcotest.(check bool) "replayers quarantined" true (r.LB.byz_quarantined > 0);
+  Alcotest.(check bool) "replayers quarantined" true (r.Stack.byz_quarantined > 0);
   Alcotest.(check bool) "replay offences recorded" true
     (List.exists
        (fun (k, _) ->
          List.mem k [ "duplicate-prop"; "duplicate-rej"; "stale-epoch" ])
-       r.LB.offence_counts);
-  Alcotest.(check int) "precision" 0 r.LB.false_quarantines
+       r.Stack.offence_counts);
+  Alcotest.(check int) "precision" 0 r.Stack.false_quarantines
 
 let test_determinism () =
   let prefs = random_prefs 23 30 6 2 in
   let adversaries = roles 23 prefs "replayer:0.1,flooder:0.1" in
   let a = LB.run ~seed:5 ~adversaries prefs in
   let b = LB.run ~seed:5 ~adversaries prefs in
-  Alcotest.(check (list int)) "same matching" (BM.edge_ids a.LB.matching)
-    (BM.edge_ids b.LB.matching);
-  Alcotest.(check int) "same deliveries" a.LB.delivered b.LB.delivered;
-  Alcotest.(check int) "same quarantines" a.LB.quarantine_events
-    b.LB.quarantine_events
+  Alcotest.(check (list int)) "same matching" (BM.edge_ids a.Stack.matching)
+    (BM.edge_ids b.Stack.matching);
+  Alcotest.(check int) "same deliveries" a.Stack.delivered b.Stack.delivered;
+  Alcotest.(check int) "same quarantines" a.Stack.quarantine_events
+    b.Stack.quarantine_events
 
 let test_satisfaction_accounting () =
   let prefs = random_prefs 29 40 6 2 in
@@ -220,6 +221,7 @@ let base w =
     edges = [];
     consumed = [| 0; 0; 0 |];
     unterminated = [];
+    overclaimed = [];
   }
 
 let has ~checker vs = List.exists (fun v -> v.Owp_check.Violation.checker = checker) vs

@@ -143,17 +143,18 @@ let test_robust_no_faults_equals_lid () =
   let silent = Array.make 25 false in
   let r = Robust.run ~silent w ~capacity:cap in
   let lid = Owp_core.Lid.run w ~capacity:cap in
-  Alcotest.(check bool) "terminated" true r.Robust.all_correct_terminated;
-  Alcotest.(check int) "no timeouts" 0 r.Robust.timeouts_fired;
+  Alcotest.(check bool) "terminated" true r.Owp_core.Stack.all_terminated;
+  Alcotest.(check int) "no timeouts" 0
+    (Owp_core.Stack.counter r ~layer:"detector" "patience-fired");
   Alcotest.(check bool) "same matching as plain LID" true
-    (BM.equal r.Robust.matching lid.Owp_core.Lid.matching)
+    (BM.equal r.Owp_core.Stack.matching lid.Owp_core.Lid.matching)
 
 let test_robust_all_silent () =
   let _, _, w, cap = random_instance 13 15 4 2 in
   let silent = Array.make 15 true in
   let r = Robust.run ~silent w ~capacity:cap in
-  Alcotest.(check int) "nothing matched" 0 (BM.size r.Robust.matching);
-  Alcotest.(check bool) "vacuously terminated" true r.Robust.all_correct_terminated
+  Alcotest.(check int) "nothing matched" 0 (BM.size r.Owp_core.Stack.matching);
+  Alcotest.(check bool) "vacuously terminated" true r.Owp_core.Stack.all_terminated
 
 let prop_robust_terminates_under_silence =
   QCheck2.Test.make ~name:"robust LID always terminates for correct nodes" ~count:30
@@ -165,14 +166,14 @@ let prop_robust_terminates_under_silence =
         Array.init 25 (fun _ -> Prng.bernoulli rng (float_of_int pct /. 100.0))
       in
       let r = Robust.run ~silent w ~capacity:cap in
-      r.Robust.all_correct_terminated
+      r.Owp_core.Stack.all_terminated
       &&
       (* no silent node ends up in the matching *)
       List.for_all
         (fun eid ->
-          let u, v = Graph.edge_endpoints (BM.graph r.Robust.matching) eid in
+          let u, v = Graph.edge_endpoints (BM.graph r.Owp_core.Stack.matching) eid in
           (not silent.(u)) && not silent.(v))
-        (BM.edge_ids r.Robust.matching))
+        (BM.edge_ids r.Owp_core.Stack.matching))
 
 (* ---------- Fixtures_phase1 ---------- *)
 

@@ -5,6 +5,7 @@ module BM = Owp_matching.Bmatching
 module Sim = Owp_simnet.Simnet
 module Explore = Owp_check.Explore
 module Prng = Owp_util.Prng
+module Stack = Owp_core.Stack
 
 let random_instance seed n avg_deg quota =
   let rng = Prng.create seed in
@@ -28,9 +29,9 @@ let test_baseline_lid_stuck_reliable_converges () =
   let plain = Lid.run ~seed:2 ~faults w ~capacity in
   Alcotest.(check bool) "plain LID gets stuck" false plain.Lid.all_terminated;
   let r = Lrel.run ~seed:2 ~faults ~check:true w ~capacity in
-  Alcotest.(check bool) "reliable LID terminates" true r.Lrel.all_terminated;
-  Alcotest.(check bool) "and equals LIC" true (BM.equal r.Lrel.matching lic);
-  Alcotest.(check bool) "give-up never fired" true (r.Lrel.peers_declared_dead = 0);
+  Alcotest.(check bool) "reliable LID terminates" true r.Stack.all_terminated;
+  Alcotest.(check bool) "and equals LIC" true (BM.equal r.Stack.matching lic);
+  Alcotest.(check bool) "give-up never fired" true (Stack.counter r ~layer:"transport" "dead-links" = 0);
   Alcotest.(check bool) "overhead is reported" true (Lrel.overhead r > 1.0)
 
 let prop_quiesces_and_equals_lic_under_faults =
@@ -47,9 +48,9 @@ let prop_quiesces_and_equals_lic_under_faults =
       let lic = Lic.run w ~capacity in
       let faults = Sim.faults ~drop ~duplicate:dup () in
       let r = Lrel.run ~seed:(seed + 31) ~fifo ~faults w ~capacity in
-      r.Lrel.all_terminated
-      && r.Lrel.peers_declared_dead = 0
-      && BM.equal r.Lrel.matching lic)
+      r.Stack.all_terminated
+      && Stack.counter r ~layer:"transport" "dead-links" = 0
+      && BM.equal r.Stack.matching lic)
 
 let prop_survives_adversarial_reordering =
   QCheck2.Test.make ~name:"reliable LID equals LIC on a reordering non-FIFO net"
@@ -62,7 +63,7 @@ let prop_survives_adversarial_reordering =
       let r =
         Lrel.run ~seed ~fifo:false ~delay:(Sim.Uniform (0.01, 20.0)) ~faults w ~capacity
       in
-      r.Lrel.all_terminated && BM.equal r.Lrel.matching lic)
+      r.Stack.all_terminated && BM.equal r.Stack.matching lic)
 
 (* ------------------------------------------------------------------ *)
 (* crash / restart                                                     *)
@@ -75,11 +76,11 @@ let test_failstop_with_patience () =
   let victim = 0 in
   let crashes = [ { Lrel.victim; crash_at = 0.4; restart_at = None } ] in
   let r = Lrel.run ~seed:4 ~patience:60.0 ~crashes w ~capacity in
-  Alcotest.(check bool) "survivors terminate" true r.Lrel.all_terminated;
-  Alcotest.(check int) "victim unmatched" 0 (BM.degree r.Lrel.matching victim);
+  Alcotest.(check bool) "survivors terminate" true r.Stack.all_terminated;
+  Alcotest.(check int) "victim unmatched" 0 (BM.degree r.Stack.matching victim);
   Alcotest.(check bool) "some recovery happened" true
-    (r.Lrel.synthetic_rejects > 0 || Graph.degree g victim = 0);
-  Alcotest.(check bool) "crash loss accounted" true (r.Lrel.lost_to_crashes > 0)
+    (r.Stack.synthetic_rejects > 0 || Graph.degree g victim = 0);
+  Alcotest.(check bool) "crash loss accounted" true (r.Stack.lost_to_crashes > 0)
 
 let test_failstop_without_patience_reported () =
   (* without patience a neighbour whose ACKed proposal is answered by
@@ -90,33 +91,33 @@ let test_failstop_without_patience_reported () =
   (* with give-up for unACKed traffic some seeds still converge; the
      invariant is coherence: all_terminated iff no live straggler *)
   Alcotest.(check bool) "report coherent" true
-    (r.Lrel.all_terminated = (r.Lrel.quiescence = []))
+    (r.Stack.all_terminated = (r.Stack.quiescence = []))
 
 let test_crash_restart_amnesia () =
   let _, _, w, capacity = random_instance 17 12 4 2 in
   let victim = 2 in
   let crashes = [ { Lrel.victim; crash_at = 0.6; restart_at = Some 4.0 } ] in
   let r = Lrel.run ~seed:5 ~patience:60.0 ~crashes w ~capacity in
-  Alcotest.(check bool) "everyone live terminates" true r.Lrel.all_terminated;
+  Alcotest.(check bool) "everyone live terminates" true r.Stack.all_terminated;
   (* the restarted incarnation lost its state: it declines everything,
      so it holds no edges in the final matching *)
-  Alcotest.(check int) "amnesiac holds nothing" 0 (BM.degree r.Lrel.matching victim)
+  Alcotest.(check int) "amnesiac holds nothing" 0 (BM.degree r.Stack.matching victim)
 
 let test_crash_plan_validation () =
   let _, _, w, capacity = random_instance 19 6 3 1 in
   Alcotest.check_raises "victim range"
-    (Invalid_argument "Lid_reliable.run: crash victim out of range") (fun () ->
+    (Invalid_argument "Stack.run: crash victim out of range") (fun () ->
       ignore
         (Lrel.run ~crashes:[ { Lrel.victim = 99; crash_at = 1.0; restart_at = None } ] w
            ~capacity));
   Alcotest.check_raises "restart order"
-    (Invalid_argument "Lid_reliable.run: restart not after crash") (fun () ->
+    (Invalid_argument "Stack.run: restart not after crash") (fun () ->
       ignore
         (Lrel.run
            ~crashes:[ { Lrel.victim = 0; crash_at = 2.0; restart_at = Some 1.0 } ]
            w ~capacity));
   Alcotest.check_raises "patience sign"
-    (Invalid_argument "Lid_reliable.run: patience must be positive") (fun () ->
+    (Invalid_argument "Stack.run: patience must be positive") (fun () ->
       ignore (Lrel.run ~patience:0.0 w ~capacity))
 
 (* ------------------------------------------------------------------ *)

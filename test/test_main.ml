@@ -29,6 +29,7 @@ let () =
       ("core.lic", Test_lic.suite);
       ("core.lic_indexed", Test_lic_indexed.suite);
       ("core.lid", Test_lid.suite);
+      ("core.stack", Test_stack.suite);
       ("core.lid_reliable", Test_lid_reliable.suite);
       ("core.guard", Test_guard.suite);
       ("core.byzantine", Test_byzantine.suite);

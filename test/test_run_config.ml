@@ -80,20 +80,53 @@ let test_engine_aliases () =
 let test_validate () =
   let ok c = Result.is_ok (RC.validate c) in
   Alcotest.(check bool) "default valid" true (ok RC.default);
-  Alcotest.(check bool) "faults need reliable engine" false
+  (* the layers compose: every former "mutually exclusive" pair is a
+     legal selection of middleware now *)
+  Alcotest.(check bool) "faults ride plain lid" true
     (ok (RC.make ~engine:RC.Lid ~faults:(Faults.make ~drop:0.2 ()) ()));
   Alcotest.(check bool) "reliable + faults valid" true
     (ok (RC.make ~engine:RC.Lid_reliable ~faults:(Faults.make ~drop:0.2 ()) ()));
+  Alcotest.(check bool) "byzantine + channel faults valid" true
+    (ok
+       (RC.make ~engine:RC.Lid_byzantine ~byzantine:"liar:0.2"
+          ~faults:(Faults.make ~drop:0.1 ()) ()));
+  Alcotest.(check bool) "byzantine rides plain lid" true
+    (ok (RC.make ~engine:RC.Lid ~byzantine:"liar:0.2" ()));
+  Alcotest.(check bool) "reliable flag on plain lid" true
+    (ok (RC.make ~engine:RC.Lid ~reliable:true ()));
+  Alcotest.(check bool) "full composition valid" true
+    (ok
+       (RC.make ~engine:RC.Lid ~reliable:true ~byzantine:"liar:0.2" ~guard:true
+          ~faults:(Faults.make ~drop:0.1 ~reorder:0.2 ()) ()));
+  Alcotest.(check bool) "byzantine + guard valid" true
+    (ok (RC.make ~engine:RC.Lid_byzantine ~byzantine:"liar:0.2" ~guard:true ()));
+  (* genuinely meaningless combinations stay rejected, each on its own
+     branch of validate *)
+  Alcotest.(check bool) "out-of-range faults rejected" false
+    (ok (RC.make ~faults:{ Faults.none with Faults.drop = 1.5 } ()));
   Alcotest.(check bool) "byzantine needs a spec" false
     (ok (RC.make ~engine:RC.Lid_byzantine ()));
   Alcotest.(check bool) "byzantine spec must parse" false
     (ok (RC.make ~engine:RC.Lid_byzantine ~byzantine:"nonsense" ()));
-  Alcotest.(check bool) "byzantine + channel faults invalid" false
-    (ok
-       (RC.make ~engine:RC.Lid_byzantine ~byzantine:"liar:0.2"
-          ~faults:(Faults.make ~drop:0.1 ()) ()));
-  Alcotest.(check bool) "byzantine + spec valid" true
-    (ok (RC.make ~engine:RC.Lid_byzantine ~byzantine:"liar:0.2" ()))
+  Alcotest.(check bool) "spec needs a lid-family engine" false
+    (ok (RC.make ~engine:RC.Lic ~byzantine:"liar:0.2" ()));
+  Alcotest.(check bool) "guard needs an adversary spec" false
+    (ok (RC.make ~engine:RC.Lid ~guard:true ()));
+  Alcotest.(check bool) "faults need a lid-family engine" false
+    (ok (RC.make ~engine:RC.Greedy ~faults:(Faults.make ~drop:0.2 ()) ()));
+  Alcotest.(check bool) "reliable needs a lid-family engine" false
+    (ok (RC.make ~engine:RC.Lic ~reliable:true ()));
+  (* the rejection messages must say what to do, not just "no" *)
+  (match RC.validate (RC.make ~engine:RC.Lid ~guard:true ()) with
+  | Error msg ->
+      Alcotest.(check bool) "guard message is actionable" true
+        (let contains hay needle =
+           let lh = String.length hay and ln = String.length needle in
+           let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+           go 0
+         in
+         contains msg "--byzantine")
+  | Ok _ -> Alcotest.fail "guard without spec must be rejected")
 
 (* --- the pipeline funnel ------------------------------------------ *)
 
@@ -114,9 +147,7 @@ let test_run_config_rejects_inconsistent () =
   let prefs = instance 6 in
   Alcotest.(check bool) "invalid config raises" true
     (match
-       Pipeline.run_config
-         (RC.make ~engine:RC.Lid ~faults:(Faults.make ~drop:0.5 ()) ())
-         prefs
+       Pipeline.run_config (RC.make ~engine:RC.Lid ~guard:true ()) prefs
      with
     | _ -> false
     | exception Invalid_argument _ -> true)

@@ -1,0 +1,180 @@
+(* The layered stack against its references.
+
+   The stack's claim is compositional faithfulness: with no middleware
+   enabled it IS plain LID (bit-identical, not merely equivalent), with
+   only the transport enabled it IS the reliable driver's convergence
+   behaviour, and the thin driver modules add no protocol logic of
+   their own — the PROP/REJ transitions exist in lid.ml and nowhere
+   else. *)
+
+module Lid = Owp_core.Lid
+module Lic = Owp_core.Lic
+module Stack = Owp_core.Stack
+module Robust = Owp_core.Lid_robust
+module BM = Owp_matching.Bmatching
+module Sim = Owp_simnet.Simnet
+module Prng = Owp_util.Prng
+
+let random_instance seed n avg_deg quota =
+  let rng = Prng.create seed in
+  let m = n * avg_deg / 2 in
+  let g = Gen.gnm rng ~n ~m in
+  let p = Preference.random rng g ~quota:(Preference.uniform_quota g quota) in
+  let w = Weights.of_preference p in
+  let capacity = Array.init n (Preference.quota p) in
+  (g, p, w, capacity)
+
+(* ------------------------------------------------------------------ *)
+(* zero middleware = plain Lid.run, bit for bit                        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_zero_middleware_bit_identical =
+  (* payload contents never touch the simulator's RNG, so an identical
+     Simnet.send call order means identical delay samples: the stack
+     with every layer disabled must replay Lid.run exactly — same
+     matching, same PROP/REJ counts, same virtual completion time *)
+  QCheck2.Test.make ~name:"stack with zero middleware is bit-identical to Lid.run"
+    ~count:100
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let _, _, w, capacity = random_instance seed 24 6 2 in
+      let plain = Lid.run ~seed w ~capacity in
+      let r = Stack.run ~seed w ~capacity in
+      BM.equal plain.Lid.matching r.Stack.matching
+      && plain.Lid.prop_count = r.Stack.prop_count
+      && plain.Lid.rej_count = r.Stack.rej_count
+      && plain.Lid.completion_time = r.Stack.completion_time
+      && plain.Lid.all_terminated = r.Stack.all_terminated)
+
+let test_zero_middleware_layer_table () =
+  let _, _, w, capacity = random_instance 3 16 5 2 in
+  let r = Stack.run ~seed:3 w ~capacity in
+  let names = List.map (fun l -> l.Stack.layer) r.Stack.layers in
+  (* only the always-on layers appear; transport/adversary/guard rows
+     exist exactly when enabled *)
+  List.iter
+    (fun l -> Alcotest.(check bool) (l ^ " row present") true (List.mem l names))
+    [ "lid"; "detector"; "dedup"; "channel" ];
+  List.iter
+    (fun l -> Alcotest.(check bool) (l ^ " row absent") false (List.mem l names))
+    [ "transport"; "adversary"; "guard" ];
+  Alcotest.(check int) "lid row counts props" r.Stack.prop_count
+    (Stack.counter r ~layer:"lid" "prop");
+  Alcotest.(check (float 1e-9)) "no transport: overhead 1.0" 1.0 (Stack.overhead r)
+
+(* ------------------------------------------------------------------ *)
+(* transport-only = Lid_reliable's E21a convergence rows               *)
+(* ------------------------------------------------------------------ *)
+
+let test_transport_only_reproduces_e21_rows () =
+  (* the E21a acceptance grid (loss x delivery order): every row must
+     terminate with exactly LIC's edge set when the only middleware is
+     the ARQ transport *)
+  let _, _, w, capacity = random_instance 21 20 6 2 in
+  let lic = Lic.run w ~capacity in
+  List.iter
+    (fun (drop, fifo) ->
+      let faults = Sim.faults ~drop () in
+      let r = Stack.run ~seed:3 ~fifo ~faults ~reliable:true w ~capacity in
+      let label = Printf.sprintf "drop=%.1f fifo=%b" drop fifo in
+      Alcotest.(check bool) (label ^ ": terminates") true r.Stack.all_terminated;
+      Alcotest.(check bool) (label ^ ": = LIC") true (BM.equal r.Stack.matching lic);
+      if drop > 0.0 then
+        Alcotest.(check bool)
+          (label ^ ": retransmissions visible")
+          true
+          (Stack.counter r ~layer:"transport" "retransmissions" > 0))
+    [ (0.0, true); (0.1, true); (0.3, true); (0.0, false); (0.3, false) ]
+
+(* ------------------------------------------------------------------ *)
+(* the robust configuration is Lid behind layers, not a second machine *)
+(* ------------------------------------------------------------------ *)
+
+let test_robust_config_is_plain_lid_behaviour () =
+  (* with no silent peers the robust configuration must reproduce plain
+     LID's matching: it is Lid.init/Lid.deliver behind (inactive)
+     layers, so the patience timers never fire and nothing diverges *)
+  let _, _, w, capacity = random_instance 31 25 6 2 in
+  let lid = Lid.run ~seed:9 w ~capacity in
+  let r = Robust.run ~seed:9 ~silent:(Array.make 25 false) w ~capacity in
+  Alcotest.(check bool) "same matching" true (BM.equal lid.Lid.matching r.Stack.matching);
+  Alcotest.(check int) "no patience fired" 0
+    (Stack.counter r ~layer:"detector" "patience-fired");
+  Alcotest.(check int) "no synthetic rejects" 0 r.Stack.synthetic_rejects
+
+let test_no_second_state_machine_in_tree () =
+  (* grep-verifiable deletion: the PROP/REJ transition state (u_set /
+     a_set / k_set) exists in lib/core/lid.ml and in no other core
+     module.  Walk up from the build sandbox to the source tree. *)
+  let rec find_root dir depth =
+    if depth > 8 then None
+    else if Sys.file_exists (Filename.concat dir "lib/core/lid.ml") then Some dir
+    else find_root (Filename.concat dir "..") (depth + 1)
+  in
+  match find_root (Sys.getcwd ()) 0 with
+  | None -> () (* source tree not reachable from the runner; nothing to scan *)
+  | Some root ->
+      let core = Filename.concat root "lib/core" in
+      let offenders =
+        Sys.readdir core |> Array.to_list
+        |> List.filter (fun f ->
+               Filename.check_suffix f ".ml"
+               && f <> "lid.ml"
+               &&
+               let text =
+                 In_channel.with_open_text (Filename.concat core f)
+                   In_channel.input_all
+               in
+               let contains needle =
+                 let lh = String.length text and ln = String.length needle in
+                 let rec go i =
+                   i + ln <= lh && (String.sub text i ln = needle || go (i + 1))
+                 in
+                 go 0
+               in
+               contains "a_set" || contains "u_set" || contains "k_set")
+      in
+      Alcotest.(check (list string))
+        "no LID transition state outside lid.ml" [] offenders
+
+(* ------------------------------------------------------------------ *)
+(* composition smoke: all layers at once stay coherent                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_full_composition_coherent () =
+  (* guarded liars over a lossy reordering channel with ARQ underneath:
+     correct peers terminate, damage certifies, and every enabled layer
+     reports a row *)
+  let _, p, w, capacity = random_instance 41 30 6 2 in
+  let n = Graph.node_count (Preference.graph p) in
+  let adversaries =
+    Owp_simnet.Adversary.assign (Prng.create 41) ~n
+      (Owp_simnet.Adversary.parse_spec "liar:0.2")
+  in
+  let faults = Sim.faults ~drop:0.1 ~reorder:0.2 () in
+  let r =
+    Stack.run ~seed:41 ~fifo:false ~faults ~reliable:true ~adversaries ~guard:true
+      ~prefs:p w ~capacity
+  in
+  Alcotest.(check bool) "correct peers terminate" true r.Stack.all_terminated;
+  Alcotest.(check (list string)) "damage certifies" []
+    (List.map (fun v -> v.Owp_check.Violation.checker) r.Stack.damage);
+  Alcotest.(check int) "precision" 0 r.Stack.false_quarantines;
+  let names = List.map (fun l -> l.Stack.layer) r.Stack.layers in
+  List.iter
+    (fun l -> Alcotest.(check bool) (l ^ " row present") true (List.mem l names))
+    [ "lid"; "detector"; "adversary"; "guard"; "dedup"; "transport"; "channel" ]
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_zero_middleware_bit_identical;
+    Alcotest.test_case "zero-middleware layer table" `Quick
+      test_zero_middleware_layer_table;
+    Alcotest.test_case "transport-only = E21a grid" `Quick
+      test_transport_only_reproduces_e21_rows;
+    Alcotest.test_case "robust config = plain LID" `Quick
+      test_robust_config_is_plain_lid_behaviour;
+    Alcotest.test_case "no second state machine" `Quick
+      test_no_second_state_machine_in_tree;
+    Alcotest.test_case "full composition coherent" `Quick test_full_composition_coherent;
+  ]
