@@ -6,6 +6,7 @@
      owp run         build an overlay matching with a chosen engine
      owp verify      check a saved matching against a graph and quota
      owp check       run the invariant checkers / interleaving explorer
+     owp lint        static analysis over the .cmt typedtrees dune emits
      owp experiment  regenerate a paper experiment table (E0..E24)
      owp bench       experiments with the scale knobs: --jobs, --json, --gate
      owp list        list available experiments
@@ -587,24 +588,33 @@ let check_explore inst max_configs max_link_failures =
     end
   end
 
+(* one listing format shared by `check --list` and `lint --list`:
+   sections of name/doc rows *)
+let print_listing sections =
+  List.iter
+    (fun (header, rows) ->
+      print_endline header;
+      List.iter (fun (name, doc) -> Printf.printf "  %-22s %s\n" name doc) rows)
+    sections;
+  0
+
 (* check --list: every diagnostic the suite can run, with one-line docs *)
 let check_list () =
-  print_endline "structural checkers (owp check, owp check --matching):";
-  List.iter
-    (fun c ->
-      Printf.printf "  %-22s %s\n" c.Owp_check.Checker.name c.Owp_check.Checker.doc)
-    Owp_check.Checker.all;
-  print_endline "interleaving explorer (owp check --explore):";
-  List.iter
-    (fun (name, doc) -> Printf.printf "  %-22s %s\n" name doc)
+  print_listing
     [
-      ("explore-termination", "every FIFO schedule quiesces (Lemma 5)");
-      ("explore-divergence", "the locked edge set is schedule-independent (Lemma 6)");
-      ("explore-truncated", "the state-space bound was hit before exhaustion");
-    ];
-  print_endline "byzantine runs (owp check --byzantine, --explore --byzantine):";
-  Printf.printf "  %-22s %s\n" Owp_check.Byzantine.name Owp_check.Byzantine.doc;
-  0
+      ( "structural checkers (owp check, owp check --matching):",
+        List.map
+          (fun c -> (c.Owp_check.Checker.name, c.Owp_check.Checker.doc))
+          Owp_check.Checker.all );
+      ( "interleaving explorer (owp check --explore):",
+        [
+          ("explore-termination", "every FIFO schedule quiesces (Lemma 5)");
+          ("explore-divergence", "the locked edge set is schedule-independent (Lemma 6)");
+          ("explore-truncated", "the state-space bound was hit before exhaustion");
+        ] );
+      ( "byzantine runs (owp check --byzantine, --explore --byzantine):",
+        [ (Owp_check.Byzantine.name, Owp_check.Byzantine.doc) ] );
+    ]
 
 (* check --explore --byzantine: model-check the bounded-damage claim
    with one Byzantine node, quantified over every node choice, every
@@ -772,6 +782,94 @@ let check_cmd =
       $ no_fifo_arg $ crash_arg $ patience_arg $ byzantine_arg $ guard_arg $ list)
 
 (* ------------------------------------------------------------------ *)
+(* lint                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* the typedtree analyzer: reads the .cmt files dune already emitted,
+   so a plain `dune build` is the only prerequisite *)
+let default_lint_roots =
+  [ "_build/default/lib"; "_build/default/bin"; "_build/default/bench" ]
+
+let lint_list () =
+  print_listing
+    [
+      ( "typedtree lint rules (owp lint, owp lint --rule NAME):",
+        List.map
+          (fun r -> (r.Owp_lint.Rule.name, r.Owp_lint.Rule.doc))
+          Owp_lint.Registry.all );
+    ]
+
+let lint_cmdline json list rules roots =
+  if list then lint_list ()
+  else begin
+    let roots =
+      match roots with
+      | [] ->
+          let existing = List.filter Sys.file_exists default_lint_roots in
+          if existing = [] then default_lint_roots else existing
+      | rs -> rs
+    in
+    let only = match rules with [] -> None | rs -> Some rs in
+    match Owp_lint.Driver.run ?only ~roots () with
+    | Error msg ->
+        Printf.eprintf "lint: %s\n" msg;
+        2
+    | Ok r ->
+        if json then print_endline (Owp_lint.Driver.to_json r)
+        else Format.printf "%a" Owp_lint.Driver.pp_human r;
+        if r.Owp_lint.Driver.findings = [] then 0 else 1
+  end
+
+let lint_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the report as one JSON object instead of compiler-style lines.")
+  in
+  let list =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List every registered rule with its one-line description and exit.")
+  in
+  let rules =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "rule" ] ~docv:"NAME"
+          ~doc:"Run only the named rule (repeatable); default is every rule.")
+  in
+  let roots =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ROOT"
+          ~doc:
+            "Directories to scan for .cmt files; defaults to \
+             _build/default/{lib,bin,bench}.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Static analysis over the typedtrees dune emits (.cmt files)"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs the repo's rule registry (purity of the protocol core, \
+              iteration-order determinism, clock hygiene, seeded randomness, \
+              float comparison discipline, domain-safety of pool tasks, the \
+              single-state-machine property, and layer conformance) over the \
+              typed ASTs produced by $(b,dune build).  Exit status is 1 when \
+              unsuppressed findings remain, 2 on usage or scan errors.";
+           `P
+             "Findings are suppressed in source with \
+              (* owp-lint: allow RULE — reason *) on the offending line or the \
+              line above; (* owp-lint: pure *) opts a module into the \
+              pure-core rule.";
+         ])
+    Term.(const lint_cmdline $ json $ list $ rules $ roots)
+
+(* ------------------------------------------------------------------ *)
 (* experiment                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -901,6 +999,7 @@ let main_cmd =
       run_cmd;
       verify_cmd;
       check_cmd;
+      lint_cmd;
       experiment_cmd;
       bench_cmd;
       list_cmd;

@@ -1,0 +1,64 @@
+type unit_info = {
+  module_name : string;
+  file : string;
+  basename : string;
+  source : string option;
+  structure : Typedtree.structure;
+}
+
+(* deterministic recursive walk: readdir order is unspecified, so sort *)
+let rec walk dir acc =
+  match Sys.readdir dir with
+  | entries ->
+      Array.sort compare entries;
+      Array.fold_left
+        (fun acc entry ->
+          let path = Filename.concat dir entry in
+          if Sys.is_directory path then walk path acc
+          else if Filename.check_suffix entry ".cmt" then path :: acc
+          else acc)
+        acc entries
+  | exception Sys_error _ -> acc
+
+let read_one path =
+  match Cmt_format.read_cmt path with
+  | { Cmt_format.cmt_annots = Cmt_format.Implementation structure;
+      cmt_modname;
+      cmt_sourcefile;
+      cmt_builddir;
+      _;
+    } ->
+      let file = Option.value ~default:(Filename.basename path) cmt_sourcefile in
+      let source =
+        match cmt_sourcefile with
+        | None -> None
+        | Some rel ->
+            (* the recorded builddir may be a sandbox path that no longer
+               exists (dune records /workspace_root); the copy dune makes
+               next to the .objs directory is always there, three levels
+               up from <dir>/.<lib>.objs/byte/<unit>.cmt *)
+            let near_objs =
+              Filename.concat
+                (Filename.dirname (Filename.dirname (Filename.dirname path)))
+                (Filename.basename rel)
+            in
+            List.find_opt Sys.file_exists
+              [ Filename.concat cmt_builddir rel; rel; near_objs ]
+      in
+      Some
+        {
+          module_name = cmt_modname;
+          file;
+          basename = Filename.basename file;
+          source;
+          structure;
+        }
+  | _ -> None
+  | exception _ -> None
+
+let scan roots =
+  List.concat_map (fun root -> walk root []) roots
+  |> List.filter_map read_one
+  |> List.sort_uniq (fun a b ->
+         let c = compare a.file b.file in
+         if c <> 0 then c else compare a.module_name b.module_name)

@@ -1,0 +1,22 @@
+(** Locating and reading the [.cmt] typedtrees dune emits.
+
+    Dune compiles every module with [-bin-annot], so after [dune build]
+    each library directory holds a [.objs/byte] directory of [.cmt]
+    files.  [scan] walks the given roots recursively, reads every
+    implementation [.cmt] it finds, and resolves the module's source
+    file (first against the recorded build directory — dune copies
+    sources into [_build] — then against the current directory), so the
+    suppression scanner can see the original comments. *)
+
+type unit_info = {
+  module_name : string;  (** e.g. ["Owp_core__Lid"] *)
+  file : string;  (** display path, e.g. ["lib/core/lid.ml"] *)
+  basename : string;  (** e.g. ["lid.ml"] *)
+  source : string option;  (** readable copy of the source, if any *)
+  structure : Typedtree.structure;
+}
+
+val scan : string list -> unit_info list
+(** [scan roots] returns every implementation unit under the roots,
+    sorted by display path.  Unreadable or non-implementation [.cmt]
+    files are skipped silently. *)

@@ -1,0 +1,23 @@
+(** Running the analyzer: scan [.cmt] roots, build the cross-unit type
+    universe, run every (or a selected subset of) rule over every unit,
+    and partition the findings against the suppression directives found
+    in the sources. *)
+
+type result = {
+  findings : Finding.t list;  (** unsuppressed, sorted *)
+  suppressed : Finding.t list;  (** matched an [allow] directive *)
+  files : int;  (** implementation units analyzed *)
+  rules : string list;  (** rules that ran *)
+}
+
+val run :
+  ?only:string list -> roots:string list -> unit -> (result, string) Stdlib.result
+(** [run ~roots ()] analyzes every unit under [roots].  [only] restricts
+    to the named rules.  Errors: an unknown rule name in [only], or no
+    [.cmt] files under any root (almost always a missing [dune build]). *)
+
+val pp_human : Format.formatter -> result -> unit
+(** Findings one per line plus a summary tail. *)
+
+val to_json : result -> string
+(** The full report as one JSON object (stable field order). *)

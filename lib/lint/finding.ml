@@ -1,0 +1,52 @@
+type t = {
+  rule : string;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let v ~rule ~file ~loc message =
+  let p = loc.Location.loc_start in
+  {
+    rule;
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    message;
+  }
+
+let order a b =
+  let c = compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = compare (a.line, a.col) (b.line, b.col) in
+    if c <> 0 then c
+    else
+      let c = compare a.rule b.rule in
+      if c <> 0 then c else compare a.message b.message
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d [%s] %s" t.file t.line t.col t.rule t.message
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json t =
+  Printf.sprintf "{\"rule\": %s, \"file\": %s, \"line\": %d, \"col\": %d, \"message\": %s}"
+    (json_string t.rule) (json_string t.file) t.line t.col (json_string t.message)

@@ -1,0 +1,28 @@
+(** One lint finding: the static-analysis analogue of
+    {!Owp_check.Violation} — a rule name, a source position, and a
+    one-line message.  Findings are value-comparable and sorted by
+    position so reports are deterministic. *)
+
+type t = {
+  rule : string;
+  file : string;  (** display path, e.g. ["lib/core/lid.ml"] *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  message : string;
+}
+
+val v : rule:string -> file:string -> loc:Location.t -> string -> t
+(** Build a finding anchored at [loc.loc_start]. *)
+
+val order : t -> t -> int
+(** Sort key: file, line, column, rule, message. *)
+
+val pp : Format.formatter -> t -> unit
+(** ["file:line:col [rule] message"]. *)
+
+val to_json : t -> string
+(** One JSON object with [rule]/[file]/[line]/[col]/[message] fields. *)
+
+val json_string : string -> string
+(** JSON string literal with the usual escapes (shared with the report
+    serialiser). *)

@@ -1,0 +1,46 @@
+(* clock-hygiene: wall-clock reads are the quietest determinism leak —
+   a timestamp that reaches a weight, a seed, or a tie-break makes
+   replay impossible and no test sees it until it flakes.  Every
+   wall-time read therefore lives in the one designated shim
+   (Owp_util.Clock); everything else consumes measured durations it
+   hands out. *)
+
+let name = "clock-hygiene"
+let shim = "clock.ml"
+
+let banned =
+  [
+    [ "Unix"; "gettimeofday" ];
+    [ "Unix"; "time" ];
+    [ "Unix"; "times" ];
+    [ "Sys"; "time" ];
+  ]
+
+let check (ctx : Rule.context) =
+  if ctx.Rule.basename = shim then []
+  else begin
+    let out = ref [] in
+    Rule.iter_expressions ctx.Rule.structure (fun e ->
+        match Rule.ident_of e with
+        | None -> ()
+        | Some (p, _) ->
+            let parts = Rule.stdlib_head (Rule.path_parts p) in
+            if List.mem parts banned then
+              out :=
+                Finding.v ~rule:name ~file:ctx.Rule.file ~loc:e.Typedtree.exp_loc
+                  (Printf.sprintf
+                     "wall-clock read `%s' outside the timing shim \
+                      (use Owp_util.Clock)"
+                     (String.concat "." parts))
+                :: !out);
+    List.rev !out
+  end
+
+let rule =
+  {
+    Rule.name;
+    doc =
+      "wall-clock reads (Unix.gettimeofday, Sys.time, ...) only in the \
+       designated timing shim lib/util/clock.ml";
+    check;
+  }

@@ -1,0 +1,47 @@
+(* float-compare: polymorphic equality and comparison on floats (or on
+   tuples/records carrying them) is how NaN and negative-zero slip into
+   certificates — `nan = nan' is false, `compare nan nan' is 0, and a
+   weight table with one NaN silently reorders.  Weights compare
+   through the dedicated comparators (Weights.heavier/compare_edges,
+   Float.equal/Float.compare); the polymorphic operators are flagged
+   whenever their instantiated argument type carries a float.
+
+   The check is on the identifier's instantiation, not the application,
+   so `List.sort compare' over float-bearing elements is caught too. *)
+
+let name = "float-compare"
+let operators = [ "="; "<>"; "=="; "!="; "compare"; "min"; "max" ]
+
+let check (ctx : Rule.context) =
+  let out = ref [] in
+  Rule.iter_expressions ctx.Rule.structure (fun e ->
+      match Rule.ident_of e with
+      | None -> ()
+      | Some (p, _) -> (
+          match Rule.path_parts p with
+          | [ "Stdlib"; op ] when List.mem op operators -> (
+              match Rule.arrow_arg e.Typedtree.exp_type with
+              | Some arg
+                when Rule.type_has_float ctx.Rule.univ
+                       ~in_module:ctx.Rule.module_name arg ->
+                  out :=
+                    Finding.v ~rule:name ~file:ctx.Rule.file
+                      ~loc:e.Typedtree.exp_loc
+                      (Printf.sprintf
+                         "polymorphic `%s' instantiated at a float-bearing \
+                          type; use Float.equal/Float.compare or the \
+                          dedicated weight comparators"
+                         op)
+                    :: !out
+              | _ -> ())
+          | _ -> ()));
+  List.rev !out
+
+let rule =
+  {
+    Rule.name;
+    doc =
+      "no polymorphic =/compare/min/max on floats or on types containing \
+       them; weights compare via the dedicated comparators";
+    check;
+  }

@@ -1,0 +1,42 @@
+(* seeded-random: the repo's reproducibility contract is that every
+   random draw flows from an explicit seed through Owp_util.Prng (one
+   stream per trial, split per node).  Stdlib Random is global mutable
+   state shared across domains — Random.self_init destroys replay
+   outright, and even seeded global use couples logically independent
+   components through one hidden stream. *)
+
+let name = "seeded-random"
+
+let check (ctx : Rule.context) =
+  let out = ref [] in
+  Rule.iter_expressions ctx.Rule.structure (fun e ->
+      match Rule.ident_of e with
+      | None -> ()
+      | Some (p, _) -> (
+          match Rule.stdlib_head (Rule.path_parts p) with
+          | "Random" :: rest ->
+              let what = String.concat "." ("Random" :: rest) in
+              let msg =
+                if rest = [ "self_init" ] then
+                  "`Random.self_init' seeds from the environment and kills \
+                   replay; thread an explicit seed through Owp_util.Prng"
+                else
+                  Printf.sprintf
+                    "global `%s' state; use a seeded Owp_util.Prng stream \
+                     (Run_config carries the seed)"
+                    what
+              in
+              out :=
+                Finding.v ~rule:name ~file:ctx.Rule.file ~loc:e.Typedtree.exp_loc msg
+                :: !out
+          | _ -> ()));
+  List.rev !out
+
+let rule =
+  {
+    Rule.name;
+    doc =
+      "no Random.self_init and no global Stdlib.Random state anywhere; \
+       randomness flows from explicit seeds through Owp_util.Prng";
+    check;
+  }
