@@ -46,10 +46,7 @@ let jobs = ref 1
 
 let trial_map f xs = Owp_util.Pool.map_list ~jobs:!jobs f xs
 
-let time f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  (r, 1000.0 *. (Unix.gettimeofday () -. t0))
+let time f = Owp_util.Clock.time f
 
 let mean = function
   | [] -> 0.0

@@ -94,7 +94,7 @@ let run_config cfg prefs =
   let bmax = Preference.max_quota prefs in
   let bound = Theory.theorem3_bound ~bmax in
   let seed = cfg.Run_config.seed in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Owp_util.Clock.now () in
   let matching, messages, guarantee, quiesced, rounds, detail =
     match cfg.Run_config.engine with
     | Lic -> (Lic.run w ~capacity, None, Some bound, None, None, Plain)
@@ -122,7 +122,7 @@ let run_config cfg prefs =
              when no peer misbehaved or died and every channel fault was
              masked by the transport *)
           cfg.Run_config.byzantine = None
-          && crashes = []
+          && List.is_empty crashes
           && ((not (Faults.channel_faulty f)) || reliable)
         in
         ( r.Stack.matching,
@@ -134,7 +134,7 @@ let run_config cfg prefs =
     | Greedy -> (Owp_matching.Greedy.run w ~capacity, None, None, None, None, Plain)
     | Dynamics -> (stable_dynamics prefs, None, None, None, None, Plain)
   in
-  let wall_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  let wall_ms = Owp_util.Clock.elapsed_ms ~since:t0 in
   let profile = satisfaction_profile prefs matching in
   let nodes_with_lists = ref 0 and total = ref 0.0 in
   Array.iteri

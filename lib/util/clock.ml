@@ -1,0 +1,7 @@
+let now () = Unix.gettimeofday ()
+let elapsed_ms ~since = 1000.0 *. (now () -. since)
+
+let time f =
+  let t0 = now () in
+  let r = f () in
+  (r, elapsed_ms ~since:t0)

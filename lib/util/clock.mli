@@ -1,0 +1,17 @@
+(** The designated wall-clock shim — the only module allowed to read
+    wall time (the [clock-hygiene] lint rule enforces this).
+
+    Confining clock reads to one module keeps timestamps out of the
+    deterministic pipeline: callers receive measured durations for
+    reporting, never raw wall-clock values that could leak into seeds,
+    weights, or tie-breaks and silently break replay. *)
+
+val now : unit -> float
+(** Wall time in seconds, as an opaque origin for {!elapsed_ms}. *)
+
+val elapsed_ms : since:float -> float
+(** Milliseconds since a {!now} reading. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with the elapsed
+    milliseconds. *)
