@@ -39,7 +39,7 @@ let small_table ~quick =
                 ~capacity:inst.capacity
             in
             let wl = BM.weight lic inst.weights and wo = BM.weight opt inst.weights in
-            let ratio = if wo = 0.0 then 1.0 else wl /. wo in
+            let ratio = if Float.equal wo 0.0 then 1.0 else wl /. wo in
             ratios := ratio :: !ratios;
             Tbl.add_row t
               [
@@ -91,7 +91,7 @@ let large_table ~quick =
           let greedy = Exp_common.run_greedy inst in
           let r =
             let wg = BM.weight greedy inst.weights in
-            if wg = 0.0 then 1.0 else BM.weight lic inst.weights /. wg
+            if Float.equal wg 0.0 then 1.0 else BM.weight lic inst.weights /. wg
           in
           Tbl.add_row t
             [

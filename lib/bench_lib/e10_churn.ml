@@ -57,7 +57,7 @@ let run ~quick =
           Workloads.family_name family;
           Tbl.fcell s_incr;
           Tbl.fcell s_full;
-          Tbl.pct (if s_full = 0.0 then 1.0 else s_incr /. s_full);
+          Tbl.pct (if Float.equal s_full 0.0 then 1.0 else s_incr /. s_full);
           Tbl.fcell2 d_incr;
           Tbl.fcell2 d_full;
         ])

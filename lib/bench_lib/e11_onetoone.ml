@@ -34,7 +34,7 @@ let run ~quick =
             ~capacity:inst.capacity
         in
         let wopt = BM.weight opt inst.weights in
-        let ratio m = if wopt = 0.0 then 1.0 else BM.weight m inst.weights /. wopt in
+        let ratio m = if Float.equal wopt 0.0 then 1.0 else BM.weight m inst.weights /. wopt in
         let lid = (Exp_common.run_lid inst).Owp_core.Lid.matching in
         let lic = Exp_common.run_lic inst in
         let preis = One.preis inst.weights in

@@ -72,7 +72,7 @@ let run ~quick =
     (fun (name, combiner) ->
       let s = sat_of combiner in
       Tbl.add_row t2
-        [ name; Tbl.fcell s; Tbl.pct (if s_sum = 0.0 then 1.0 else s /. s_sum) ])
+        [ name; Tbl.fcell s; Tbl.pct (if Float.equal s_sum 0.0 then 1.0 else s /. s_sum) ])
     [ ("Sum (eq. 9)", Weights.Sum); ("Min", Weights.Min); ("Product", Weights.Product) ];
   [ t1; t2 ]
 

@@ -35,13 +35,13 @@ let stretch_stats g pts m samples =
     euclid pts u v
   in
   let xs = Spath.path_stretch g ~length ~subgraph:(fun e -> BM.mem m e) ~samples in
-  let finite = List.filter (fun x -> x <> infinity) xs in
+  let finite = List.filter (fun x -> not (Float.equal x infinity)) xs in
   let disconnected = List.length xs - List.length finite in
   let mean =
-    if finite = [] then nan
+    if List.is_empty finite then nan
     else List.fold_left ( +. ) 0.0 finite /. float_of_int (List.length finite)
   in
-  let p95 = if finite = [] then nan else Owp_util.Stats.percentile (Array.of_list finite) 0.95 in
+  let p95 = if List.is_empty finite then nan else Owp_util.Stats.percentile (Array.of_list finite) 0.95 in
   (mean, p95, disconnected, List.length xs)
 
 let run ~quick =

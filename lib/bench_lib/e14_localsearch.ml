@@ -81,7 +81,7 @@ let run ~quick =
           Tbl.icell n;
           Tbl.fcell s0;
           Tbl.fcell s1;
-          Tbl.pct (if s0 = 0.0 then 0.0 else (s1 -. s0) /. s0);
+          Tbl.pct (if Float.equal s0 0.0 then 0.0 else (s1 -. s0) /. s0);
           Tbl.icell moves;
         ])
     Workloads.standard_families;

@@ -62,7 +62,7 @@ let run ~quick =
           Tbl.icell (Stack.counter r ~layer:"detector" "patience-fired");
           Tbl.icell r.Stack.dropped;
           Tbl.fcell mean;
-          Tbl.pct (if baseline = 0.0 then 0.0 else mean /. baseline);
+          Tbl.pct (if Float.equal baseline 0.0 then 0.0 else mean /. baseline);
         ])
     [ 0; 5; 10; 20; 40 ];
   (* timeout sweep at fixed 10% silent: too-small timeouts misclassify

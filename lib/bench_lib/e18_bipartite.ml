@@ -40,11 +40,11 @@ let run ~quick =
       let opt = Owp_matching.Exact.max_weight_bipartite w ~capacity ~left in
       let wr =
         let wo = BM.weight opt w in
-        if wo = 0.0 then 1.0 else BM.weight lid.Owp_core.Lid.matching w /. wo
+        if Float.equal wo 0.0 then 1.0 else BM.weight lid.Owp_core.Lid.matching w /. wo
       in
       let sr =
         let so = Preference.total_satisfaction prefs (BM.connection_lists opt) in
-        if so = 0.0 then 1.0
+        if Float.equal so 0.0 then 1.0
         else
           Preference.total_satisfaction prefs
             (BM.connection_lists lid.Owp_core.Lid.matching)

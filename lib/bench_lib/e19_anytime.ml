@@ -50,7 +50,7 @@ let run ~quick =
         Array.iteri
           (fun i c -> acc := !acc +. Preference.satisfaction inst.Workloads.prefs i c)
           conns;
-        if final = 0.0 then 1.0 else !acc /. final
+        if Float.equal final 0.0 then 1.0 else !acc /. final
       in
       Tbl.add_row t
         [

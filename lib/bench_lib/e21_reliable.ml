@@ -161,7 +161,7 @@ let run ~quick =
           Printf.sprintf "%d/%d" !converged k;
           Tbl.icell (!srej / k);
           Tbl.icell (!deadl / k);
-          Tbl.pct (if lic_sat = 0.0 then 0.0 else !sat /. float_of_int k /. lic_sat);
+          Tbl.pct (if Float.equal lic_sat 0.0 then 0.0 else !sat /. float_of_int k /. lic_sat);
           Tbl.fcell2 (!vtime /. float_of_int k);
         ])
     [ (0, false); (5, false); (10, false); (20, false); (5, true); (10, true); (20, true) ];

@@ -53,7 +53,7 @@ let cells ~seeds ~prefs ~spec ~guard =
     yn guard;
     Printf.sprintf "%d/%d" !term k;
     Tbl.icell !damage;
-    Tbl.pct (if !reference = 0.0 then 0.0 else !retained /. !reference);
+    Tbl.pct (if Float.equal !reference 0.0 then 0.0 else !retained /. !reference);
     Tbl.icell (!quar / k);
     yn (!falseq = 0);
     recall;

@@ -87,7 +87,7 @@ let run ~quick =
           Printf.sprintf "%d/%d" !term k;
           yn (!term = k && !damage = 0);
           Tbl.icell !damage;
-          Tbl.pct (if !reference = 0.0 then 0.0 else !retained /. !reference);
+          Tbl.pct (if Float.equal !reference 0.0 then 0.0 else !retained /. !reference);
           Tbl.icell (!retrans / k);
           Tbl.icell (!quar / k);
           yn (!falseq = 0);

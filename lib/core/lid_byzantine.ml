@@ -16,7 +16,7 @@ let run ?(seed = 0xB12) ?(delay = Owp_simnet.Simnet.Uniform (0.5, 1.5))
   let n = Graph.node_count g in
   if Array.length adversaries <> n then
     invalid_arg "Lid_byzantine.run: adversary array arity mismatch";
-  if not (Array.exists (fun m -> m = None) adversaries) then
+  if not (Array.exists Option.is_none adversaries) then
     invalid_arg "Lid_byzantine.run: no correct node left";
   let capacity = Array.init n (Preference.quota prefs) in
   let w = Weights.of_preference prefs in

@@ -113,7 +113,7 @@ let to_string t =
     (List.concat
        [
          [ "engine=" ^ engine_name t.engine; Printf.sprintf "seed=%d" t.seed ];
-         (if t.faults = Faults.none then []
+         (if Faults.equal t.faults Faults.none then []
           else [ "faults=" ^ Faults.to_string t.faults ]);
          (if t.reliable then [ "reliable" ] else []);
          (match t.byzantine with

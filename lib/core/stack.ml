@@ -317,7 +317,7 @@ let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
   | Some a when Array.length a <> n ->
       invalid_arg "Stack.run: adversary array arity mismatch"
   | _ -> ());
-  let adv_enabled = adversaries <> None in
+  let adv_enabled = Option.is_some adversaries in
   if adv_enabled && prefs = None then
     invalid_arg "Stack.run: adversaries need ~prefs (claims are preference halves)";
   if guard && not adv_enabled then
@@ -326,11 +326,11 @@ let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
   let is_silent =
     match silent with Some s -> s | None -> Array.make (max n 1) false
   in
-  let correct = Array.init n (fun i -> adv.(i) = None && not is_silent.(i)) in
+  let correct = Array.init n (fun i -> Option.is_none adv.(i) && not is_silent.(i)) in
   if adv_enabled && not (Array.exists Fun.id correct) then
     invalid_arg "Stack.run: no correct node left";
   let byz_count =
-    Array.fold_left (fun acc m -> if m = None then acc else acc + 1) 0 adv
+    Array.fold_left (fun acc m -> if Option.is_none m then acc else acc + 1) 0 adv
   in
   (* --- counters ----------------------------------------------------- *)
   let prop_count = ref 0 and rej_count = ref 0 in

@@ -35,14 +35,14 @@ let half_approx_certificate w m = Bmatching.is_maximal m && is_greedy_stable w m
 
 let weight_ratio w approx opt =
   let a = Bmatching.weight approx w and o = Bmatching.weight opt w in
-  if o = 0.0 then 1.0 else a /. o
+  if Float.equal o 0.0 then 1.0 else a /. o
 
 let total_satisfaction prefs m =
   Preference.total_satisfaction prefs (Bmatching.connection_lists m)
 
 let satisfaction_ratio prefs approx opt =
   let a = total_satisfaction prefs approx and o = total_satisfaction prefs opt in
-  if o = 0.0 then 1.0 else a /. o
+  if Float.equal o 0.0 then 1.0 else a /. o
 
 let lemma1_bound ~bmax =
   if bmax <= 0 then invalid_arg "Theory.lemma1_bound: bmax must be positive";
@@ -56,4 +56,4 @@ let static_vs_full_ratio prefs m =
   let conns = Bmatching.connection_lists m in
   let s_static = Preference.total_static_satisfaction prefs conns in
   let s_full = Preference.total_satisfaction prefs conns in
-  if s_full = 0.0 then 1.0 else s_static /. s_full
+  if Float.equal s_full 0.0 then 1.0 else s_static /. s_full

@@ -84,7 +84,7 @@ let cheapest_path t ~source ~sink =
       a := t.next.(!a)
     done
   done;
-  if dist.(sink) = inf then None else Some (dist.(sink), pred)
+  if Float.equal dist.(sink) inf then None else Some (dist.(sink), pred)
 
 let augment t ~source ~sink ~limit pred =
   (* bottleneck capacity along the predecessor chain, capped by the

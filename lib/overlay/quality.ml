@@ -19,7 +19,7 @@ let jain_index xs =
   else begin
     let s = Array.fold_left ( +. ) 0.0 xs in
     let s2 = Array.fold_left (fun a x -> a +. (x *. x)) 0.0 xs in
-    if s2 = 0.0 then 1.0 else s *. s /. (float_of_int n *. s2)
+    if Float.equal s2 0.0 then 1.0 else s *. s /. (float_of_int n *. s2)
   end
 
 let measure prefs m =

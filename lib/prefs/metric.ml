@@ -52,7 +52,7 @@ let symmetric_uniform ~seed =
   { name = "symmetric-uniform"; score }
 
 let combine name parts =
-  if parts = [] then invalid_arg "Metric.combine: empty combination";
+  if List.is_empty parts then invalid_arg "Metric.combine: empty combination";
   let score i j =
     List.fold_left (fun acc (coef, m) -> acc +. (coef *. m.score i j)) 0.0 parts
   in

@@ -60,7 +60,11 @@ let of_scores g ~quota score =
     Array.init (Graph.node_count g) (fun i ->
         let nbrs = Graph.neighbor_nodes g i in
         let keyed = Array.map (fun j -> (-.score i j, j)) nbrs in
-        Array.sort compare keyed;
+        Array.sort
+          (fun (a, u) (b, v) ->
+            let c = Float.compare a b in
+            if c <> 0 then c else Int.compare u v)
+          keyed;
         Array.map snd keyed)
   in
   create g ~quota ~lists

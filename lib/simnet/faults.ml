@@ -14,6 +14,14 @@ let make ?(drop = 0.0) ?(duplicate = 0.0) ?(reorder = 0.0) ?(fifo = true) ?(cras
     ?patience () =
   { drop; duplicate; reorder; fifo; crash; patience }
 
+let equal a b =
+  Float.equal a.drop b.drop
+  && Float.equal a.duplicate b.duplicate
+  && Float.equal a.reorder b.reorder
+  && Bool.equal a.fifo b.fifo
+  && Float.equal a.crash b.crash
+  && Option.equal Float.equal a.patience b.patience
+
 let channel t = Simnet.faults ~drop:t.drop ~duplicate:t.duplicate ~reorder:t.reorder ()
 
 let channel_faulty t =

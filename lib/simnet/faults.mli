@@ -28,6 +28,10 @@ type t = {
 val none : t
 (** Fault-free FIFO network: all probabilities 0, no crashes, no timer. *)
 
+val equal : t -> t -> bool
+(** Field-wise equality via [Float.equal] (the record carries floats,
+    so polymorphic [=] is off limits). *)
+
 val make :
   ?drop:float ->
   ?duplicate:float ->

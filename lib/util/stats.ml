@@ -28,7 +28,7 @@ let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty sample";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   if n = 1 then sorted.(0)
   else begin
     let pos = p *. float_of_int (n - 1) in
@@ -42,7 +42,7 @@ let summarize xs =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.summarize: empty sample";
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   {
     n;
     mean = mean xs;
@@ -59,8 +59,8 @@ let histogram xs ~bins =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
-    let lo = Array.fold_left min xs.(0) xs and hi = Array.fold_left max xs.(0) xs in
-    let span = if hi = lo then 1.0 else hi -. lo in
+    let lo = Array.fold_left Float.min xs.(0) xs and hi = Array.fold_left Float.max xs.(0) xs in
+    let span = if Float.equal hi lo then 1.0 else hi -. lo in
     let counts = Array.make bins 0 in
     Array.iter
       (fun x ->
