@@ -239,8 +239,8 @@ let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) ?adversary
           ~expected:(Printf.sprintf "at most %d reachable configurations" max_configs)
           ~actual:"state space exceeded the bound; verdict is partial";
       ];
-  Hashtbl.iter
-    (fun stragglers () ->
+  List.iter
+    (fun stragglers ->
       List.iter
         (fun i ->
           violations :=
@@ -249,8 +249,11 @@ let explore ?(max_configs = 2_000_000) ?(max_link_failures = 0) ?adversary
               ~actual:"pending protocol obligations after all messages were delivered"
             :: !violations)
         stragglers)
-    deadlock_sets;
-  Hashtbl.iter (fun v () -> violations := v :: !violations) terminal_violations;
+    (List.sort compare (Hashtbl.fold (fun s () acc -> s :: acc) deadlock_sets []));
+  List.iter
+    (fun v -> violations := v :: !violations)
+    (List.sort compare
+       (Hashtbl.fold (fun v () acc -> v :: acc) terminal_violations []));
   let observations = List.rev !obs_order in
   (* with adversarial link failures or a Byzantine node the terminal
      edge set legitimately depends on which links died / what the

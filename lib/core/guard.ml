@@ -97,7 +97,7 @@ let on_advert t ~peer ~claim =
     | Some a when Float.abs (claim -. a) > t.config.tolerance ->
         record t ps peer Claim_mismatch
     | _ ->
-        if ps.advert = None then ps.advert <- Some claim;
+        if Option.is_none ps.advert then ps.advert <- Some claim;
         { accept = true; offence = None; quarantine = false }
   end
 
@@ -162,6 +162,7 @@ let offence_counts t =
 
 let copy t =
   let peers = Hashtbl.create (Hashtbl.length t.peers) in
+  (* owp-lint: allow hash-order — key-unique copy into a fresh table *)
   Hashtbl.iter (fun p ps -> Hashtbl.replace peers p { ps with got_prop = ps.got_prop })
     t.peers;
   { t with peers; log = t.log }

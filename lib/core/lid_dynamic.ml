@@ -91,18 +91,21 @@ let run ?(seed = 0xD1D) ?(delay = Simnet.Uniform (0.5, 1.5)) ~prefs ~initially_a
   in
   (* capacity became available at [i]: let previously-declined
      neighbours retry, and retry our own refusals *)
+  let sorted_keys tbl =
+    List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) tbl [])
+  in
   let announce_avail i =
     let s = state.(i) in
-    Hashtbl.iter
-      (fun v () -> if not (Hashtbl.mem s.locked v) then send i v Avail)
-      s.alive
+    List.iter
+      (fun v -> if not (Hashtbl.mem s.locked v) then send i v Avail)
+      (sorted_keys s.alive)
   in
   (* capacity that was only tentatively held became real room: tell the
      proposers we turned away so they can retry *)
   let drain_waitlist i =
     let s = state.(i) in
     if s.active && free_slots i > 0 && Hashtbl.length s.waitlist > 0 then begin
-      let waiting = Hashtbl.fold (fun v () acc -> v :: acc) s.waitlist [] in
+      let waiting = sorted_keys s.waitlist in
       Hashtbl.reset s.waitlist;
       List.iter
         (fun v ->
@@ -193,7 +196,7 @@ let run ?(seed = 0xD1D) ?(delay = Simnet.Uniform (0.5, 1.5)) ~prefs ~initially_a
   let deactivate i =
     let s = state.(i) in
     s.active <- false;
-    Hashtbl.iter (fun v () -> send i v Leave_msg) s.alive;
+    List.iter (fun v -> send i v Leave_msg) (sorted_keys s.alive);
     Hashtbl.reset s.alive;
     Hashtbl.reset s.locked;
     Hashtbl.reset s.pending;

@@ -99,12 +99,12 @@ let barabasi_albert rng ~n ~m =
       let t = !pool.(Prng.int rng !pool_len) in
       if t <> v then Hashtbl.replace chosen t ()
     done;
-    Hashtbl.iter
-      (fun t () ->
+    List.iter
+      (fun t ->
         ignore (Graph.Builder.add_edge b v t);
         pool_push v;
         pool_push t)
-      chosen
+      (List.sort compare (Hashtbl.fold (fun t () acc -> t :: acc) chosen []))
   done;
   Graph.Builder.build b
 
@@ -138,7 +138,7 @@ let random_geometric rng ~n ~radius =
   let b = Graph.Builder.create n in
   let r2 = radius *. radius in
   (* cell grid for near-linear neighbour search *)
-  let cell = max 1 (int_of_float (1.0 /. max radius 1e-9)) in
+  let cell = max 1 (int_of_float (1.0 /. Float.max radius 1e-9)) in
   let buckets = Hashtbl.create (2 * n) in
   let key x y = (x * cell) + y in
   Array.iteri

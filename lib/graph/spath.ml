@@ -35,13 +35,14 @@ let path_stretch g ~length ~subgraph ~samples =
       let ds = Option.value (Hashtbl.find_opt by_src s) ~default:[] in
       Hashtbl.replace by_src s (d :: ds))
     samples;
-  Hashtbl.fold
-    (fun s dsts acc ->
+  List.fold_left
+    (fun acc (s, dsts) ->
       let full = dijkstra g ~length s in
       let sub = dijkstra_restricted g ~length ~allowed:subgraph s in
       List.fold_left
         (fun acc d ->
-          if full.(d) = infinity || full.(d) = 0.0 then acc
+          if Float.equal full.(d) infinity || Float.equal full.(d) 0.0 then acc
           else (sub.(d) /. full.(d)) :: acc)
         acc dsts)
-    by_src []
+    []
+    (List.sort compare (Hashtbl.fold (fun s dsts acc -> (s, dsts) :: acc) by_src []))

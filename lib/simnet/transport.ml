@@ -106,6 +106,7 @@ let rec arm_timer t ~src ~dst s =
     s.timer_armed <- true;
     Simnet.schedule t.net ~delay:(jittered t s.rto) (fun () ->
         match Hashtbl.find_opt t.senders (src, dst) with
+        (* owp-lint: allow float-compare — record identity, floats never read *)
         | Some s' when s' == s ->
             s.timer_armed <- false;
             if (not s.s_dead) && Hashtbl.length s.unacked > 0 && Simnet.is_up t.net src
@@ -115,12 +116,15 @@ let rec arm_timer t ~src ~dst s =
                 s.retries <- s.retries + 1;
                 s.rto <- Float.min (s.rto *. t.config.rto_backoff) t.config.rto_max;
                 (* go-back-N: resend the whole window, lowest seq first *)
-                let seqs = Hashtbl.fold (fun k _ acc -> k :: acc) s.unacked [] in
+                let seqs =
+                  List.sort compare
+                    (Hashtbl.fold (fun k _ acc -> k :: acc) s.unacked [])
+                in
                 List.iter
                   (fun seq ->
                     t.retransmissions <- t.retransmissions + 1;
                     transmit_data t ~src ~dst s seq (Hashtbl.find s.unacked seq))
-                  (List.sort compare seqs);
+                  seqs;
                 arm_timer t ~src ~dst s
               end
         | _ -> () (* stale timer from a pre-restart incarnation *))
@@ -180,10 +184,12 @@ let handle_ack t ~src ~dst ~epoch ~cum =
   match Hashtbl.find_opt t.senders (dst, src) with
   | Some s when s.s_epoch = epoch && not s.s_dead ->
       let progressed = ref false in
+      (* owp-lint: allow hash-order — existence check, commutative *)
       Hashtbl.iter
         (fun seq _ -> if seq <= cum then progressed := true)
         s.unacked;
       if !progressed then begin
+        (* owp-lint: allow hash-order — every collected key is removed *)
         let stale = Hashtbl.fold (fun k _ acc -> if k <= cum then k :: acc else acc) s.unacked [] in
         List.iter (Hashtbl.remove s.unacked) stale;
         (* forward progress: the peer is alive, reset the backoff *)
@@ -225,6 +231,7 @@ let restart_node t v =
      frames from new ones *)
   t.epochs.(v) <- t.epochs.(v) + 1;
   let stale tbl pick =
+    (* owp-lint: allow hash-order — every collected key is removed *)
     Hashtbl.fold (fun k _ acc -> if pick k then k :: acc else acc) tbl []
   in
   List.iter (Hashtbl.remove t.senders) (stale t.senders (fun (src, _) -> src = v));
