@@ -1,3 +1,5 @@
+(* owp-lint: pure — the LID transition relation is a function of
+   explicit state; no I/O, clocks, or ambient randomness may creep in *)
 module Simnet = Owp_simnet.Simnet
 module Bmatching = Owp_matching.Bmatching
 module Violation = Owp_check.Violation
@@ -34,7 +36,9 @@ type event = Send of int * int * message | Lock of int * int
 let check_done st emit i =
   let s = st.nodes.(i) in
   if (not s.finished) && Hashtbl.length s.pending = 0 then begin
-    Hashtbl.iter (fun v () -> emit (Send (i, v, Rej))) s.u_set;
+    List.iter
+      (fun v -> emit (Send (i, v, Rej)))
+      (List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) s.u_set []));
     Hashtbl.reset s.u_set;
     s.finished <- true
   end
@@ -212,12 +216,12 @@ let copy_state st =
   }
 
 let add_sorted_keys buf tbl =
-  let keys = Hashtbl.fold (fun k () acc -> k :: acc) tbl [] in
+  let keys = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl []) in
   List.iter
     (fun k ->
       Buffer.add_string buf (string_of_int k);
       Buffer.add_char buf ',')
-    (List.sort compare keys)
+    keys
 
 (* the scan pointer is excluded on purpose: it only caches how far the
    monotone topRanked(U \ P) scan has advanced, and U only shrinks while
