@@ -1,0 +1,3 @@
+let stamp () = Unix.gettimeofday ()
+
+let cpu () = Sys.time ()

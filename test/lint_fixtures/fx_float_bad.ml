@@ -1,0 +1,7 @@
+type pt = { x : float; y : float }
+
+let same_point (a : pt) (b : pt) = a = b
+
+let sort_weights (xs : float list) = List.sort compare xs
+
+let heavier (a : float) b = max a b

@@ -1,0 +1,5 @@
+let same (a : float) b = Float.equal a b
+
+let sort_weights (xs : float list) = List.sort Float.compare xs
+
+let same_int (a : int) b = a = b

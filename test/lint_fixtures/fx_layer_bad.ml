@@ -1,0 +1,26 @@
+(* Layer-shaped records constructed against the conformance rules. *)
+
+type mw = {
+  mw_name : string;
+  on_send : int -> int option;
+  on_deliver : int -> int option;
+  mw_counters : unit -> (string * int) list;
+}
+
+let base =
+  {
+    mw_name = "base";
+    on_send = (fun x -> Some x);
+    on_deliver = (fun x -> Some x);
+    mw_counters = (fun () -> [ ("base", 1) ]);
+  }
+
+let renamed = { base with mw_name = "renamed" }
+
+let silent =
+  {
+    mw_name = "silent";
+    on_send = (fun x -> Some x);
+    on_deliver = (fun x -> Some x);
+    mw_counters = (fun () -> []);
+  }

@@ -1,0 +1,5 @@
+(* Unsorted hashtable enumeration escaping to the caller. *)
+
+let keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+
+let pairs tbl = List.of_seq (Hashtbl.to_seq tbl)

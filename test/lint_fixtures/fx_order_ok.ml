@@ -1,0 +1,4 @@
+(* The enumeration feeds a sort, so bucket order cannot escape. *)
+
+let sorted_keys tbl =
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])

@@ -1,0 +1,6 @@
+(* A worker closure scribbling on state captured from outside the task. *)
+
+let race xs =
+  let sum = ref 0 in
+  ignore (Owp_util.Pool.map_list ~jobs:2 (fun x -> sum := !sum + x) xs);
+  !sum

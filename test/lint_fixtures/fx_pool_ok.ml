@@ -1,0 +1,9 @@
+(* Task-local mutation: each worker closure owns its accumulator. *)
+
+let squares xs =
+  Owp_util.Pool.map_list ~jobs:2
+    (fun x ->
+      let acc = ref 0 in
+      acc := x * x;
+      !acc)
+    xs

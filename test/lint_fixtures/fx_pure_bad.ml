@@ -1,0 +1,9 @@
+(* owp-lint: pure *)
+(* A pure-tagged module holding module-level mutable state and ambient
+   effects: the three definitions below are pure-core violations. *)
+
+let cache : (int, int) Hashtbl.t = Hashtbl.create 8
+
+let log_line msg = Printf.printf "%s\n" msg
+
+let wall () = Sys.time ()

@@ -1,0 +1,9 @@
+(* owp-lint: pure *)
+(* Externally pure: sprintf and mutation local to a call are fine. *)
+
+let label i = Printf.sprintf "n%d" i
+
+let sum xs =
+  let acc = ref 0 in
+  List.iter (fun x -> acc := x + !acc) xs;
+  !acc

@@ -1,0 +1,3 @@
+let init () = Random.self_init ()
+
+let roll () = Random.int 6

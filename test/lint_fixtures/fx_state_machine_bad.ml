@@ -1,0 +1,5 @@
+(* A second PROP/REJ state machine growing outside lid.ml. *)
+
+type peer = { mutable u_set : int list; a_set : int list }
+
+let tick k_set = k_set + 1

@@ -35,6 +35,7 @@ let () =
       ("core.byzantine", Test_byzantine.suite);
       ("core.theory", Test_theory.suite);
       ("check", Test_check.suite);
+      ("lint", Test_lint.suite);
       ("core.pipeline", Test_pipeline.suite);
       ("core.run_config", Test_run_config.suite);
       ("extensions", Test_extensions.suite);
