@@ -7,7 +7,7 @@
      owp verify      check a saved matching against a graph and quota
      owp check       run the invariant checkers / interleaving explorer
      owp lint        static analysis over the .cmt typedtrees dune emits
-     owp experiment  regenerate a paper experiment table (E0..E24)
+     owp experiment  regenerate a paper experiment table (E0..E25)
      owp bench       experiments with the scale knobs: --jobs, --json, --gate
      owp list        list available experiments
 
@@ -338,10 +338,39 @@ let print_stack_detail prefs (cfg : RC.t) (r : Owp_core.Stack.report) =
           Format.printf "%a@." Owp_check.Violation.pp_list vs);
   print_layer_table r
 
+(* A budgeted run prints (and gates on) the anytime certificate: the
+   frozen matching must be feasible and a prefix of the unbudgeted
+   reference, which is recomputed here with the budget lifted (same
+   seed, same layers — the event prefix is identical, so the full run
+   is the served matching's natural yardstick). *)
+let print_anytime_certificate (cfg : RC.t) inst (out : P.outcome)
+    (c : Owp_core.Stack.cutoff) =
+  let module A = Owp_check.Anytime in
+  let prefs = inst.Owp_bench.Workloads.prefs in
+  let full =
+    P.run_config { cfg with RC.deadline = None; max_rounds = None; check = false } prefs
+  in
+  let cert =
+    A.check
+      (A.instance ~prefs
+         ~reference:(BM.edge_ids full.P.matching)
+         inst.Owp_bench.Workloads.weights
+         ~capacity:inst.Owp_bench.Workloads.capacity
+         ~budget:c.Owp_core.Stack.cut_at
+         ~edges:(BM.edge_ids out.P.matching))
+  in
+  Printf.printf
+    "cutoff              : budget %.2f, released %d, half-locks %d, abandoned %d\n"
+    c.Owp_core.Stack.cut_at c.Owp_core.Stack.released c.Owp_core.Stack.half_locks
+    c.Owp_core.Stack.abandoned;
+  print_string (A.to_string cert);
+  A.certified cert
+
 (* One printer for every engine: the generic outcome block, then the
    engine-specific accounting carried in [outcome.detail], then the
    timing summary as the final line.  The exit code is the run's
-   verdict: protocol non-quiescence or Byzantine damage fail. *)
+   verdict: protocol non-quiescence, Byzantine damage, or a void
+   anytime certificate fail. *)
 let print_outcome (cfg : RC.t) inst (out : P.outcome) save =
   let prefs = inst.Owp_bench.Workloads.prefs in
   let q = Owp_overlay.Quality.measure prefs out.P.matching in
@@ -359,6 +388,11 @@ let print_outcome (cfg : RC.t) inst (out : P.outcome) save =
   (match out.P.detail with
   | P.Plain -> ()
   | P.Stack r -> print_stack_detail prefs cfg r);
+  let anytime_ok =
+    match out.P.cutoff with
+    | None -> true
+    | Some c -> print_anytime_certificate cfg inst out c
+  in
   (match out.P.quiesced with
   | Some q -> Printf.printf "quiesced            : %b\n" q
   | None -> ());
@@ -376,14 +410,18 @@ let print_outcome (cfg : RC.t) inst (out : P.outcome) save =
   let damage_free =
     match out.P.detail with P.Stack r -> r.Owp_core.Stack.damage = [] | _ -> true
   in
-  if out.P.quiesced <> Some false && damage_free then 0 else 1
+  if out.P.quiesced <> Some false && damage_free && anytime_ok then 0 else 1
 
 let run_overlay seed family n quota model engine_opt algo graph_file save reliable
-    faults_spec drop dup reorder no_fifo crash patience byzantine guard =
+    faults_spec drop dup reorder no_fifo crash patience deadline max_rounds byzantine
+    guard =
   let inst = build_instance seed family n quota model graph_file in
   let faults = merge_faults faults_spec ~drop ~dup ~reorder ~no_fifo ~crash ~patience in
   let engine = resolve_engine engine_opt ~algo ~reliable ~byzantine in
-  let cfg = RC.validate (RC.make ~engine ~seed ~faults ~reliable ?byzantine ~guard ()) in
+  let cfg =
+    RC.validate
+      (RC.make ~engine ~seed ~faults ~reliable ?byzantine ~guard ?deadline ?max_rounds ())
+  in
   match cfg with
   | Error msg ->
       Printf.eprintf "run: %s\n" msg;
@@ -439,6 +477,28 @@ let patience_arg =
            (virtual time; default: off, which preserves exactness under pure channel \
            faults).")
 
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"T"
+        ~doc:
+          "Anytime budget: halt message delivery at virtual time T, freeze the \
+           feasible partial matching (mutually locked links kept, tentative \
+           proposals released on both sides) and report a certified anytime \
+           outcome instead of running to quiescence.  Composes with every \
+           other layer flag; give either this or $(b,--max-rounds), not both.")
+
+let max_rounds_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-rounds" ] ~docv:"K"
+        ~doc:
+          "Anytime budget as a round count: K propose-answer rounds, converted \
+           to a virtual-time deadline through the delay model's round length.  \
+           Give either this or $(b,--deadline), not both.")
+
 let byzantine_arg =
   Arg.(
     value
@@ -478,8 +538,8 @@ let run_cmd =
     Term.(
       const run_overlay $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg
       $ engine_arg $ algo_arg $ graph_file $ save $ reliable_arg $ faults_arg $ drop_arg
-      $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg $ byzantine_arg
-      $ guard_arg)
+      $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg $ deadline_arg
+      $ max_rounds_arg $ byzantine_arg $ guard_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)
@@ -664,7 +724,7 @@ let print_check_report ?(converged = true) inst report =
 
 let check_cmdline seed family n quota model engine_opt algo graph_file matching_file
     explore max_configs drops reliable faults_spec drop dup reorder no_fifo crash
-    patience byzantine guard list =
+    patience deadline max_rounds byzantine guard list =
   if list then check_list ()
   else begin
     let inst = build_instance seed family n quota model graph_file in
@@ -692,7 +752,8 @@ let check_cmdline seed family n quota model engine_opt algo graph_file matching_
           let engine = resolve_engine engine_opt ~algo ~reliable ~byzantine in
           let cfg =
             RC.validate
-              (RC.make ~engine ~seed ~faults ~reliable ?byzantine ~guard ~check:true ())
+              (RC.make ~engine ~seed ~faults ~reliable ?byzantine ~guard ?deadline
+                 ?max_rounds ~check:true ())
           in
           match cfg with
           | Error msg ->
@@ -713,13 +774,18 @@ let check_cmdline seed family n quota model engine_opt algo graph_file matching_
                   (List.length damage);
                 Format.printf "%a@." Owp_check.Violation.pp_list damage
               end;
+              let anytime_ok =
+                match out.P.cutoff with
+                | None -> true
+                | Some c -> print_anytime_certificate cfg inst out c
+              in
               let rc =
                 print_check_report
                   ~converged:(out.P.quiesced <> Some false)
                   inst
                   (Option.get out.P.check_report)
               in
-              if damage = [] then rc else 1
+              if damage = [] && anytime_ok then rc else 1
         end
   end
 
@@ -779,7 +845,8 @@ let check_cmd =
       const check_cmdline $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg
       $ engine_arg $ algo_arg $ graph_file $ matching_file $ explore $ max_configs
       $ drops $ reliable_arg $ faults_arg $ drop_arg $ dup_arg $ reorder_arg
-      $ no_fifo_arg $ crash_arg $ patience_arg $ byzantine_arg $ guard_arg $ list)
+      $ no_fifo_arg $ crash_arg $ patience_arg $ deadline_arg $ max_rounds_arg
+      $ byzantine_arg $ guard_arg $ list)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                 *)
@@ -888,7 +955,7 @@ let experiment quick ids =
 
 let experiment_cmd =
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Trimmed sweeps.") in
-  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E0..E24); all when omitted.") in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E0..E25); all when omitted.") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper experiment table")
     Term.(const experiment $ quick $ ids)
@@ -899,9 +966,47 @@ let experiment_cmd =
 
 (* `owp experiment` with the scale knobs: the worker-pool width, JSON
    emission for trajectory tracking, and the CI smoke gate *)
-let bench quick jobs json_dir gate ids =
+(* bench --deadline T: the anytime smoke gate.  A trimmed E25 preset —
+   budgeted runs up to T must all certify (feasible + prefix of the
+   full run) and satisfaction must be monotone in the budget on the
+   fixed seed. *)
+let bench_anytime_gate d =
+  if d <= 0.0 then begin
+    Printf.eprintf "bench: --deadline %g: the budget is a positive virtual-time horizon\n" d;
+    2
+  end
+  else begin
+    let module E25 = Owp_bench.E25_deadline in
+    let s = E25.smoke ~deadline:d () in
+    List.iter
+      (fun (p : Owp_bench.Anytime_curves.point) ->
+        Printf.printf
+          "  budget %6.2f     : %5.1f%% of full-run satisfaction, %d blocking \
+           pair(s), %d link(s)%s\n"
+          p.Owp_bench.Anytime_curves.budget
+          (100.0 *. p.Owp_bench.Anytime_curves.retained)
+          p.Owp_bench.Anytime_curves.blocking_pairs
+          p.Owp_bench.Anytime_curves.served_edges
+          (if p.Owp_bench.Anytime_curves.certified then "" else "  [VOID]"))
+      s.E25.curve;
+    Printf.printf "anytime gate        : certified %b, monotone %b\n" s.E25.certified
+      s.E25.monotone;
+    if s.E25.certified && s.E25.monotone then begin
+      print_endline "anytime gate        : PASS";
+      0
+    end
+    else begin
+      print_endline "anytime gate        : FAIL";
+      1
+    end
+  end
+
+let bench quick jobs json_dir gate deadline ids =
   let jobs = if jobs <= 0 then Owp_util.Pool.default_jobs () else jobs in
   Owp_bench.Exp_common.jobs := jobs;
+  match deadline with
+  | Some d -> bench_anytime_gate d
+  | None ->
   if gate then begin
     let s = Owp_bench.E23_scale.smoke ~jobs () in
     Printf.printf "bench gate          : reference %.2f ms, indexed %.2f ms (%.1fx)\n"
@@ -966,13 +1071,23 @@ let bench_cmd =
              engine matches the reference edge set, is at least as fast, and the \
              worker pool is deterministic.")
   in
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"T"
+          ~doc:
+            "Anytime smoke gate: run the trimmed E25 preset with budgets up to T \
+             and fail unless every budgeted run certifies (feasible + prefix of \
+             the full run) and satisfaction is monotone in the budget.")
+  in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids; all when omitted.")
   in
   Cmd.v
     (Cmd.info "bench"
-       ~doc:"Run experiments with the scale knobs: --jobs, --json, --gate")
-    Term.(const bench $ quick $ jobs $ json_dir $ gate $ ids)
+       ~doc:"Run experiments with the scale knobs: --jobs, --json, --gate, --deadline")
+    Term.(const bench $ quick $ jobs $ json_dir $ gate $ deadline $ ids)
 
 let list_cmd =
   Cmd.v

@@ -41,7 +41,11 @@ let () =
   (* 4. The same matching, computed centrally (Algorithm 2), is
         guaranteed to be identical (Lemmas 4/6). *)
   let prefs = Owp_overlay.Overlay.preferences g config in
-  let lic = Owp_core.Pipeline.run Owp_core.Pipeline.Lic_centralized prefs in
+  let lic =
+    Owp_core.Pipeline.run_config
+      (Owp_core.Run_config.make ~engine:Owp_core.Run_config.Lic ~seed:7 ())
+      prefs
+  in
   Printf.printf "LID == LIC           : %b\n"
     (Owp_matching.Bmatching.equal outcome.Owp_core.Pipeline.matching
        lic.Owp_core.Pipeline.matching)

@@ -1,0 +1,67 @@
+(* Shared instrumentation for the anytime experiments (E19, E25): run
+   the layered stack once per budget and measure the served prefix
+   against the unbudgeted reference through the Anytime certificate
+   checker, so the experiment tables and the `owp run --deadline` CLI
+   path exercise one code path instead of two bespoke probes. *)
+
+module Stack = Owp_core.Stack
+module A = Owp_check.Anytime
+module BM = Owp_matching.Bmatching
+
+type point = {
+  budget : float;
+  satisfaction : float;  (* total satisfaction of the served matching *)
+  retained : float;  (* satisfaction ratio vs the full run, in [0,1] *)
+  weight_retained : float;
+  blocking_pairs : int;
+  served_edges : int;
+  certified : bool;  (* feasible and a prefix of the full run *)
+}
+
+(* [curve ~prefs ~weights ~capacity ~budgets run] calls [run None] once
+   for the unbudgeted reference (returned alongside the points so
+   callers can report its completion time) and [run (Some b)] per
+   budget; the closure owns every layer flag so one helper serves
+   plain, faulty, reliable and guarded-Byzantine stacks alike. *)
+let curve ~prefs ~weights ~capacity ~budgets (run : float option -> Stack.report) =
+  let full = run None in
+  let reference = BM.edge_ids full.Stack.matching in
+  ( full,
+    List.map
+      (fun budget ->
+        let r = run (Some budget) in
+        let cert =
+          A.check
+            (A.instance ~prefs ~reference weights ~capacity ~budget
+               ~edges:(BM.edge_ids r.Stack.matching))
+        in
+        {
+          budget;
+          satisfaction = Option.value cert.A.satisfaction ~default:0.0;
+          retained = Option.value cert.A.satisfaction_retained ~default:1.0;
+          weight_retained = Option.value cert.A.weight_retained ~default:1.0;
+          blocking_pairs = cert.A.blocking_pairs;
+          served_edges = cert.A.matched_edges;
+          certified = A.certified cert;
+        })
+      budgets )
+
+(* satisfaction non-decreasing along the budget axis, up to float noise:
+   the graceful-degradation claim E25 gates on *)
+let monotone points =
+  let rec go = function
+    | a :: (b :: _ as rest) -> a.retained <= b.retained +. 1e-9 && go rest
+    | _ -> true
+  in
+  go points
+
+let all_certified points = List.for_all (fun p -> p.certified) points
+
+(* largest satisfaction jump between adjacent budgets — the "cliff"
+   statistic: graceful curves keep it well below the whole payoff *)
+let max_step points =
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (Float.max acc (b.retained -. a.retained)) rest
+    | _ -> acc
+  in
+  go 0.0 points

@@ -3,9 +3,20 @@
    connections early (locally heaviest edges need no coordination), so
    most of the final satisfaction is in place after a couple of message
    round-trips — the practically interesting "figure" for deployments
-   that cannot wait for full quiescence. *)
+   that cannot wait for full quiescence.
+
+   Since the deadline layer landed this is a real serve-at-cutoff
+   measurement, not a lock-trace replay: every cell is a budgeted
+   Stack.run whose frozen matching goes through the Anytime certificate
+   checker — the same instrumentation E25 sweeps and the same path
+   `owp run --deadline` serves.  (The cells count mutually locked links
+   only, where the old on_lock probe credited half-locks early; the
+   shape of the curve is unchanged.) *)
 
 module Tbl = Owp_util.Tablefmt
+module Stack = Owp_core.Stack
+
+let budgets = [ 1.0; 2.0; 3.0; 5.0; 8.0 ]
 
 let run ~quick =
   let n = if quick then 400 else 2000 in
@@ -13,7 +24,7 @@ let run ~quick =
     Tbl.create
       ~title:
         (Printf.sprintf
-           "E19: satisfaction accumulated by virtual time t (LID, delays U[0.5,1.5], n = %d, b = 3)"
+           "E19: satisfaction served at deadline t (LID frozen at cutoff, n = %d, b = 3)"
            n)
       [
         ("family", Tbl.Left);
@@ -30,38 +41,18 @@ let run ~quick =
       let inst =
         Workloads.make ~seed:19 ~family ~pref_model:Workloads.Random_prefs ~n ~quota:3
       in
-      (* log both directions of each lock; a connection contributes to a
-         node's satisfaction from the moment that node locks it *)
-      let locks = ref [] in
-      let r =
-        Owp_core.Lid.run ~seed:20
-          ~on_lock:(fun time i v -> locks := (time, i, v) :: !locks)
-          inst.Workloads.weights ~capacity:inst.Workloads.capacity
+      let run_budget d =
+        Stack.run ~seed:20 ?deadline:d inst.Workloads.weights
+          ~capacity:inst.Workloads.capacity
       in
-      let final =
-        Exp_common.total_satisfaction inst.Workloads.prefs r.Owp_core.Lid.matching
-      in
-      let at_time horizon =
-        let conns = Array.make (Graph.node_count inst.Workloads.graph) [] in
-        List.iter
-          (fun (time, i, v) -> if time <= horizon then conns.(i) <- v :: conns.(i))
-          !locks;
-        let acc = ref 0.0 in
-        Array.iteri
-          (fun i c -> acc := !acc +. Preference.satisfaction inst.Workloads.prefs i c)
-          conns;
-        if Float.equal final 0.0 then 1.0 else !acc /. final
+      let full, points =
+        Anytime_curves.curve ~prefs:inst.Workloads.prefs ~weights:inst.Workloads.weights
+          ~capacity:inst.Workloads.capacity ~budgets run_budget
       in
       Tbl.add_row t
-        [
-          Workloads.family_name family;
-          Tbl.pct (at_time 1.0);
-          Tbl.pct (at_time 2.0);
-          Tbl.pct (at_time 3.0);
-          Tbl.pct (at_time 5.0);
-          Tbl.pct (at_time 8.0);
-          Tbl.fcell2 r.Owp_core.Lid.completion_time;
-        ])
+        (Workloads.family_name family
+         :: List.map (fun p -> Tbl.pct p.Anytime_curves.retained) points
+        @ [ Tbl.fcell2 full.Stack.completion_time ]))
     Workloads.standard_families;
   [ t ]
 

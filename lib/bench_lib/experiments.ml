@@ -25,6 +25,7 @@ let all =
     E22_byzantine.exp;
     E23_scale.exp;
     E24_composition.exp;
+    E25_deadline.exp;
   ]
 
 let find id =

@@ -49,8 +49,13 @@ val name : string
 val doc : string
 (** One-line description for checker listings. *)
 
-val check : instance -> Violation.t list
+val check : ?cutoff:bool -> instance -> Violation.t list
 (** Empty iff the terminal state satisfies the bounded-damage
     guarantee.  Violations are tagged [byzantine-termination],
     [byzantine-feasibility], [byzantine-restriction],
-    [byzantine-blocking-pair] and [byzantine-overclaim]. *)
+    [byzantine-blocking-pair] and [byzantine-overclaim].
+    [cutoff] (default [false]) marks a deadline-bounded run: the
+    blocking-pair clause is skipped — unmatched mutually-preferred
+    edges are the budget's measured degradation, not damage — while
+    the safety clauses (restriction, feasibility, overclaim) and
+    termination (true by construction after the freeze) still apply. *)

@@ -76,6 +76,18 @@ val locked_edge_ids : state -> int list
 (** Edges locked by {e both} endpoints, ascending — the protocol's
     current matching (symmetric on a clean run, Lemma 4). *)
 
+val freeze : state -> (int * int) list
+(** Anytime cutoff: atomically release every tentative (unanswered)
+    proposal, empty the candidate sets and mark every node finished, so
+    the locked edges become a final served matching.  Both endpoints of
+    each pending proposal are released in the same step — the effect of
+    a synthetic REJ at each end {e without} re-entering the propose
+    transition, so no new pendings or locks can form after the budget
+    expired and neither endpoint counts a phantom slot.  Mutual locks
+    are untouched; {!locked_edge_ids} is the matching to serve.
+    Returns the released [(proposer, peer)] pairs, ascending.
+    Idempotent; on a quiesced state it returns [[]]. *)
+
 val copy_state : state -> state
 val fingerprint : state -> string
 (** Canonical encoding of the protocol state (the scan pointer, a pure
@@ -93,6 +105,13 @@ val model :
 
 (** {2 Simulated execution} *)
 
+type cutoff = {
+  cut_at : float;  (** the virtual-time budget that expired *)
+  released : int;  (** tentative proposals the freeze released *)
+  abandoned : int;  (** queued events discarded at the horizon *)
+}
+(** Accounting of a deadline-bounded run's cutoff ({!freeze}). *)
+
 type report = {
   matching : Owp_matching.Bmatching.t;
   prop_count : int;  (** PROP messages sent *)
@@ -104,6 +123,10 @@ type report = {
   quiescence : Owp_check.Violation.t list;
       (** empty iff [all_terminated]; otherwise one report per node
           that failed to quiesce (which, and why) *)
+  cutoff : cutoff option;
+      (** [Some _] iff the run was deadline-bounded and stopped at its
+          budget — serving a frozen partial matching is {e not} a
+          quiescence failure *)
 }
 
 val run :
@@ -111,6 +134,7 @@ val run :
   ?delay:Owp_simnet.Simnet.delay_model ->
   ?fifo:bool ->
   ?faults:Owp_simnet.Simnet.faults ->
+  ?deadline:float ->
   ?on_lock:(float -> int -> int -> unit) ->
   ?check:bool ->
   Weights.t ->
@@ -119,12 +143,21 @@ val run :
 (** Simulate the protocol to quiescence.  Default delay model is
     [Uniform (0.5, 1.5)]; with faults enabled the protocol may fail to
     terminate cleanly, which the report exposes instead of raising.
+    [deadline] bounds the run at a virtual-time budget: events past the
+    horizon are abandoned, the state is {!freeze}-d, and the report
+    serves the locked partial matching with [cutoff] filled in —
+    delivery order up to the budget is identical to the unbudgeted run
+    (same seed, same event prefix), so the served matching grows
+    monotonically in the budget.
     [on_lock time i v] is invoked every time node [i] locks the
     connection to [v] (so once per direction per locked edge), at the
     virtual time of the lock — the hook behind the anytime-satisfaction
     experiment (E19).
     [check] (default [false]) runs the {!Owp_check.Checker} structural
-    invariants (feasibility, greedy stability, maximality) on the final
-    matching and raises {!Owp_check.Checker.Check_failed} on violation;
-    only meaningful on fault-free runs.
-    @raise Invalid_argument on negative capacities. *)
+    invariants (feasibility, greedy stability, maximality — feasibility
+    only at a cutoff, where blocking pairs are the measured
+    degradation) on the final matching and raises
+    {!Owp_check.Checker.Check_failed} on violation; only meaningful on
+    fault-free runs.
+    @raise Invalid_argument on negative capacities or a non-positive
+    deadline. *)

@@ -23,6 +23,7 @@ type outcome = {
   rounds : float option;
   wall_ms : float;
   quiesced : bool option;
+  cutoff : Stack.cutoff option;
   check_report : Owp_check.Checker.report option;
   detail : detail;
 }
@@ -68,6 +69,11 @@ let instance_level = [ "edge-validity"; "quota"; "weight-symmetry"; "satisfactio
 
 let checkers_for cfg =
   if cfg.Run_config.byzantine <> None then instance_level
+  else if Run_config.budgeted cfg then
+    (* a cutoff matching is deliberately partial: blocking pairs and
+       maximality gaps are the measured degradation ({!Owp_check.Anytime}
+       quantifies them), so only instance-level invariants are asserted *)
+    instance_level
   else
     match cfg.Run_config.engine with
     | Lic | Lic_indexed | Lid ->
@@ -114,16 +120,19 @@ let run_config cfg prefs =
         in
         let r =
           Stack.run ~seed ~fifo:f.Faults.fifo ~faults:(Faults.channel f) ~reliable
-            ?patience:(Faults.effective_patience f) ~crashes ?adversaries
+            ?patience:(Faults.effective_patience f)
+            ?deadline:cfg.Run_config.deadline
+            ?max_rounds:cfg.Run_config.max_rounds ~crashes ?adversaries
             ~guard:cfg.Run_config.guard ~prefs w ~capacity
         in
         let exact =
           (* the edge set is exactly LIC's — so Theorem 3 applies — only
-             when no peer misbehaved or died and every channel fault was
-             masked by the transport *)
+             when no peer misbehaved or died, every channel fault was
+             masked by the transport, and no budget cut the run short *)
           cfg.Run_config.byzantine = None
           && List.is_empty crashes
           && ((not (Faults.channel_faulty f)) || reliable)
+          && Option.is_none r.Stack.cutoff
         in
         ( r.Stack.matching,
           Some (r.Stack.prop_count + r.Stack.rej_count),
@@ -163,23 +172,7 @@ let run_config cfg prefs =
     rounds;
     wall_ms;
     quiesced;
+    cutoff = (match detail with Stack r -> r.Stack.cutoff | Plain -> None);
     check_report;
     detail;
   }
-
-(* ------------------------------------------------------------------ *)
-(* deprecated wrappers                                                  *)
-(* ------------------------------------------------------------------ *)
-
-type algorithm = Lid_distributed | Lic_centralized | Global_greedy | Stable_dynamics
-
-let engine_of_algorithm = function
-  | Lid_distributed -> Lid
-  | Lic_centralized -> Lic
-  | Global_greedy -> Greedy
-  | Stable_dynamics -> Dynamics
-
-let run ?(seed = 7) ?(check = false) algorithm prefs =
-  run_config
-    (Run_config.make ~engine:(engine_of_algorithm algorithm) ~seed ~check ())
-    prefs

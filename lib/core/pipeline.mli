@@ -6,8 +6,7 @@
     satisfaction together with the guarantee that applies (Theorem 3 for
     LID/LIC).  Callers pick the algorithm via configuration
     ({!Run_config.engine}) instead of importing the per-variant driver
-    modules; the historical {!algorithm}/{!run} pair survives as a thin
-    wrapper.
+    modules.
 
     All three LID-family engines dispatch to the one layered
     {!Stack.run} loop: the config's [faults], [reliable], [byzantine]
@@ -44,8 +43,9 @@ type outcome = {
   guarantee : float option;
       (** the proven lower bound on the satisfaction ratio vs optimum,
           when the run provably achieves LIC's edge set: ¼(1+1/b_max)
-          for LIC and for LID runs with no adversaries, no crashes, and
-          either a clean channel or the transport masking it *)
+          for LIC and for LID runs with no adversaries, no crashes, no
+          anytime budget, and either a clean channel or the transport
+          masking it *)
   messages : int option;  (** PROP+REJ for the distributed engines *)
   rounds : float option;
       (** virtual completion time of the protocol run — the
@@ -57,6 +57,12 @@ type outcome = {
           terminated cleanly (Lemma 5); [None] for engines with no
           protocol run.  Drivers should treat [Some false] as a
           failure, not a cosmetic detail *)
+  cutoff : Stack.cutoff option;
+      (** [Some _] iff an anytime budget stopped the run at its
+          deadline: a distinct outcome — the served matching is
+          deliberately partial (frozen feasible, certified by
+          {!Owp_check.Anytime}), NOT a quiescence failure; after the
+          freeze [quiesced] is [Some true] by construction *)
   check_report : Owp_check.Checker.report option;
       (** invariant diagnostics, present when the config asked for
           checking *)
@@ -77,24 +83,6 @@ val crash_schedule : seed:int -> n:int -> float -> Stack.crash_plan list
     [faults.crash]: each node independently crashes with the given
     probability at a random early point and never restarts.  Exposed so
     experiments can reuse the CLI's exact schedule. *)
-
-(** {2 Deprecated wrappers}
-
-    The pre-PR-4 surface.  [run] forwards to {!run_config}; new code
-    should build a {!Run_config.t}. *)
-
-type algorithm = Lid_distributed | Lic_centralized | Global_greedy | Stable_dynamics
-
-val engine_of_algorithm : algorithm -> engine
-
-val run : ?seed:int -> ?check:bool -> algorithm -> Preference.t -> outcome
-(** [run ~seed ~check algo prefs] is
-    [run_config (Run_config.make ~engine:(engine_of_algorithm algo) ~seed ~check ())].
-    [check] selects the checker subset appropriate to the engine (the
-    full registry for LIC/LID, everything but Theorem 3 for greedy, the
-    instance-level invariants for the stable dynamics and adversary
-    runs); it never raises on violations — callers render
-    [check_report]. *)
 
 val satisfaction_profile : Preference.t -> Owp_matching.Bmatching.t -> float array
 (** Per-node satisfaction values of a matching. *)

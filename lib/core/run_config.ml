@@ -10,6 +10,8 @@ type t = {
   byzantine : string option;
   guard : bool;
   check : bool;
+  deadline : float option;
+  max_rounds : int option;
 }
 
 let default =
@@ -21,11 +23,16 @@ let default =
     byzantine = None;
     guard = false;
     check = false;
+    deadline = None;
+    max_rounds = None;
   }
 
 let make ?(engine = default.engine) ?(seed = default.seed) ?(faults = default.faults)
-    ?(reliable = false) ?byzantine ?(guard = false) ?(check = false) () =
-  { engine; seed; faults; reliable; byzantine; guard; check }
+    ?(reliable = false) ?byzantine ?(guard = false) ?(check = false) ?deadline
+    ?max_rounds () =
+  { engine; seed; faults; reliable; byzantine; guard; check; deadline; max_rounds }
+
+let budgeted t = Option.is_some t.deadline || Option.is_some t.max_rounds
 
 let engine_name = function
   | Lic -> "lic"
@@ -106,6 +113,39 @@ let validate t =
            (engine_name t.engine))
     else Ok ()
   in
+  let* () =
+    match (t.deadline, t.max_rounds) with
+    | Some _, Some _ ->
+        Error
+          "--deadline and --max-rounds are two spellings of one budget (a round \
+           budget is converted to virtual time via the delay model) — give \
+           exactly one"
+    | Some d, None when d <= 0.0 ->
+        Error
+          (Printf.sprintf
+             "--deadline %g: the budget is a positive virtual-time horizon \
+              (protocol rounds take ~1.5 time units under the default delay \
+              model)"
+             d)
+    | None, Some k when k <= 0 ->
+        Error
+          (Printf.sprintf
+             "--max-rounds %d: the budget is a positive number of propose-answer \
+              rounds"
+             k)
+    | _ -> Ok ()
+  in
+  let* () =
+    if budgeted t && not (lid_family t.engine) then
+      Error
+        (Printf.sprintf
+           "an anytime budget (--deadline/--max-rounds) bounds a simulated \
+            message-passing run and needs a LID-family engine (lid, \
+            lid-reliable or lid-byzantine); engine %s computes its matching in \
+            one step"
+           (engine_name t.engine))
+    else Ok ()
+  in
   Ok t
 
 let to_string t =
@@ -121,6 +161,12 @@ let to_string t =
          | None -> []);
          (if t.guard then [ "guard" ] else []);
          (if t.check then [ "check" ] else []);
+         (match t.deadline with
+         | Some d -> [ Printf.sprintf "deadline=%g" d ]
+         | None -> []);
+         (match t.max_rounds with
+         | Some k -> [ Printf.sprintf "max-rounds=%d" k ]
+         | None -> []);
        ])
 
 let pp ppf t = Format.pp_print_string ppf (to_string t)

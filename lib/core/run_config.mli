@@ -39,6 +39,12 @@ type t = {
       (** adversary spec, {!Owp_simnet.Adversary.parse_spec} syntax *)
   guard : bool;  (** inbound protocol guard (needs an adversary spec) *)
   check : bool;  (** run the invariant checkers on the result *)
+  deadline : float option;
+      (** anytime budget: halt delivery at this virtual time and serve
+          the frozen partial matching ({!Stack.run}'s [deadline]) *)
+  max_rounds : int option;
+      (** the same budget in propose–answer rounds, converted via
+          {!Stack.round_length}; exclusive with [deadline] *)
 }
 
 val default : t
@@ -53,8 +59,13 @@ val make :
   ?byzantine:string ->
   ?guard:bool ->
   ?check:bool ->
+  ?deadline:float ->
+  ?max_rounds:int ->
   unit ->
   t
+
+val budgeted : t -> bool
+(** Is an anytime budget ([deadline] or [max_rounds]) set? *)
 
 val engine_of_string : string -> (engine, string) result
 (** Recognises [lic], [lic-indexed]/[indexed], [lid], [lid-reliable]/
@@ -71,12 +82,14 @@ val lid_family : engine -> bool
     knobs. *)
 
 val validate : t -> (t, string) result
-(** Cross-field consistency.  Rejected: an adversary spec, faults or
-    [reliable] on a non-LID-family engine; [Lid_byzantine] without a
-    spec; [guard] without a spec; an unparsable spec; out-of-range
-    fault fields ({!Owp_simnet.Faults.validate}).  Everything else —
-    in particular faults + reliable + byzantine + guard together — is
-    a legal layer composition. *)
+(** Cross-field consistency.  Rejected: an adversary spec, faults,
+    [reliable] or an anytime budget on a non-LID-family engine;
+    [Lid_byzantine] without a spec; [guard] without a spec; an
+    unparsable spec; out-of-range fault fields
+    ({!Owp_simnet.Faults.validate}); a non-positive budget; [deadline]
+    and [max_rounds] together.  Everything else — in particular
+    faults + reliable + byzantine + guard + a budget together — is a
+    legal layer composition. *)
 
 val to_string : t -> string
 (** One-line summary, e.g. ["engine=lid seed=7 faults=drop=0.2 reliable

@@ -56,11 +56,22 @@ type crash_plan = {
 
 type layer = {
   layer : string;
-      (** ["lid"], ["detector"], ["adversary"], ["guard"], ["dedup"],
-          ["transport"], ["channel"] — top to bottom; only enabled
-          layers appear *)
+      (** ["lid"], ["deadline"], ["detector"], ["adversary"], ["guard"],
+          ["dedup"], ["transport"], ["channel"] — top to bottom; only
+          enabled layers appear *)
   counters : (string * int) list;
 }
+
+type cutoff = {
+  cut_at : float;  (** the virtual-time budget that expired *)
+  released : int;
+      (** tentative proposals by live correct nodes the freeze released *)
+  half_locks : int;
+      (** one-sided locks at the horizon (the completing PROP was in
+          flight) — kept in K_i, excluded from the served matching *)
+  abandoned : int;  (** queued events discarded at the horizon *)
+}
+(** Accounting of a deadline-bounded run's cutoff. *)
 
 type report = {
   matching : Owp_matching.Bmatching.t;
@@ -97,6 +108,11 @@ type report = {
   damage : Owp_check.Violation.t list;
       (** bounded-damage certificate ({!Owp_check.Byzantine.check}),
           computed when adversaries are in play; empty otherwise *)
+  cutoff : cutoff option;
+      (** [Some _] iff the run was budget-bounded and stopped at its
+          deadline; serving the frozen partial matching is distinct
+          from a quiescence failure (after the freeze
+          [all_terminated] is true by construction) *)
   layers : layer list;  (** the counter table, top layer first *)
 }
 
@@ -107,6 +123,12 @@ val counter : report -> layer:string -> string -> int
 val overhead : report -> float
 (** Wire frames per protocol message when the transport layer is
     enabled (~2.0 is the ACK floor); 1.0 without it. *)
+
+val round_length : Owp_simnet.Simnet.delay_model -> float
+(** Virtual time one propose–answer round takes under a delay model —
+    the conversion behind [max_rounds] ([Unit]: 1.0; [Uniform]: the
+    upper bound; [Exponential]: twice the mean; [PerLink]: 1.0).  A
+    representative per-hop figure, not a worst case. *)
 
 (** {1 Eq. 9 helpers}
 
@@ -131,6 +153,8 @@ val run :
   ?reliable:bool ->
   ?transport:Owp_simnet.Transport.config ->
   ?patience:float ->
+  ?deadline:float ->
+  ?max_rounds:int ->
   ?crashes:crash_plan list ->
   ?events:(float * node_event) list ->
   ?silent:bool array ->
@@ -155,6 +179,20 @@ val run :
     [guard] vets bootstrap adverts and inbound messages, quarantining
     provable offenders (requires [adversaries] and [prefs]).
 
+    [deadline] (or [max_rounds], which is [deadline = K *
+    round_length delay]; give at most one) makes the run {e anytime}:
+    delivery halts at the virtual-time budget, in-flight events are
+    abandoned, the state is {!Lid.freeze}-d (tentative proposals
+    released atomically at both endpoints, so no phantom slot and no
+    post-cutoff cascade) and the locked partial matching is served,
+    with the accounting in [cutoff] and a ["deadline"] row in the
+    counter table.  The event prefix up to the budget is identical to
+    the unbudgeted run on the same seed, so the served matching grows
+    monotonically in the budget.  Composes with every other layer;
+    under a budget the structural [check] asserts feasibility only
+    (blocking pairs are the measured degradation) and the damage
+    certificate skips the blocking-pair clause likewise.
+
     With adversaries in play the run ends with the bounded-damage
     certificate in [damage]: {!Owp_check.Byzantine.check} plus the
     overclaim-lock audit (a slot locked to a peer whose bootstrap
@@ -167,8 +205,9 @@ val run :
     that converge cleanly.
 
     @raise Invalid_argument on arity mismatches, out-of-range or
-    ill-ordered crash plans, non-positive patience, adversaries or
-    guard without [prefs], or guard without an adversary environment. *)
+    ill-ordered crash plans, non-positive patience, non-positive or
+    doubly-specified budgets, adversaries or guard without [prefs], or
+    guard without an adversary environment. *)
 
 (** {1 Exhaustive exploration}
 

@@ -20,8 +20,12 @@ let preferences g config =
      on the ranking node, so preference lists stay private per peer *)
   Preference.of_scores g ~quota (fun i j -> Metric.score (config.metric_of i) i j)
 
-let build_with ?seed ~algorithm g config =
+(* seed 7 is the historical Pipeline.run default; keeping it preserves
+   every published example's output byte for byte *)
+let build_with ?(seed = 7) ~engine g config =
   let prefs = preferences g config in
-  Owp_core.Pipeline.run ?seed algorithm prefs
+  Owp_core.Pipeline.run_config
+    (Owp_core.Run_config.make ~engine ~seed ())
+    prefs
 
-let build ?seed g config = build_with ?seed ~algorithm:Owp_core.Pipeline.Lid_distributed g config
+let build ?seed g config = build_with ?seed ~engine:Owp_core.Run_config.Lid g config

@@ -218,6 +218,8 @@ let run_until t horizon =
         dispatch t ev
   done
 
+let pending_events t = Hashtbl.length t.events
+
 let messages_sent t = t.sent
 let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped

@@ -86,6 +86,10 @@ val run : 'm t -> unit
 val run_until : 'm t -> float -> unit
 (** Process events with time <= the horizon; later events remain queued. *)
 
+val pending_events : _ t -> int
+(** Events (deliveries and timer callbacks) still queued — after
+    {!run_until} this is the in-flight work a deadline cut off. *)
+
 val step : 'm t -> bool
 (** Deliver exactly one event; [false] when the queue is empty. *)
 

@@ -24,3 +24,25 @@ let silent =
     on_deliver = (fun x -> Some x);
     mw_counters = (fun () -> []);
   }
+
+(* Deadline-shaped cases: the anytime cutoff layer must be built like
+   every other middleware — a full literal record with a live counter
+   row, never inherited via record update. *)
+
+let deadline_ok =
+  {
+    mw_name = "deadline";
+    on_send = (fun x -> Some x);
+    on_deliver = (fun x -> Some x);
+    mw_counters = (fun () -> [ ("released", 0); ("abandoned", 0) ]);
+  }
+
+let deadline_inherited = { deadline_ok with mw_name = "deadline-copy" }
+
+let deadline_mute =
+  {
+    mw_name = "deadline-mute";
+    on_send = (fun x -> Some x);
+    on_deliver = (fun x -> Some x);
+    mw_counters = (fun () -> []);
+  }

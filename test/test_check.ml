@@ -64,21 +64,19 @@ let prop_small_exact_certificates =
 
 let test_pipeline_check_modes () =
   let _, p, _, _ = random_instance 42 12 4 2 in
+  let run ?(check = false) engine prefs =
+    Pipeline.run_config (Owp_core.Run_config.make ~engine ~seed:3 ~check ()) prefs
+  in
   List.iter
-    (fun algo ->
-      let out = Pipeline.run ~seed:3 ~check:true algo p in
+    (fun engine ->
+      let out = run ~check:true engine p in
       match out.Pipeline.check_report with
       | None -> Alcotest.fail "check_report missing with ~check:true"
       | Some r ->
           if not (Checker.ok r) then
             Alcotest.failf "pipeline check failed:@.%s" (Checker.report_to_string r))
-    [
-      Pipeline.Lid_distributed;
-      Pipeline.Lic_centralized;
-      Pipeline.Global_greedy;
-      Pipeline.Stable_dynamics;
-    ];
-  let out = Pipeline.run ~seed:3 Pipeline.Lic_centralized p in
+    [ Pipeline.Lid; Pipeline.Lic; Pipeline.Greedy; Pipeline.Dynamics ];
+  let out = run Pipeline.Lic p in
   Alcotest.(check bool) "no report without ~check" true (out.Pipeline.check_report = None)
 
 (* ------------------------------------------------------------------ *)

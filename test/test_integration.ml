@@ -74,7 +74,11 @@ let prop_pipeline_end_to_end_guarantee =
       if Graph.edge_count g > 18 then true
       else begin
         let p = Preference.random rng g ~quota:(Preference.uniform_quota g 2) in
-        let out = Owp_core.Pipeline.run Owp_core.Pipeline.Lid_distributed p in
+        let out =
+          Owp_core.Pipeline.run_config
+            (Owp_core.Run_config.make ~engine:Owp_core.Run_config.Lid ~seed:7 ())
+            p
+        in
         let _, s_opt = Owp_matching.Exact.max_satisfaction_bmatching ~max_edges:18 p in
         match out.Owp_core.Pipeline.guarantee with
         | None -> false

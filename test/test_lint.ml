@@ -87,7 +87,12 @@ let test_state_machine_fires =
 
 let test_layer_fires =
   check_file "fx_layer_bad.ml"
-    [ (18, "layer-conformance"); (25, "layer-conformance") ]
+    [
+      (18, "layer-conformance");
+      (25, "layer-conformance");
+      (40, "layer-conformance");
+      (47, "layer-conformance");
+    ]
 
 let test_exact_position () =
   (* one full-position anchor: the Unix.gettimeofday ident itself *)

@@ -29,7 +29,9 @@ let () =
       ("core.lic", Test_lic.suite);
       ("core.lic_indexed", Test_lic_indexed.suite);
       ("core.lid", Test_lid.suite);
+      ("core.lid_dynamic", Test_lid_dynamic.suite);
       ("core.stack", Test_stack.suite);
+      ("core.anytime", Test_anytime.suite);
       ("core.lid_reliable", Test_lid_reliable.suite);
       ("core.guard", Test_guard.suite);
       ("core.byzantine", Test_byzantine.suite);

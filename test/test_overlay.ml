@@ -46,20 +46,24 @@ let test_heterogeneous_pick_validation () =
 let test_build_with_algorithms () =
   let g = Gen.gnm (Prng.create 9) ~n:50 ~m:150 in
   let cfg = Overlay.homogeneous ~quota:2 (Metric.uniform ~seed:6) in
-  let lid = Overlay.build_with ~algorithm:Pipeline.Lid_distributed g cfg in
-  let lic = Overlay.build_with ~algorithm:Pipeline.Lic_centralized g cfg in
-  let greedy = Overlay.build_with ~algorithm:Pipeline.Global_greedy g cfg in
+  let lid = Overlay.build_with ~engine:Pipeline.Lid g cfg in
+  let lic = Overlay.build_with ~engine:Pipeline.Lic g cfg in
+  let greedy = Overlay.build_with ~engine:Pipeline.Greedy g cfg in
   Alcotest.(check bool) "lid = lic matching" true
     (BM.equal lid.Pipeline.matching lic.Pipeline.matching);
   Alcotest.(check (float 1e-9)) "lid = greedy weight here" greedy.Pipeline.total_weight
     lic.Pipeline.total_weight;
-  let dyn = Overlay.build_with ~algorithm:Pipeline.Stable_dynamics g cfg in
+  let dyn = Overlay.build_with ~engine:Pipeline.Dynamics g cfg in
   Alcotest.(check bool) "dynamics produced a matching" true (BM.size dyn.Pipeline.matching > 0)
 
 let test_quality_bounds () =
   let g = Gen.gnm (Prng.create 11) ~n:70 ~m:250 in
   let prefs = Preference.random (Prng.create 12) g ~quota:(Preference.uniform_quota g 3) in
-  let out = Pipeline.run Pipeline.Lic_centralized prefs in
+  let out =
+    Pipeline.run_config
+      (Owp_core.Run_config.make ~engine:Owp_core.Run_config.Lic ~seed:7 ())
+      prefs
+  in
   let q = Quality.measure prefs out.Pipeline.matching in
   Alcotest.(check bool) "mean in range" true (q.Quality.mean >= 0.0 && q.Quality.mean <= 1.0);
   Alcotest.(check bool) "jain in range" true (q.Quality.jain > 0.0 && q.Quality.jain <= 1.0 +. 1e-9);

@@ -152,14 +152,41 @@ let test_run_config_rejects_inconsistent () =
     | _ -> false
     | exception Invalid_argument _ -> true)
 
-let test_deprecated_wrapper_agrees () =
-  let prefs = instance 7 in
-  let old_style = Pipeline.run ~seed:7 Pipeline.Lid_distributed prefs in
-  let new_style = Pipeline.run_config (RC.make ~engine:RC.Lid ~seed:7 ()) prefs in
-  Alcotest.(check bool) "wrapper = run_config" true
-    (BM.equal old_style.Pipeline.matching new_style.Pipeline.matching);
-  Alcotest.(check bool) "same message count" true
-    (old_style.Pipeline.messages = new_style.Pipeline.messages)
+(* --- anytime budget validation ------------------------------------ *)
+
+let test_validate_budget () =
+  let ok c = Result.is_ok (RC.validate c) in
+  Alcotest.(check bool) "deadline on lid valid" true
+    (ok (RC.make ~engine:RC.Lid ~deadline:5.0 ()));
+  Alcotest.(check bool) "max-rounds on lid valid" true
+    (ok (RC.make ~engine:RC.Lid ~max_rounds:4 ()));
+  Alcotest.(check bool) "budget composes with everything" true
+    (ok
+       (RC.make ~engine:RC.Lid ~deadline:5.0 ~reliable:true ~byzantine:"liar:0.2"
+          ~guard:true
+          ~faults:(Faults.make ~drop:0.1 ~reorder:0.2 ()) ()));
+  Alcotest.(check bool) "budgeted reported" true
+    (RC.budgeted (RC.make ~deadline:1.0 ())
+    && RC.budgeted (RC.make ~max_rounds:3 ())
+    && not (RC.budgeted RC.default));
+  Alcotest.(check bool) "both spellings rejected" false
+    (ok (RC.make ~engine:RC.Lid ~deadline:5.0 ~max_rounds:4 ()));
+  Alcotest.(check bool) "non-positive deadline rejected" false
+    (ok (RC.make ~engine:RC.Lid ~deadline:0.0 ()));
+  Alcotest.(check bool) "non-positive max-rounds rejected" false
+    (ok (RC.make ~engine:RC.Lid ~max_rounds:0 ()));
+  Alcotest.(check bool) "budget needs a lid-family engine" false
+    (ok (RC.make ~engine:RC.Lic ~deadline:5.0 ()));
+  (match RC.validate (RC.make ~engine:RC.Lid ~deadline:5.0 ~max_rounds:4 ()) with
+  | Error msg ->
+      let contains hay needle =
+        let lh = String.length hay and ln = String.length needle in
+        let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "double-budget message is actionable" true
+        (contains msg "exactly one")
+  | Ok _ -> Alcotest.fail "double budget must be rejected")
 
 let suite =
   [
@@ -171,5 +198,5 @@ let suite =
     Alcotest.test_case "validate" `Quick test_validate;
     Alcotest.test_case "run_config engines agree" `Quick test_run_config_engines_agree;
     Alcotest.test_case "run_config rejects inconsistent" `Quick test_run_config_rejects_inconsistent;
-    Alcotest.test_case "deprecated wrapper agrees" `Quick test_deprecated_wrapper_agrees;
+    Alcotest.test_case "validate budget" `Quick test_validate_budget;
   ]

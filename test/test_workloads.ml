@@ -36,7 +36,7 @@ let test_small_instances () =
     insts
 
 let test_registry () =
-  Alcotest.(check int) "twenty-five experiments" 25 (List.length E.all);
+  Alcotest.(check int) "twenty-six experiments" 26 (List.length E.all);
   Alcotest.(check bool) "find e3" true (E.find "e3" <> None);
   Alcotest.(check bool) "find e24" true (E.find "e24" <> None);
   Alcotest.(check bool) "find E10" true (E.find "E10" <> None);
