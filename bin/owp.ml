@@ -6,8 +6,9 @@
      owp run         build an overlay matching with a chosen engine
      owp verify      check a saved matching against a graph and quota
      owp check       run the invariant checkers / interleaving explorer
+     owp chaos       fuzz the stack with random fault schedules, shrink failures
      owp lint        static analysis over the .cmt typedtrees dune emits
-     owp experiment  regenerate a paper experiment table (E0..E25)
+     owp experiment  regenerate a paper experiment table (E0..E26)
      owp bench       experiments with the scale knobs: --jobs, --json, --gate
      owp list        list available experiments
 
@@ -22,6 +23,7 @@ module RC = Owp_core.Run_config
 module P = Owp_core.Pipeline
 module BM = Owp_matching.Bmatching
 module Faults = Owp_simnet.Faults
+module Schedule = Owp_simnet.Schedule
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments                                                     *)
@@ -159,6 +161,10 @@ let faults_conv =
   let parse s = Result.map_error (fun m -> `Msg m) (Faults.of_string s) in
   Arg.conv (parse, Faults.pp)
 
+let schedule_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Schedule.of_string s) in
+  Arg.conv (parse, Schedule.pp)
+
 let engine_arg =
   Arg.(
     value
@@ -180,6 +186,22 @@ let faults_arg =
            bare flags $(i,unordered)/$(i,fifo); e.g. \
            $(b,drop=0.2,dup=0.1,unordered).  The legacy per-fault flags \
            override matching fields.")
+
+let schedule_arg =
+  Arg.(
+    value & opt schedule_conv Schedule.empty
+    & info [ "schedule" ] ~docv:"SPEC"
+        ~doc:
+          "Time-varying fault episodes layered over $(b,--faults): \
+           semicolon-separated $(i,KIND:...@T0-T1) episodes with kinds \
+           $(i,part) (node groups joined by $(b,.), separated by $(b,|); \
+           unlisted nodes form the implicit rest-block), $(i,link) (links \
+           $(i,U.V) down), $(i,flap:LINKS:PERIOD:DUTY), $(i,burst:P) \
+           (global loss), and $(i,down:NODES) (crash at T0, amnesiac \
+           restart at T1); e.g. $(b,'part:0.1.2@2-6;burst:0.9@8-9').  A \
+           non-empty schedule arms the self-stabilization certificate: \
+           after the last episode heals the run must quiesce on the \
+           crash-only LIC edge set.")
 
 (* shared by `owp run` and `owp check`: the instance is rebuilt
    deterministically from (seed, family, n, quota, model) or from an
@@ -366,11 +388,28 @@ let print_anytime_certificate (cfg : RC.t) inst (out : P.outcome)
   print_string (A.to_string cert);
   A.certified cert
 
+(* A scheduled run prints (and, without adversaries, gates on) the
+   self-stabilization certificate: after the last episode heals, the run
+   must quiesce on the crash-only LIC edge set.  Under adversaries a
+   lock wasted on a Byzantine peer legitimately breaks exact
+   convergence, so there the bounded-damage verdict stays the gate and
+   the certificate is informational.  Likewise under a deadline or
+   round budget: a run frozen at (or before) the heal cannot converge
+   by construction — the anytime certificate is the gate and the
+   served prefix is the measured degradation. *)
+let print_stabilize_certificate (cfg : RC.t) (out : P.outcome) =
+  match out.P.stabilize with
+  | None -> true
+  | Some c ->
+      print_string (Owp_check.Stabilize.to_string c);
+      cfg.RC.byzantine <> None || RC.budgeted cfg
+      || Owp_check.Stabilize.certified c
+
 (* One printer for every engine: the generic outcome block, then the
    engine-specific accounting carried in [outcome.detail], then the
    timing summary as the final line.  The exit code is the run's
-   verdict: protocol non-quiescence, Byzantine damage, or a void
-   anytime certificate fail. *)
+   verdict: protocol non-quiescence, Byzantine damage, a void anytime
+   certificate, or a void self-stabilization certificate. *)
 let print_outcome (cfg : RC.t) inst (out : P.outcome) save =
   let prefs = inst.Owp_bench.Workloads.prefs in
   let q = Owp_overlay.Quality.measure prefs out.P.matching in
@@ -393,6 +432,7 @@ let print_outcome (cfg : RC.t) inst (out : P.outcome) save =
     | None -> true
     | Some c -> print_anytime_certificate cfg inst out c
   in
+  let stabilize_ok = print_stabilize_certificate cfg out in
   (match out.P.quiesced with
   | Some q -> Printf.printf "quiesced            : %b\n" q
   | None -> ());
@@ -410,17 +450,19 @@ let print_outcome (cfg : RC.t) inst (out : P.outcome) save =
   let damage_free =
     match out.P.detail with P.Stack r -> r.Owp_core.Stack.damage = [] | _ -> true
   in
-  if out.P.quiesced <> Some false && damage_free && anytime_ok then 0 else 1
+  if out.P.quiesced <> Some false && damage_free && anytime_ok && stabilize_ok then 0
+  else 1
 
 let run_overlay seed family n quota model engine_opt algo graph_file save reliable
-    faults_spec drop dup reorder no_fifo crash patience deadline max_rounds byzantine
-    guard =
+    faults_spec schedule drop dup reorder no_fifo crash patience deadline max_rounds
+    byzantine guard =
   let inst = build_instance seed family n quota model graph_file in
   let faults = merge_faults faults_spec ~drop ~dup ~reorder ~no_fifo ~crash ~patience in
   let engine = resolve_engine engine_opt ~algo ~reliable ~byzantine in
   let cfg =
     RC.validate
-      (RC.make ~engine ~seed ~faults ~reliable ?byzantine ~guard ?deadline ?max_rounds ())
+      (RC.make ~engine ~seed ~faults ~schedule ~reliable ?byzantine ~guard ?deadline
+         ?max_rounds ())
   in
   match cfg with
   | Error msg ->
@@ -537,9 +579,9 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Build an overlay matching and report its quality")
     Term.(
       const run_overlay $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg
-      $ engine_arg $ algo_arg $ graph_file $ save $ reliable_arg $ faults_arg $ drop_arg
-      $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg $ deadline_arg
-      $ max_rounds_arg $ byzantine_arg $ guard_arg)
+      $ engine_arg $ algo_arg $ graph_file $ save $ reliable_arg $ faults_arg
+      $ schedule_arg $ drop_arg $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg
+      $ patience_arg $ deadline_arg $ max_rounds_arg $ byzantine_arg $ guard_arg)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)
@@ -723,8 +765,8 @@ let print_check_report ?(converged = true) inst report =
   end
 
 let check_cmdline seed family n quota model engine_opt algo graph_file matching_file
-    explore max_configs drops reliable faults_spec drop dup reorder no_fifo crash
-    patience deadline max_rounds byzantine guard list =
+    explore max_configs drops reliable faults_spec schedule drop dup reorder no_fifo
+    crash patience deadline max_rounds byzantine guard list =
   if list then check_list ()
   else begin
     let inst = build_instance seed family n quota model graph_file in
@@ -752,8 +794,8 @@ let check_cmdline seed family n quota model engine_opt algo graph_file matching_
           let engine = resolve_engine engine_opt ~algo ~reliable ~byzantine in
           let cfg =
             RC.validate
-              (RC.make ~engine ~seed ~faults ~reliable ?byzantine ~guard ?deadline
-                 ?max_rounds ~check:true ())
+              (RC.make ~engine ~seed ~faults ~schedule ~reliable ?byzantine ~guard
+                 ?deadline ?max_rounds ~check:true ())
           in
           match cfg with
           | Error msg ->
@@ -779,13 +821,14 @@ let check_cmdline seed family n quota model engine_opt algo graph_file matching_
                 | None -> true
                 | Some c -> print_anytime_certificate cfg inst out c
               in
+              let stabilize_ok = print_stabilize_certificate cfg out in
               let rc =
                 print_check_report
                   ~converged:(out.P.quiesced <> Some false)
                   inst
                   (Option.get out.P.check_report)
               in
-              if damage = [] && anytime_ok then rc else 1
+              if damage = [] && anytime_ok && stabilize_ok then rc else 1
         end
   end
 
@@ -844,9 +887,9 @@ let check_cmd =
     Term.(
       const check_cmdline $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg
       $ engine_arg $ algo_arg $ graph_file $ matching_file $ explore $ max_configs
-      $ drops $ reliable_arg $ faults_arg $ drop_arg $ dup_arg $ reorder_arg
-      $ no_fifo_arg $ crash_arg $ patience_arg $ deadline_arg $ max_rounds_arg
-      $ byzantine_arg $ guard_arg $ list)
+      $ drops $ reliable_arg $ faults_arg $ schedule_arg $ drop_arg $ dup_arg
+      $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg $ deadline_arg
+      $ max_rounds_arg $ byzantine_arg $ guard_arg $ list)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                 *)
@@ -935,6 +978,133 @@ let lint_cmd =
               pure-core rule.";
          ])
     Term.(const lint_cmdline $ json $ list $ rules $ roots)
+
+(* ------------------------------------------------------------------ *)
+(* chaos                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* the chaos fuzzer: seeded random fault schedules thrown at the
+   configured stack composition, demanding the self-stabilization
+   certificate from every run; the first failure is shrunk
+   delta-debugging-style to a minimal --schedule reproducer and the
+   exit status is the verdict *)
+let chaos seed trials max_episodes horizon from_spec family n quota model graph_file
+    reliable faults_spec drop dup reorder no_fifo crash patience byzantine guard =
+  let module Chaos = Owp_bench.Chaos in
+  let inst = build_instance seed family n quota model graph_file in
+  let faults = merge_faults faults_spec ~drop ~dup ~reorder ~no_fifo ~crash ~patience in
+  let engine = resolve_engine None ~algo:RC.Lid ~reliable ~byzantine in
+  match RC.validate (RC.make ~engine ~seed ~faults ~reliable ?byzantine ~guard ()) with
+  | Error msg ->
+      Printf.eprintf "chaos: %s\n" msg;
+      2
+  | Ok cfg -> begin
+      let prefs = inst.Owp_bench.Workloads.prefs in
+      Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
+      Printf.printf "stack               : %s\n" (RC.to_string cfg);
+      let fails s = not (Chaos.run_one cfg prefs s).Chaos.passed in
+      let report_failure ~origin ~sched ~shrunk =
+        let r = Chaos.run_one cfg prefs shrunk in
+        Printf.printf "chaos               : FAIL (%s)\n" origin;
+        Printf.printf "failing schedule    : %s\n" (Schedule.to_string sched);
+        Printf.printf "shrunk reproducer   : %s (%d episode(s))\n"
+          (Schedule.to_string shrunk) (List.length shrunk);
+        Option.iter print_string r.Chaos.certificate;
+        Printf.printf
+          "reproduce with      : owp run <same instance/stack flags> --schedule '%s'\n"
+          (Schedule.to_string shrunk);
+        1
+      in
+      match from_spec with
+      | Some sched ->
+          if Schedule.is_empty sched then begin
+            Printf.eprintf "chaos: --from needs a non-empty schedule\n";
+            2
+          end
+          else begin
+            let r = Chaos.run_one cfg prefs sched in
+            Printf.printf "schedule            : %s\n" r.Chaos.summary;
+            if r.Chaos.passed then begin
+              Option.iter print_string r.Chaos.certificate;
+              print_endline "chaos               : PASS (schedule certifies)";
+              0
+            end
+            else report_failure ~origin:"--from" ~sched ~shrunk:(Chaos.shrink ~fails sched)
+          end
+      | None -> (
+          let rep = Chaos.fuzz ~trials ~max_episodes ~horizon ~seed cfg prefs in
+          match rep.Chaos.failure with
+          | None ->
+              Printf.printf "chaos               : PASS (%d seeded trial(s) certified)\n"
+                rep.Chaos.trials_run;
+              0
+          | Some (i, sched, shrunk) ->
+              report_failure
+                ~origin:(Printf.sprintf "trial %d of %d, seed %d" (i + 1) trials seed)
+                ~sched ~shrunk)
+    end
+
+let chaos_cmd =
+  let trials =
+    Arg.(
+      value & opt int 20
+      & info [ "trials" ] ~docv:"K"
+          ~doc:"Seeded random schedules to try (deterministic per --seed).")
+  in
+  let max_episodes =
+    Arg.(
+      value & opt int 4
+      & info [ "max-episodes" ] ~docv:"K" ~doc:"Episodes per generated schedule (1..K).")
+  in
+  let horizon =
+    Arg.(
+      value & opt float 12.0
+      & info [ "horizon" ] ~docv:"T"
+          ~doc:"Virtual-time window the generated episodes live in.")
+  in
+  let from_spec =
+    Arg.(
+      value
+      & opt (some schedule_conv) None
+      & info [ "from" ] ~docv:"SPEC"
+          ~doc:
+            "Skip generation: run (and on failure shrink) this one schedule — the \
+             regression mode CI uses for known-bad fixtures.")
+  in
+  let graph_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "graph" ] ~docv:"FILE" ~doc:"Use an edge-list file instead of generating.")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:"Fuzz the stack with random fault schedules; shrink failures to minimal reproducers"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Generates seeded random fault schedules (partitions, link outages, \
+              flapping, loss bursts, crash-restarts), runs the configured stack \
+              composition under each, and demands the self-stabilization \
+              certificate: after the last episode heals, the run must quiesce on \
+              the crash-only LIC edge set.  On the first failure the schedule is \
+              shrunk delta-debugging-style — dropping episodes, halving durations, \
+              merging partition blocks, thinning link lists — to a minimal \
+              reproducer that still fails, printed as a $(b,--schedule) spec.  \
+              Exit status 0 when every trial certifies, 1 with a reproducer \
+              otherwise.";
+           `P
+             "Note that a partition heals but a datagram loses what it dropped: \
+              without $(b,--reliable) most non-trivial schedules genuinely break \
+              convergence, which makes an unreliable stack the natural known-bad \
+              fixture and the ARQ stack the certifying one.";
+         ])
+    Term.(
+      const chaos $ seed_arg $ trials $ max_episodes $ horizon $ from_spec $ family_arg
+      $ n_arg $ quota_arg $ model_arg $ graph_file $ reliable_arg $ faults_arg
+      $ drop_arg $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg
+      $ byzantine_arg $ guard_arg)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                           *)
@@ -1114,6 +1284,7 @@ let main_cmd =
       run_cmd;
       verify_cmd;
       check_cmd;
+      chaos_cmd;
       lint_cmd;
       experiment_cmd;
       bench_cmd;

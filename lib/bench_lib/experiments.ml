@@ -26,6 +26,7 @@ let all =
     E23_scale.exp;
     E24_composition.exp;
     E25_deadline.exp;
+    E26_stabilize.exp;
   ]
 
 let find id =

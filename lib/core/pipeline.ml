@@ -1,5 +1,6 @@
 module Bmatching = Owp_matching.Bmatching
 module Faults = Owp_simnet.Faults
+module Schedule = Owp_simnet.Schedule
 
 type engine = Run_config.engine =
   | Lic
@@ -25,6 +26,7 @@ type outcome = {
   quiesced : bool option;
   cutoff : Stack.cutoff option;
   check_report : Owp_check.Checker.report option;
+  stabilize : Owp_check.Stabilize.certificate option;
   detail : detail;
 }
 
@@ -58,6 +60,51 @@ let crash_schedule ~seed ~n frac =
              restart_at = None;
            })
   end
+
+(* the crash-only LIC reference of a scheduled run: Algorithm 2 on the
+   subgraph induced by the nodes that ended the run participating
+   (correct, live, non-retired), with sub edge ids mapped back to the
+   original graph's — the edge set a self-stabilized run must converge
+   to once the weather clears.
+
+   LID locks are irrevocable, so a slot a survivor mutually locked with
+   a peer that later crashed is spent forever; the reference relativizes
+   quota by those wasted slots (exactly the move the bounded-damage
+   certificate makes for slots locked toward Byzantine peers) — without
+   it, exact convergence is provably unachievable under crash-restart
+   episodes, and the miss cascades through the survivors *)
+let stabilize_reference prefs ~participating ~matching =
+  let g = Preference.graph prefs in
+  let n = Graph.node_count g in
+  let wasted = Array.make n 0 in
+  List.iter
+    (fun eid ->
+      let u, v = Graph.edge_endpoints g eid in
+      match (participating.(u), participating.(v)) with
+      | true, false -> wasted.(u) <- wasted.(u) + 1
+      | false, true -> wasted.(v) <- wasted.(v) + 1
+      | _ -> ())
+    (Bmatching.edge_ids matching);
+  let nodes =
+    Array.of_list (List.filter (fun i -> participating.(i)) (List.init n (fun i -> i)))
+  in
+  let sub, old_of_new = Graph.induced_subgraph g nodes in
+  let wsub =
+    let arr = Array.make (Graph.edge_count sub) 0.0 in
+    Graph.iter_edges sub (fun eid u v ->
+        let ou = old_of_new.(u) and ov = old_of_new.(v) in
+        arr.(eid) <- Stack.half prefs ou ov +. Stack.half prefs ov ou);
+    Weights.of_array sub arr
+  in
+  let capacity =
+    Array.map (fun o -> max 0 (Preference.quota prefs o - wasted.(o))) old_of_new
+  in
+  let m = Lic.run wsub ~capacity in
+  List.filter_map
+    (fun sub_eid ->
+      let u, v = Graph.edge_endpoints sub sub_eid in
+      Graph.find_edge g old_of_new.(u) old_of_new.(v))
+    (Bmatching.edge_ids m)
 
 (* which invariants a result is expected to satisfy: LIC/LID carry the
    full set of paper guarantees; global greedy is maximal and
@@ -119,7 +166,8 @@ let run_config cfg prefs =
                    (Owp_simnet.Adversary.parse_spec spec))
         in
         let r =
-          Stack.run ~seed ~fifo:f.Faults.fifo ~faults:(Faults.channel f) ~reliable
+          Stack.run ~seed ~fifo:f.Faults.fifo ~faults:(Faults.channel f)
+            ~schedule:cfg.Run_config.schedule ~reliable
             ?patience:(Faults.effective_patience f)
             ?deadline:cfg.Run_config.deadline
             ?max_rounds:cfg.Run_config.max_rounds ~crashes ?adversaries
@@ -128,10 +176,14 @@ let run_config cfg prefs =
         let exact =
           (* the edge set is exactly LIC's — so Theorem 3 applies — only
              when no peer misbehaved or died, every channel fault was
-             masked by the transport, and no budget cut the run short *)
+             masked by the transport, no scheduled weather perturbed the
+             run (convergence after weather is certified empirically by
+             Owp_check.Stabilize, not proven), and no budget cut the run
+             short *)
           cfg.Run_config.byzantine = None
           && List.is_empty crashes
           && ((not (Faults.channel_faulty f)) || reliable)
+          && Schedule.is_empty cfg.Run_config.schedule
           && Option.is_none r.Stack.cutoff
         in
         ( r.Stack.matching,
@@ -160,6 +212,38 @@ let run_config cfg prefs =
            (Owp_check.Checker.of_matching ~prefs w matching))
     else None
   in
+  let stabilize =
+    (* the self-stabilization certificate of a scheduled run: the final
+       edge set, restricted to participating endpoints (a lock wasted on
+       a Byzantine peer is the damage certificate's business), must
+       equal the crash-only LIC reference once the weather ends *)
+    match detail with
+    | Stack r when not (Schedule.is_empty cfg.Run_config.schedule) ->
+        let participating = r.Stack.participating in
+        let served =
+          List.filter
+            (fun eid ->
+              let u, v = Graph.edge_endpoints g eid in
+              participating.(u) && participating.(v))
+            (Bmatching.edge_ids r.Stack.matching)
+        in
+        let deaths =
+          cfg.Run_config.faults.Faults.crash > 0.0
+          || (match Schedule.down_spans cfg.Run_config.schedule with
+             | [] -> false
+             | _ -> true)
+        in
+        Some
+          (Owp_check.Stabilize.check
+             (Owp_check.Stabilize.instance ~prefs ~deaths w ~capacity ~edges:served
+                ~reference:
+                  (stabilize_reference prefs ~participating
+                     ~matching:r.Stack.matching)
+                ~t_heal:(Schedule.end_time cfg.Run_config.schedule)
+                ~quiesce_at:r.Stack.completion_time
+                ~quiesced:r.Stack.all_terminated))
+    | _ -> None
+  in
   {
     engine = cfg.Run_config.engine;
     matching;
@@ -174,5 +258,6 @@ let run_config cfg prefs =
     quiesced;
     cutoff = (match detail with Stack r -> r.Stack.cutoff | Plain -> None);
     check_report;
+    stabilize;
     detail;
   }

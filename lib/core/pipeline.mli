@@ -66,6 +66,17 @@ type outcome = {
   check_report : Owp_check.Checker.report option;
       (** invariant diagnostics, present when the config asked for
           checking *)
+  stabilize : Owp_check.Stabilize.certificate option;
+      (** self-stabilization certificate, present exactly when the
+          config carries a non-empty fault schedule: the final edge
+          set (restricted to participating endpoints) must equal the
+          crash-only LIC reference after the last episode heals, with
+          the recovery time measured.  The reference relativizes each
+          survivor's quota by the slots it irrevocably locked toward
+          peers that later crashed — the same move the bounded-damage
+          certificate makes for Byzantine peers.  Drivers should treat a VOID
+          certificate as a failure in adversary-free runs; under
+          adversaries the damage certificate remains the gate *)
   detail : detail;
 }
 

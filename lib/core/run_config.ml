@@ -1,4 +1,5 @@
 module Faults = Owp_simnet.Faults
+module Schedule = Owp_simnet.Schedule
 
 type engine = Lic | Lic_indexed | Lid | Lid_reliable | Lid_byzantine | Greedy | Dynamics
 
@@ -6,6 +7,7 @@ type t = {
   engine : engine;
   seed : int;
   faults : Faults.t;
+  schedule : Schedule.t;
   reliable : bool;
   byzantine : string option;
   guard : bool;
@@ -19,6 +21,7 @@ let default =
     engine = Lid;
     seed = 42;
     faults = Faults.none;
+    schedule = Schedule.empty;
     reliable = false;
     byzantine = None;
     guard = false;
@@ -28,9 +31,9 @@ let default =
   }
 
 let make ?(engine = default.engine) ?(seed = default.seed) ?(faults = default.faults)
-    ?(reliable = false) ?byzantine ?(guard = false) ?(check = false) ?deadline
-    ?max_rounds () =
-  { engine; seed; faults; reliable; byzantine; guard; check; deadline; max_rounds }
+    ?(schedule = Schedule.empty) ?(reliable = false) ?byzantine ?(guard = false)
+    ?(check = false) ?deadline ?max_rounds () =
+  { engine; seed; faults; schedule; reliable; byzantine; guard; check; deadline; max_rounds }
 
 let budgeted t = Option.is_some t.deadline || Option.is_some t.max_rounds
 
@@ -69,6 +72,17 @@ let lid_family = function
 let validate t =
   let ( let* ) = Result.bind in
   let* _ = Faults.validate t.faults in
+  let* _ = Schedule.validate t.schedule in
+  let* () =
+    if (not (Schedule.is_empty t.schedule)) && not (lid_family t.engine) then
+      Error
+        (Printf.sprintf
+           "a fault schedule (--schedule) scripts network weather over a \
+            simulated run and needs a LID-family engine (lid, lid-reliable or \
+            lid-byzantine); engine %s does not simulate a network"
+           (engine_name t.engine))
+    else Ok ()
+  in
   let* () =
     match t.byzantine with
     | None ->
@@ -155,6 +169,8 @@ let to_string t =
          [ "engine=" ^ engine_name t.engine; Printf.sprintf "seed=%d" t.seed ];
          (if Faults.equal t.faults Faults.none then []
           else [ "faults=" ^ Faults.to_string t.faults ]);
+         (if Schedule.is_empty t.schedule then []
+          else [ "schedule=" ^ Schedule.to_string t.schedule ]);
          (if t.reliable then [ "reliable" ] else []);
          (match t.byzantine with
          | Some spec -> [ "byzantine=" ^ spec ]

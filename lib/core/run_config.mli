@@ -33,6 +33,9 @@ type t = {
   engine : engine;
   seed : int;
   faults : Owp_simnet.Faults.t;
+  schedule : Owp_simnet.Schedule.t;
+      (** time-varying fault episodes layered over [faults]
+          ({!Owp_simnet.Schedule}); empty = static environment *)
   reliable : bool;
       (** enable the ARQ transport layer (implied by [Lid_reliable]) *)
   byzantine : string option;
@@ -55,6 +58,7 @@ val make :
   ?engine:engine ->
   ?seed:int ->
   ?faults:Owp_simnet.Faults.t ->
+  ?schedule:Owp_simnet.Schedule.t ->
   ?reliable:bool ->
   ?byzantine:string ->
   ?guard:bool ->
@@ -82,8 +86,10 @@ val lid_family : engine -> bool
     knobs. *)
 
 val validate : t -> (t, string) result
-(** Cross-field consistency.  Rejected: an adversary spec, faults,
-    [reliable] or an anytime budget on a non-LID-family engine;
+(** Cross-field consistency.  Rejected: an adversary spec, faults, a
+    fault schedule, [reliable] or an anytime budget on a
+    non-LID-family engine; an invalid schedule
+    ({!Owp_simnet.Schedule.validate});
     [Lid_byzantine] without a spec; [guard] without a spec; an
     unparsable spec; out-of-range fault fields
     ({!Owp_simnet.Faults.validate}); a non-positive budget; [deadline]

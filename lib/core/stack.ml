@@ -1,6 +1,7 @@
 module Simnet = Owp_simnet.Simnet
 module Transport = Owp_simnet.Transport
 module Adversary = Owp_simnet.Adversary
+module Schedule = Owp_simnet.Schedule
 module Bmatching = Owp_matching.Bmatching
 module Violation = Owp_check.Violation
 module Checker = Owp_check.Checker
@@ -25,6 +26,7 @@ type cutoff = {
 type report = {
   matching : Bmatching.t;
   correct : bool array;
+  participating : bool array;
   byz_count : int;
   prop_count : int;
   rej_count : int;
@@ -302,13 +304,25 @@ let rec fold_deliver layers ~src ~dst m =
 (* ------------------------------------------------------------------ *)
 
 let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
-    ?(faults = Simnet.no_faults) ?(reliable = false) ?transport ?patience
-    ?deadline ?max_rounds ?(crashes = []) ?(events = []) ?silent ?adversaries
-    ?(guard = false) ?(guard_config = Guard.default_config) ?prefs
-    ?(on_lock = fun _ _ _ -> ()) ?(check = false) w ~capacity =
+    ?(faults = Simnet.no_faults) ?(schedule = Schedule.empty) ?(reliable = false)
+    ?transport ?patience ?deadline ?max_rounds ?(crashes = []) ?(events = [])
+    ?silent ?adversaries ?(guard = false) ?(guard_config = Guard.default_config)
+    ?prefs ?(on_lock = fun _ _ _ -> ()) ?(check = false) w ~capacity =
   let g = Weights.graph w in
   let n = Graph.node_count g in
   (* --- argument validation ------------------------------------------ *)
+  (match Schedule.validate ~n schedule with
+  | Ok _ -> ()
+  | Error msg -> invalid_arg ("Stack.run: bad schedule: " ^ msg));
+  (* down episodes are crash-then-restart sugar: the node leaves at the
+     episode start and rejoins retired at the heal *)
+  let crashes =
+    crashes
+    @ List.map
+        (fun (v, crash_at, restart_at) ->
+          { victim = v; crash_at; restart_at = Some restart_at })
+        (Schedule.down_spans schedule)
+  in
   List.iter
     (fun { victim; crash_at; restart_at } ->
       if victim < 0 || victim >= n then
@@ -369,6 +383,7 @@ let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
   let adversary_msgs = ref 0 in
   let quarantine_events = ref 0 and false_quarantines = ref 0 in
   let synthetic_rejects = ref 0 and quiet_rounds = ref 0 in
+  let suppressed_giveups = ref 0 in
   let inspected = ref 0 in
   let dedup_prop = ref 0 and dedup_rej = ref 0 in
   let lid_delivered = ref 0 in
@@ -413,6 +428,25 @@ let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
   in
   let st, initial = Lid.init ?ranking w ~capacity in
   let net = Simnet.create ~seed ~fifo ~faults ~nodes:(max n 1) ~delay () in
+  (* scheduled network weather: outages are evaluated by the simulator
+     at delivery time; [weather_touched window] is the "did scheduled
+     weather intersect my last waiting window" predicate the detector
+     and transport consult before declaring anyone dead.  The window
+     matters: a give-up that merely checked {!Schedule.active} at its
+     own fire instant would fire falsely just after the heal, while the
+     healed link's answer is still in flight — and the window is padded
+     by a round trip for the same reason, since a reply prompted at the
+     heal instant needs that long to land.  A certain cut consumes no
+     randomness, so an empty schedule leaves the run bit-identical to a
+     scheduleless one. *)
+  let weather_touched window =
+    let now = Simnet.now net in
+    let slack = 2.0 *. round_length delay in
+    Schedule.overlaps schedule ~from_:(now -. window -. slack) ~until:now
+  in
+  if not (Schedule.is_empty schedule) then
+    Simnet.set_outage net
+      (Some (fun ~at ~src ~dst -> Schedule.outage schedule ~at ~src ~dst));
   (* a restarted node lost its volatile protocol state: it rejoins
      "retired" — it declines everything and claims nothing *)
   let retired = Array.make (max n 1) false in
@@ -465,11 +499,26 @@ let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
       evs
   and arm_patience i v limit =
     incr patience_armed;
-    Simnet.schedule net ~delay:limit (fun () ->
-        if live i && Lid.awaiting_reply st ~node:i ~peer:v then begin
-          incr patience_fired;
-          synthetic_reject i ~peer:v
-        end)
+    let rec arm () =
+      Simnet.schedule net ~delay:limit (fun () ->
+          if live i && Lid.awaiting_reply st ~node:i ~peer:v then begin
+            if weather_touched limit then begin
+              (* scheduled weather touched the window we just waited
+                 out: a give-up now would be a false positive against a
+                 peer whose answer was cut — or is still in flight over
+                 a link that healed mid-window.  Suppress it and re-arm
+                 a full patience for the healed world — the loop is
+                 finite because the schedule is. *)
+              incr suppressed_giveups;
+              arm ()
+            end
+            else begin
+              incr patience_fired;
+              synthetic_reject i ~peer:v
+            end
+          end)
+    in
+    arm ()
   and synthetic_reject at ~peer =
     incr synthetic_rejects;
     process (Lid.deliver st ~src:peer ~dst:at Lid.Rej)
@@ -626,16 +675,39 @@ let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
           end
     end
   in
-  if reliable then
+  if reliable then begin
+    let hold =
+      (* when retries exhaust inside (or just after) scheduled weather
+         the transport suspects the silent link instead of declaring it
+         dead (see Transport.create).  The window is the whole retry
+         ladder: a fresh ladder that started mid-episode exhausts only
+         after the heal, so testing "active now" at exhaustion time
+         would let it give up on a link whose answer is in flight. *)
+      if Schedule.is_empty schedule then None
+      else begin
+        let tc = Option.value transport ~default:Transport.default_config in
+        let ladder =
+          let rec sum k rto acc =
+            if k > tc.Transport.max_retries then acc
+            else
+              let rto = Float.min tc.Transport.rto_max rto in
+              sum (k + 1) (rto *. tc.Transport.rto_backoff) (acc +. rto)
+          in
+          sum 0 tc.Transport.rto_initial 0.0 *. (1.0 +. tc.Transport.rto_jitter)
+        in
+        Some (fun ~node:_ ~peer:_ -> weather_touched ladder)
+      end
+    in
     tr :=
       Some
-        (Transport.create ?config:transport net ~on_deliver:deliver_payload
+        (Transport.create ?config:transport ?hold net ~on_deliver:deliver_payload
            ~on_peer_dead:(fun ~node ~peer ->
              (* retries exhausted: the peer implicitly declined *)
              if live node && correct.(node) then begin
                incr transport_giveups;
                synthetic_reject node ~peer
              end))
+  end
   else
     Simnet.set_handler net (fun ~src ~dst frame ->
         match frame with
@@ -855,6 +927,7 @@ let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
               [
                 ("patience-armed", !patience_armed);
                 ("patience-fired", !patience_fired);
+                ("suppressed-give-ups", !suppressed_giveups);
                 ("transport-give-ups", !transport_giveups);
                 ("quarantine-give-ups", !quarantine_giveups);
                 ("synthetic-rej", !synthetic_rejects);
@@ -889,6 +962,9 @@ let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
                     ("dup-suppressed", Transport.duplicates_suppressed t);
                     ("frames", Transport.frames_sent t);
                     ("dead-links", Transport.peers_declared_dead t);
+                    ("suspected", Transport.links_suspected t);
+                    ("resumed", Transport.links_resumed t);
+                    ("held-give-ups", Transport.give_ups_held t);
                   ];
               };
             ]
@@ -907,11 +983,24 @@ let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
               ];
           };
         ];
+        (if Schedule.is_empty schedule then []
+         else
+           [
+             {
+               layer = "schedule";
+               counters =
+                 [
+                   ("episodes", List.length schedule);
+                   ("cut", Simnet.messages_cut net);
+                 ];
+             };
+           ]);
       ]
   in
   {
     matching;
     correct;
+    participating = Array.init n (fun i -> correct.(i) && live i);
     byz_count;
     prop_count = !prop_count;
     rej_count = !rej_count;

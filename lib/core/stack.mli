@@ -57,8 +57,8 @@ type crash_plan = {
 type layer = {
   layer : string;
       (** ["lid"], ["deadline"], ["detector"], ["adversary"], ["guard"],
-          ["dedup"], ["transport"], ["channel"] — top to bottom; only
-          enabled layers appear *)
+          ["dedup"], ["transport"], ["channel"], ["schedule"] — top to
+          bottom; only enabled layers appear *)
   counters : (string * int) list;
 }
 
@@ -79,6 +79,11 @@ type report = {
   correct : bool array;
       (** [correct.(i)] iff [i] is neither adversary-controlled nor
           fail-silent *)
+  participating : bool array;
+      (** [participating.(i)] iff [i] is correct {e and} ended the run
+          live and non-retired — the node set the final matching can
+          touch, and the subgraph the self-stabilization reference
+          ({!Owp_check.Stabilize}) is computed on *)
   byz_count : int;  (** adversary-controlled peers *)
   prop_count : int;  (** protocol-level PROP sends by correct nodes *)
   rej_count : int;
@@ -150,6 +155,7 @@ val run :
   ?delay:Owp_simnet.Simnet.delay_model ->
   ?fifo:bool ->
   ?faults:Owp_simnet.Simnet.faults ->
+  ?schedule:Owp_simnet.Schedule.t ->
   ?reliable:bool ->
   ?transport:Owp_simnet.Transport.config ->
   ?patience:float ->
@@ -179,6 +185,19 @@ val run :
     [guard] vets bootstrap adverts and inbound messages, quarantining
     provable offenders (requires [adversaries] and [prefs]).
 
+    [schedule] layers time-varying network weather
+    ({!Owp_simnet.Schedule}) on top of the i.i.d. [faults]: partitions,
+    downed/flapping links and loss bursts cut deliveries at the
+    simulator ([Down] episodes desugar to crash-then-restart plans).
+    While any episode is active the stack treats silence as weather,
+    not death: patience timers that fire are suppressed and re-armed
+    (counted as [suppressed-give-ups] on the detector row), and the
+    reliable transport {e suspects} links instead of giving up, keeping
+    the window retransmitting so healed streams resume by themselves
+    ([suspected]/[resumed] on the transport row).  An empty schedule is
+    bit-identical to no schedule.  A ["schedule"] row appears in the
+    counter table exactly when episodes are present.
+
     [deadline] (or [max_rounds], which is [deadline = K *
     round_length delay]; give at most one) makes the run {e anytime}:
     delivery halts at the virtual-time budget, in-flight events are
@@ -205,9 +224,10 @@ val run :
     that converge cleanly.
 
     @raise Invalid_argument on arity mismatches, out-of-range or
-    ill-ordered crash plans, non-positive patience, non-positive or
-    doubly-specified budgets, adversaries or guard without [prefs], or
-    guard without an adversary environment. *)
+    ill-ordered crash plans, an invalid schedule, non-positive
+    patience, non-positive or doubly-specified budgets, adversaries or
+    guard without [prefs], or guard without an adversary
+    environment. *)
 
 (** {1 Exhaustive exploration}
 

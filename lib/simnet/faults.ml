@@ -29,10 +29,17 @@ let channel_faulty t =
 
 let any t = channel_faulty t || t.crash > 0.0
 
+(* default protocol-level timeout armed when crashes are in play and no
+   explicit patience was given: long enough that a live peer behind a
+   lossy-but-retransmitting channel answers first (the transport's
+   bounded-retry window drains well inside it at the default RTO), short
+   enough that runs with crashed peers still terminate promptly *)
+let default_crash_patience = 60.0
+
 let effective_patience t =
   match t.patience with
   | Some _ as p -> p
-  | None -> if t.crash > 0.0 then Some 60.0 else None
+  | None -> if t.crash > 0.0 then Some default_crash_patience else None
 
 let validate t =
   let prob name p =

@@ -44,6 +44,7 @@ type 'm t = {
   up : bool array; (* crash/restart state; length max nodes 1 *)
   mutable handler : (src:int -> dst:int -> 'm -> unit) option;
   mutable trace : (float -> src:int -> dst:int -> 'm -> unit) option;
+  mutable outage : (at:float -> src:int -> dst:int -> float) option;
   mutable clock : float;
   mutable next_seq : int;
   mutable sent : int;
@@ -51,6 +52,7 @@ type 'm t = {
   mutable dropped : int;
   mutable reordered : int;
   mutable lost_to_crashes : int;
+  mutable cut : int;
   mutable crash_count : int;
   mutable processed : int;
 }
@@ -75,6 +77,7 @@ let create ?(seed = 0xC0FFEE) ?(fifo = true) ?(faults = no_faults) ~nodes ~delay
     up = Array.make (max nodes 1) true;
     handler = None;
     trace = None;
+    outage = None;
     clock = 0.0;
     next_seq = 0;
     sent = 0;
@@ -82,6 +85,7 @@ let create ?(seed = 0xC0FFEE) ?(fifo = true) ?(faults = no_faults) ~nodes ~delay
     dropped = 0;
     reordered = 0;
     lost_to_crashes = 0;
+    cut = 0;
     crash_count = 0;
     processed = 0;
   }
@@ -90,6 +94,7 @@ let node_count t = t.nodes
 let now t = t.clock
 let set_handler t h = t.handler <- Some h
 let set_trace t tr = t.trace <- tr
+let set_outage t f = t.outage <- f
 
 let check_node fn t v =
   if v < 0 || v >= t.nodes then invalid_arg (Printf.sprintf "Simnet.%s: node out of range" fn)
@@ -182,7 +187,19 @@ let dispatch t ev =
   match ev.kind with
   | Callback f -> f ()
   | Deliver (src, dst, m) ->
-      if not t.up.(dst) then
+      (* link-level weather is evaluated at delivery time, so an episode
+         that starts while a message is in flight still swallows it; a
+         certain cut (p >= 1) consumes no randomness, keeping cut-only
+         schedules delay-identical to the scheduleless run *)
+      let cut =
+        match t.outage with
+        | None -> false
+        | Some f ->
+            let p = f ~at:ev.at ~src ~dst in
+            p >= 1.0 || (p > 0.0 && Prng.bernoulli t.rng p)
+      in
+      if cut then t.cut <- t.cut + 1
+      else if not t.up.(dst) then
         (* the packet reached a crashed host: lost, like any queued data
            the host's NIC would discard *)
         t.lost_to_crashes <- t.lost_to_crashes + 1
@@ -225,5 +242,6 @@ let messages_delivered t = t.delivered
 let messages_dropped t = t.dropped
 let messages_reordered t = t.reordered
 let messages_lost_to_crashes t = t.lost_to_crashes
+let messages_cut t = t.cut
 let crash_events t = t.crash_count
 let events_processed t = t.processed

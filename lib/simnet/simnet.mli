@@ -108,6 +108,10 @@ val messages_reordered : _ t -> int
 val messages_lost_to_crashes : _ t -> int
 (** Sends from a down node plus arrivals at a down node. *)
 
+val messages_cut : _ t -> int
+(** Deliveries swallowed by the {!set_outage} hook (scheduled network
+    weather), not counting i.i.d. channel loss or crash loss. *)
+
 val crash_events : _ t -> int
 (** Number of {!crash} transitions (up -> down). *)
 
@@ -115,3 +119,12 @@ val events_processed : _ t -> int
 
 val set_trace : 'm t -> (float -> src:int -> dst:int -> 'm -> unit) option -> unit
 (** Observation hook invoked at each delivery. *)
+
+val set_outage : 'm t -> (at:float -> src:int -> dst:int -> float) option -> unit
+(** Time-varying link weather (see {!Schedule}): the hook maps a
+    delivery [(at, src, dst)] to an extra loss probability — [1.0]
+    cuts the delivery deterministically (no randomness consumed),
+    [0 < p < 1] tosses the simulator's coin, [0.] lets it through.
+    Evaluated when the message would {e arrive}, so an episode starting
+    mid-flight still swallows it.  Cut messages count in
+    {!messages_cut}. *)

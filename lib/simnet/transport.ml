@@ -24,6 +24,7 @@ type 'm sender = {
   mutable retries : int; (* consecutive timer firings without ack progress *)
   mutable timer_armed : bool;
   mutable s_dead : bool; (* gave up: peer declared dead for this link *)
+  mutable s_suspected : bool; (* give-up held by an outage episode *)
 }
 
 (* Receiver half of a directed link: dedup + in-order reassembly. *)
@@ -42,11 +43,15 @@ type 'm t = {
   receivers : (int * int, 'm receiver) Hashtbl.t; (* (src, dst); state lives at dst *)
   on_deliver : src:int -> dst:int -> 'm -> unit;
   on_peer_dead : node:int -> peer:int -> unit;
+  hold : node:int -> peer:int -> bool;
   mutable data_sent : int;
   mutable retransmissions : int;
   mutable acks_sent : int;
   mutable duplicates_suppressed : int;
   mutable peers_declared_dead : int;
+  mutable links_suspected : int;
+  mutable links_resumed : int;
+  mutable give_ups_held : int;
 }
 
 let validate_config c =
@@ -71,6 +76,7 @@ let sender_state t ~src ~dst =
           retries = 0;
           timer_armed = false;
           s_dead = false;
+          s_suspected = false;
         }
       in
       Hashtbl.replace t.senders key s;
@@ -110,10 +116,8 @@ let rec arm_timer t ~src ~dst s =
         | Some s' when s' == s ->
             s.timer_armed <- false;
             if (not s.s_dead) && Hashtbl.length s.unacked > 0 && Simnet.is_up t.net src
-            then
-              if s.retries >= t.config.max_retries then give_up t ~src ~dst s
-              else begin
-                s.retries <- s.retries + 1;
+            then begin
+              let resend () =
                 s.rto <- Float.min (s.rto *. t.config.rto_backoff) t.config.rto_max;
                 (* go-back-N: resend the whole window, lowest seq first *)
                 let seqs =
@@ -126,7 +130,29 @@ let rec arm_timer t ~src ~dst s =
                     transmit_data t ~src ~dst s seq (Hashtbl.find s.unacked seq))
                   seqs;
                 arm_timer t ~src ~dst s
+              in
+              if s.retries >= t.config.max_retries then begin
+                if t.hold ~node:src ~peer:dst then begin
+                  (* a scheduled outage explains the silence: suspect the
+                     link instead of declaring the peer dead, refresh the
+                     retry budget, and keep the window retransmitting at
+                     the capped RTO so the stream resumes by itself once
+                     the network heals — re-announce, not amnesia *)
+                  if not s.s_suspected then begin
+                    s.s_suspected <- true;
+                    t.links_suspected <- t.links_suspected + 1
+                  end;
+                  t.give_ups_held <- t.give_ups_held + 1;
+                  s.retries <- 0;
+                  resend ()
+                end
+                else give_up t ~src ~dst s
               end
+              else begin
+                s.retries <- s.retries + 1;
+                resend ()
+              end
+            end
         | _ -> () (* stale timer from a pre-restart incarnation *))
   end
 
@@ -194,11 +220,17 @@ let handle_ack t ~src ~dst ~epoch ~cum =
         List.iter (Hashtbl.remove s.unacked) stale;
         (* forward progress: the peer is alive, reset the backoff *)
         s.retries <- 0;
-        s.rto <- t.config.rto_initial
+        s.rto <- t.config.rto_initial;
+        if s.s_suspected then begin
+          (* the first ACK through a healed link clears the suspicion *)
+          s.s_suspected <- false;
+          t.links_resumed <- t.links_resumed + 1
+        end
       end
   | _ -> ()
 
-let create ?(config = default_config) ?(jitter_seed = 0x7A5) net ~on_deliver ~on_peer_dead =
+let create ?(config = default_config) ?(jitter_seed = 0x7A5)
+    ?(hold = fun ~node:_ ~peer:_ -> false) net ~on_deliver ~on_peer_dead =
   validate_config config;
   let t =
     {
@@ -210,11 +242,15 @@ let create ?(config = default_config) ?(jitter_seed = 0x7A5) net ~on_deliver ~on
       receivers = Hashtbl.create 64;
       on_deliver;
       on_peer_dead;
+      hold;
       data_sent = 0;
       retransmissions = 0;
       acks_sent = 0;
       duplicates_suppressed = 0;
       peers_declared_dead = 0;
+      links_suspected = 0;
+      links_resumed = 0;
+      give_ups_held = 0;
     }
   in
   Simnet.set_handler net (fun ~src ~dst frame ->
@@ -247,4 +283,7 @@ let retransmissions t = t.retransmissions
 let acks_sent t = t.acks_sent
 let duplicates_suppressed t = t.duplicates_suppressed
 let peers_declared_dead t = t.peers_declared_dead
+let links_suspected t = t.links_suspected
+let links_resumed t = t.links_resumed
+let give_ups_held t = t.give_ups_held
 let frames_sent t = t.data_sent + t.retransmissions + t.acks_sent

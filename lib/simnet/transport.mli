@@ -59,6 +59,7 @@ type 'm t
 val create :
   ?config:config ->
   ?jitter_seed:int ->
+  ?hold:(node:int -> peer:int -> bool) ->
   'm frame Simnet.t ->
   on_deliver:(src:int -> dst:int -> 'm -> unit) ->
   on_peer_dead:(node:int -> peer:int -> unit) ->
@@ -68,7 +69,17 @@ val create :
     the application payloads, deduplicated and in per-link send order;
     it may call {!send} reentrantly.  [on_peer_dead ~node ~peer] fires
     at most once per directed link when [node] exhausts its retries
-    towards [peer]. *)
+    towards [peer].
+
+    [hold] (default: never) is consulted at the moment the retry budget
+    runs out: when it answers [true] — e.g. a scheduled outage episode
+    is active, so the silence is indistinguishable from a partition the
+    stack has been told about — the sender {e suspects} the link
+    instead of giving up: the retry budget is refreshed and the window
+    keeps retransmitting at the capped RTO, so the stream resumes by
+    itself once the network heals (the first ACK through clears the
+    suspicion).  Suspect/resume transitions are counted in
+    {!links_suspected}/{!links_resumed}. *)
 
 val send : 'm t -> src:int -> dst:int -> 'm -> unit
 (** Hand a payload to the transport.  Discarded if [src] is down
@@ -92,6 +103,18 @@ val retransmissions : _ t -> int
 val acks_sent : _ t -> int
 val duplicates_suppressed : _ t -> int
 val peers_declared_dead : _ t -> int
+
+val links_suspected : _ t -> int
+(** Links whose give-up was converted into suspicion by the [hold]
+    hook (counted once per suspicion episode, not per held firing). *)
+
+val links_resumed : _ t -> int
+(** Suspected links that saw ACK progress again — healed streams that
+    picked up where they left off. *)
+
+val give_ups_held : _ t -> int
+(** Individual retry-exhaustion events the [hold] hook suppressed
+    (every [max_retries] silent rounds while suspected adds one). *)
 
 val frames_sent : _ t -> int
 (** [data_sent + retransmissions + acks_sent] — the wire total to

@@ -46,3 +46,28 @@ let deadline_mute =
     on_deliver = (fun x -> Some x);
     mw_counters = (fun () -> []);
   }
+
+(* Heal-aware rows: the transport's suspect/resume accounting and the
+   detector's suppressed-give-ups row obey the same conformance rules —
+   a full literal record with live counters, never inherited via record
+   update and never muted. *)
+
+let transport_healing_ok =
+  {
+    mw_name = "transport";
+    on_send = (fun x -> Some x);
+    on_deliver = (fun x -> Some x);
+    mw_counters =
+      (fun () -> [ ("suspected", 0); ("resumed", 0); ("give-ups-held", 0) ]);
+  }
+
+let transport_healing_inherited =
+  { transport_healing_ok with mw_name = "transport-copy" }
+
+let detector_suppression_mute =
+  {
+    mw_name = "detector";
+    on_send = (fun x -> Some x);
+    on_deliver = (fun x -> Some x);
+    mw_counters = (fun () -> []);
+  }

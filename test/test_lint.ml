@@ -92,6 +92,8 @@ let test_layer_fires =
       (25, "layer-conformance");
       (40, "layer-conformance");
       (47, "layer-conformance");
+      (65, "layer-conformance");
+      (72, "layer-conformance");
     ]
 
 let test_exact_position () =

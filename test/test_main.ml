@@ -20,6 +20,7 @@ let () =
       ("prefs.weights", Test_weights.suite);
       ("simnet", Test_simnet.suite);
       ("simnet.transport", Test_transport.suite);
+      ("simnet.schedule", Test_schedule.suite);
       ("matching.bmatching", Test_bmatching.suite);
       ("matching.greedy+exact", Test_greedy_exact.suite);
       ("matching.mcmf", Test_mcmf.suite);
@@ -37,6 +38,7 @@ let () =
       ("core.byzantine", Test_byzantine.suite);
       ("core.theory", Test_theory.suite);
       ("check", Test_check.suite);
+      ("check.stabilize", Test_stabilize.suite);
       ("lint", Test_lint.suite);
       ("core.pipeline", Test_pipeline.suite);
       ("core.run_config", Test_run_config.suite);
