@@ -4,19 +4,21 @@
      owp generate    synthesise a potential-connection graph
      owp stats       structural metrics of a graph file
      owp run         build an overlay matching with a chosen engine
+     owp serve       drive the stack with a sustained request stream
      owp verify      check a saved matching against a graph and quota
      owp check       run the invariant checkers / interleaving explorer
      owp chaos       fuzz the stack with random fault schedules, shrink failures
      owp lint        static analysis over the .cmt typedtrees dune emits
-     owp experiment  regenerate a paper experiment table (E0..E26)
+     owp experiment  regenerate a paper experiment table (E0..E27)
      owp bench       experiments with the scale knobs: --jobs, --json, --gate
      owp list        list available experiments
 
-   `run` and `check` both funnel their flags into one
-   Owp_core.Run_config.t (engine + Owp_simnet.Faults.t + seed/spec/
-   guard/check) and hand it to Pipeline.run_config; the per-fault
-   optional-argument sprawl of earlier revisions survives only as legacy
-   flag spellings that are merged into the record. *)
+   Every stack-running subcommand (`run`, `serve`, `check`, `chaos`,
+   `bench`) shares the one Owp_cli term bundle: the same instance and
+   composition flags everywhere, funnelled into one validated
+   Owp_core.Run_config.t and handed to Pipeline.run_config (or the
+   serving engine).  This file only keeps the per-subcommand verbs and
+   printers. *)
 
 open Cmdliner
 module RC = Owp_core.Run_config
@@ -24,69 +26,6 @@ module P = Owp_core.Pipeline
 module BM = Owp_matching.Bmatching
 module Faults = Owp_simnet.Faults
 module Schedule = Owp_simnet.Schedule
-
-(* ------------------------------------------------------------------ *)
-(* shared arguments                                                     *)
-(* ------------------------------------------------------------------ *)
-
-let seed_arg =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
-
-let n_arg =
-  Arg.(value & opt int 1000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of peers.")
-
-let quota_arg =
-  Arg.(value & opt int 3 & info [ "b"; "quota" ] ~docv:"B" ~doc:"Connection quota per peer.")
-
-let family_conv =
-  let parse s =
-    match String.split_on_char ':' (String.lowercase_ascii s) with
-    | [ "gnp"; p ] -> Ok (Owp_bench.Workloads.Gnp (float_of_string p))
-    | [ "deg"; d ] -> Ok (Owp_bench.Workloads.Gnm_avg_deg (float_of_string d))
-    | [ "ba"; m ] -> Ok (Owp_bench.Workloads.Ba (int_of_string m))
-    | [ "ws"; k; beta ] ->
-        Ok (Owp_bench.Workloads.Ws (int_of_string k, float_of_string beta))
-    | [ "geo"; r ] -> Ok (Owp_bench.Workloads.Geometric (float_of_string r))
-    | [ "torus" ] -> Ok Owp_bench.Workloads.Torus
-    | [ "pl"; e; d ] ->
-        Ok (Owp_bench.Workloads.Power_law (float_of_string e, int_of_string d))
-    | _ ->
-        Error
-          (`Msg
-            "expected gnp:P | deg:D | ba:M | ws:K:BETA | geo:R | torus | pl:EXP:MINDEG")
-  in
-  let print ppf f = Format.pp_print_string ppf (Owp_bench.Workloads.family_name f) in
-  Arg.conv (parse, print)
-
-let family_arg =
-  Arg.(
-    value
-    & opt family_conv (Owp_bench.Workloads.Gnm_avg_deg 8.0)
-    & info [ "family" ] ~docv:"FAMILY"
-        ~doc:
-          "Graph family: gnp:P, deg:D (G(n,m) with average degree D), ba:M, ws:K:BETA, \
-           geo:R, torus, pl:EXP:MINDEG.")
-
-let model_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "random" -> Ok Owp_bench.Workloads.Random_prefs
-    | "latency" -> Ok Owp_bench.Workloads.Latency_prefs
-    | "bandwidth" -> Ok Owp_bench.Workloads.Bandwidth_prefs
-    | "transactions" -> Ok Owp_bench.Workloads.Transaction_prefs
-    | s when String.length s > 9 && String.sub s 0 9 = "interest:" ->
-        Ok (Owp_bench.Workloads.Interest_prefs (int_of_string (String.sub s 9 (String.length s - 9))))
-    | _ -> Error (`Msg "expected random | latency | bandwidth | transactions | interest:D")
-  in
-  let print ppf m = Format.pp_print_string ppf (Owp_bench.Workloads.pref_model_name m) in
-  Arg.conv (parse, print)
-
-let model_arg =
-  Arg.(
-    value
-    & opt model_conv Owp_bench.Workloads.Random_prefs
-    & info [ "prefs" ] ~docv:"MODEL"
-        ~doc:"Preference model: random, latency, bandwidth, transactions, interest:D.")
 
 (* ------------------------------------------------------------------ *)
 (* generate                                                             *)
@@ -110,7 +49,8 @@ let generate_cmd =
   in
   Cmd.v
     (Cmd.info "generate" ~doc:"Synthesise a potential-connection graph")
-    Term.(const generate $ seed_arg $ family_arg $ n_arg $ out)
+    Term.(
+      const generate $ Owp_cli.seed_arg $ Owp_cli.family_arg $ Owp_cli.n_arg $ out)
 
 (* ------------------------------------------------------------------ *)
 (* stats                                                                *)
@@ -138,106 +78,6 @@ let stats_cmd =
 (* run                                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let engine_conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (RC.engine_of_string s) in
-  let print ppf e = Format.pp_print_string ppf (RC.engine_name e) in
-  Arg.conv (parse, print)
-
-(* the historical --algo vocabulary, kept as a legacy spelling of
-   --engine *)
-let algo_conv =
-  let parse s =
-    match String.lowercase_ascii s with
-    | "lid" -> Ok RC.Lid
-    | "lic" -> Ok RC.Lic
-    | "greedy" -> Ok RC.Greedy
-    | "dynamics" -> Ok RC.Dynamics
-    | _ -> Error (`Msg "expected lid | lic | greedy | dynamics")
-  in
-  let print ppf e = Format.pp_print_string ppf (RC.engine_name e) in
-  Arg.conv (parse, print)
-
-let faults_conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (Faults.of_string s) in
-  Arg.conv (parse, Faults.pp)
-
-let schedule_conv =
-  let parse s = Result.map_error (fun m -> `Msg m) (Schedule.of_string s) in
-  Arg.conv (parse, Schedule.pp)
-
-let engine_arg =
-  Arg.(
-    value
-    & opt (some engine_conv) None
-    & info [ "engine" ] ~docv:"ENGINE"
-        ~doc:
-          "Selection engine: lic (reference rescans), lic-indexed (per-node \
-           max-weight edge indexes), lid, lid-reliable, lid-byzantine, greedy, \
-           dynamics.  Overrides $(b,--algo)/$(b,--reliable)/$(b,--byzantine) \
-           engine inference.")
-
-let faults_arg =
-  Arg.(
-    value & opt faults_conv Faults.none
-    & info [ "faults" ] ~docv:"SPEC"
-        ~doc:
-          "Fault environment as one spec: comma-separated $(i,drop=P), \
-           $(i,dup=P), $(i,reorder=P), $(i,crash=F), $(i,patience=T) and the \
-           bare flags $(i,unordered)/$(i,fifo); e.g. \
-           $(b,drop=0.2,dup=0.1,unordered).  The legacy per-fault flags \
-           override matching fields.")
-
-let schedule_arg =
-  Arg.(
-    value & opt schedule_conv Schedule.empty
-    & info [ "schedule" ] ~docv:"SPEC"
-        ~doc:
-          "Time-varying fault episodes layered over $(b,--faults): \
-           semicolon-separated $(i,KIND:...@T0-T1) episodes with kinds \
-           $(i,part) (node groups joined by $(b,.), separated by $(b,|); \
-           unlisted nodes form the implicit rest-block), $(i,link) (links \
-           $(i,U.V) down), $(i,flap:LINKS:PERIOD:DUTY), $(i,burst:P) \
-           (global loss), and $(i,down:NODES) (crash at T0, amnesiac \
-           restart at T1); e.g. $(b,'part:0.1.2@2-6;burst:0.9@8-9').  A \
-           non-empty schedule arms the self-stabilization certificate: \
-           after the last episode heals the run must quiesce on the \
-           crash-only LIC edge set.")
-
-(* shared by `owp run` and `owp check`: the instance is rebuilt
-   deterministically from (seed, family, n, quota, model) or from an
-   edge-list file, so a matching saved by `run` can be re-checked later
-   with the same flags *)
-let build_instance seed family n quota model graph_file =
-  match graph_file with
-  | Some path ->
-        let g = Graph_io.read path in
-        let q = Preference.uniform_quota g quota in
-        let rng = Owp_util.Prng.create seed in
-        let prefs =
-          match model with
-          | Owp_bench.Workloads.Random_prefs -> Preference.random rng g ~quota:q
-          | Owp_bench.Workloads.Latency_prefs ->
-              let pts =
-                Array.init (Graph.node_count g) (fun _ ->
-                    (Owp_util.Prng.float rng 1.0, Owp_util.Prng.float rng 1.0))
-              in
-              Preference.of_metric g ~quota:q (Metric.latency pts)
-          | Owp_bench.Workloads.Interest_prefs d ->
-              Preference.of_metric g ~quota:q (Metric.interest ~seed ~dims:d)
-          | Owp_bench.Workloads.Bandwidth_prefs ->
-              Preference.of_metric g ~quota:q (Metric.bandwidth ~seed)
-          | Owp_bench.Workloads.Transaction_prefs ->
-              Preference.of_metric g ~quota:q (Metric.transaction_history ~seed)
-        in
-      {
-        Owp_bench.Workloads.label = path;
-        graph = g;
-        prefs;
-        weights = Weights.of_preference prefs;
-        capacity = Array.init (Graph.node_count g) (Preference.quota prefs);
-      }
-  | None -> Owp_bench.Workloads.make ~seed ~family ~pref_model:model ~n ~quota
-
 let save_matching inst m path =
   let g = inst.Owp_bench.Workloads.graph in
   let buf = Buffer.create 1024 in
@@ -252,32 +92,6 @@ let save_matching inst m path =
     (Owp_matching.Bmatching.edge_ids m);
   Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc (Buffer.contents buf));
   Printf.printf "matching saved      : %s\n" path
-
-(* Every legacy fault flag simply overrides its field of the --faults
-   record, so both spellings (and any mix) land in the same
-   Owp_simnet.Faults.t. *)
-let merge_faults (f : Faults.t) ~drop ~dup ~reorder ~no_fifo ~crash ~patience =
-  {
-    Faults.drop = (if drop > 0.0 then drop else f.Faults.drop);
-    duplicate = (if dup > 0.0 then dup else f.duplicate);
-    reorder = (if reorder > 0.0 then reorder else f.reorder);
-    fifo = f.fifo && not no_fifo;
-    crash = (if crash > 0.0 then crash else f.crash);
-    patience = (match patience with Some _ -> patience | None -> f.patience);
-  }
-
-(* --engine wins; otherwise the composition flags pick the LID variant
-   and --algo (legacy) supplies the base engine.  Since the drivers
-   collapsed into the layered stack, --reliable/--faults/--byzantine/
-   --guard compose freely: they select middleware layers, not engines,
-   so any subset rides whatever LID-family engine resolves here. *)
-let resolve_engine engine_opt ~algo ~reliable ~byzantine =
-  match engine_opt with
-  | Some e -> e
-  | None ->
-      if byzantine <> None then RC.Lid_byzantine
-      else if reliable then RC.Lid_reliable
-      else algo
 
 (* The uniform per-layer counter table: one row per enabled middleware
    layer, top of the stack first. *)
@@ -297,7 +111,6 @@ let print_layer_table (r : Owp_core.Stack.report) =
    in play, then the per-layer counter table. *)
 let print_stack_detail prefs (cfg : RC.t) (r : Owp_core.Stack.report) =
   let module Stack = Owp_core.Stack in
-  let module LB = Owp_core.Lid_byzantine in
   let counter = Stack.counter r in
   let transport_on = List.exists (fun l -> l.Stack.layer = "transport") r.Stack.layers in
   if transport_on then begin
@@ -323,8 +136,8 @@ let print_stack_detail prefs (cfg : RC.t) (r : Owp_core.Stack.report) =
   | None -> ()
   | Some spec ->
       let n = Array.length r.Stack.correct in
-      let retained = LB.satisfaction_of_correct prefs r in
-      let reference = LB.reference_satisfaction prefs ~correct:r.Stack.correct in
+      let retained = Stack.satisfaction_of_correct prefs r in
+      let reference = Stack.reference_satisfaction prefs ~correct:r.Stack.correct in
       Printf.printf "adversaries         : %s (%d of %d peers)\n" spec r.Stack.byz_count
         n;
       Printf.printf "guard               : %s\n"
@@ -453,135 +266,99 @@ let print_outcome (cfg : RC.t) inst (out : P.outcome) save =
   if out.P.quiesced <> Some false && damage_free && anytime_ok && stabilize_ok then 0
   else 1
 
-let run_overlay seed family n quota model engine_opt algo graph_file save reliable
-    faults_spec schedule drop dup reorder no_fifo crash patience deadline max_rounds
-    byzantine guard =
-  let inst = build_instance seed family n quota model graph_file in
-  let faults = merge_faults faults_spec ~drop ~dup ~reorder ~no_fifo ~crash ~patience in
-  let engine = resolve_engine engine_opt ~algo ~reliable ~byzantine in
-  let cfg =
-    RC.validate
-      (RC.make ~engine ~seed ~faults ~schedule ~reliable ?byzantine ~guard ?deadline
-         ?max_rounds ())
-  in
-  match cfg with
+let run_overlay spec save =
+  match Owp_cli.config spec with
   | Error msg ->
       Printf.eprintf "run: %s\n" msg;
       2
-  | Ok cfg -> print_outcome cfg inst (P.run_config cfg inst.Owp_bench.Workloads.prefs) save
-
-(* fault-model flags, shared by `run` and `check` *)
-let reliable_arg =
-  Arg.(
-    value & flag
-    & info [ "reliable" ]
-        ~doc:
-          "Run LID over the reliable transport (per-link sequence numbers, cumulative \
-           ACKs, retransmission with backoff) so the protocol converges despite \
-           $(b,--drop)/$(b,--dup)/$(b,--reorder)/$(b,--crash).")
-
-let drop_arg =
-  Arg.(
-    value & opt float 0.0
-    & info [ "drop" ] ~docv:"P" ~doc:"Per-message loss probability (mask it with --reliable).")
-
-let dup_arg =
-  Arg.(
-    value & opt float 0.0
-    & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability (mask it with --reliable).")
-
-let reorder_arg =
-  Arg.(
-    value & opt float 0.0
-    & info [ "reorder" ] ~docv:"P"
-        ~doc:"Per-message straggler probability — breaks FIFO even on FIFO links (mask it with --reliable).")
-
-let no_fifo_arg =
-  Arg.(
-    value & flag
-    & info [ "unordered" ]
-        ~doc:"Disable per-link FIFO delivery in the simulated network (non-FIFO regime).")
-
-let crash_arg =
-  Arg.(
-    value & opt float 0.0
-    & info [ "crash" ] ~docv:"FRAC"
-        ~doc:
-          "Fraction of peers that fail-stop at a random early point (arms a \
-           default patience of 60 unless --patience is given).")
-
-let patience_arg =
-  Arg.(
-    value & opt (some float) None
-    & info [ "patience" ] ~docv:"T"
-        ~doc:
-          "Protocol-level wait timeout for peers that fall silent after ACKing \
-           (virtual time; default: off, which preserves exactness under pure channel \
-           faults).")
-
-let deadline_arg =
-  Arg.(
-    value
-    & opt (some float) None
-    & info [ "deadline" ] ~docv:"T"
-        ~doc:
-          "Anytime budget: halt message delivery at virtual time T, freeze the \
-           feasible partial matching (mutually locked links kept, tentative \
-           proposals released on both sides) and report a certified anytime \
-           outcome instead of running to quiescence.  Composes with every \
-           other layer flag; give either this or $(b,--max-rounds), not both.")
-
-let max_rounds_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "max-rounds" ] ~docv:"K"
-        ~doc:
-          "Anytime budget as a round count: K propose-answer rounds, converted \
-           to a virtual-time deadline through the delay model's round length.  \
-           Give either this or $(b,--deadline), not both.")
-
-let byzantine_arg =
-  Arg.(
-    value
-    & opt (some string) None
-    & info [ "byzantine" ] ~docv:"SPEC"
-        ~doc:
-          "Hand a random node subset to adversary behaviours: \
-           $(i,MODEL:FRAC[,MODEL:FRAC...]) with models liar, equivocator, \
-           flooder, replayer, violator (e.g. $(b,liar:0.2)).  Runs LID with \
-           the remaining correct peers and reports the bounded-damage verdict.")
-
-let guard_arg =
-  Arg.(
-    value & flag
-    & info [ "guard" ]
-        ~doc:
-          "Enable the inbound protocol guard: advert vetting against the \
-           public 1/b weight bound, per-link state-machine validation, \
-           flood limits, and quarantine of offenders (with $(b,--byzantine); \
-           without it the run is the vulnerable baseline).")
-
-let algo_arg =
-  Arg.(
-    value & opt algo_conv RC.Lid
-    & info [ "algo" ] ~docv:"ALGO"
-        ~doc:"Legacy spelling of $(b,--engine): lid, lic, greedy or dynamics.")
+  | Ok cfg ->
+      let inst = Owp_cli.instance spec in
+      print_outcome cfg inst (P.run_config cfg inst.Owp_bench.Workloads.prefs) save
 
 let run_cmd =
-  let graph_file =
-    Arg.(value & opt (some file) None & info [ "graph" ] ~docv:"FILE" ~doc:"Use an edge-list file instead of generating.")
-  in
   let save =
     Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc:"Write the selected connections as an edge list.")
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Build an overlay matching and report its quality")
-    Term.(
-      const run_overlay $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg
-      $ engine_arg $ algo_arg $ graph_file $ save $ reliable_arg $ faults_arg
-      $ schedule_arg $ drop_arg $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg
-      $ patience_arg $ deadline_arg $ max_rounds_arg $ byzantine_arg $ guard_arg)
+    Term.(const run_overlay $ Owp_cli.term $ save)
+
+(* ------------------------------------------------------------------ *)
+(* serve                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let arrivals_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Owp_serve.Arrivals.of_string s) in
+  Arg.conv (parse, Owp_serve.Arrivals.pp)
+
+(* the sustained-traffic session: same instance and composition flags
+   as `run`, plus the arrival-process spec; the exit code is the
+   session verdict (every admitted request served, nothing shed unless
+   the backlog bound forced it, the bootstrap run healthy) *)
+let serve_session spec arrivals handicap =
+  match Owp_cli.config spec with
+  | Error msg ->
+      Printf.eprintf "serve: %s\n" msg;
+      2
+  | Ok cfg -> (
+      let inst = Owp_cli.instance spec in
+      match
+        Owp_serve.Serve.run ~handicap ~arrivals cfg inst.Owp_bench.Workloads.prefs
+      with
+      | Error msg ->
+          Printf.eprintf "serve: %s\n" msg;
+          2
+      | Ok out ->
+          let report = Option.get out.P.serve in
+          Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
+          Printf.printf "stack               : %s\n" (RC.to_string cfg);
+          print_string (Owp_core.Serve_report.summary report);
+          let damage_free =
+            match out.P.detail with
+            | P.Stack r -> r.Owp_core.Stack.damage = []
+            | P.Plain -> true
+          in
+          if damage_free && out.P.quiesced <> Some false then 0 else 1)
+
+let serve_cmd =
+  let arrivals =
+    Arg.(
+      value
+      & opt arrivals_conv Owp_serve.Arrivals.default
+      & info [ "arrivals" ] ~docv:"SPEC"
+          ~doc:
+            "Seeded arrival process: $(i,RATE[:FIELD=V,...]) with fields \
+             $(i,join)/$(i,leave)/$(i,repref)/$(i,query) (mix weights), \
+             $(i,horizon), $(i,queue) (backlog bound before shedding), \
+             $(i,oracle) (LIC sampling period) and $(i,warmup); e.g. \
+             $(b,4:query=3,horizon=300).  All times are virtual.")
+  in
+  let handicap =
+    Arg.(
+      value & opt float 0.0
+      & info [ "handicap" ] ~docv:"T"
+          ~doc:
+            "Add T virtual-time units to every request's service time — a \
+             synthetic latency regression for exercising the serve gate.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Drive the composed stack with a sustained request stream"
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Runs a long-lived serving session: a seeded Poisson stream of \
+              joins, leaves, re-preference events and satisfaction queries \
+              against the standing overlay.  Mutations are serviced by \
+              re-running the configured engine composition on the current \
+              membership; queries cost one propose-answer round.  The report \
+              carries latency percentiles (p50/p99), throughput, the backlog \
+              peak, shedding counts, and steady-state satisfaction against a \
+              periodically sampled from-scratch LIC oracle.  Identical flags \
+              and seed reproduce the report byte for byte.";
+         ])
+    Term.(const serve_session $ Owp_cli.term $ arrivals $ handicap)
 
 (* ------------------------------------------------------------------ *)
 (* verify                                                               *)
@@ -628,7 +405,7 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Validate a saved matching against a graph")
-    Term.(const verify $ graph_file $ matching_file $ quota_arg)
+    Term.(const verify $ graph_file $ matching_file $ Owp_cli.quota_arg)
 
 (* ------------------------------------------------------------------ *)
 (* check                                                                *)
@@ -722,7 +499,6 @@ let check_list () =
    with one Byzantine node, quantified over every node choice, every
    injection interleaving, and every delivery order *)
 let check_explore_byzantine inst ~guard max_configs =
-  let module LB = Owp_core.Lid_byzantine in
   let n = Graph.node_count inst.Owp_bench.Workloads.graph in
   if n > 4 then begin
     Printf.eprintf
@@ -735,7 +511,7 @@ let check_explore_byzantine inst ~guard max_configs =
     let prefs = inst.Owp_bench.Workloads.prefs in
     let failed = ref 0 in
     for byz = 0 to n - 1 do
-      let verdict = LB.verify_exhaustively ~guard ~max_configs ~byz prefs in
+      let verdict = Owp_core.Stack.verify_exhaustively ~guard ~max_configs ~byz prefs in
       let nv = List.length verdict.Explore.violations in
       Printf.printf
         "byzantine node %d    : %d configuration(s), %d schedule(s), %d violation(s)\n"
@@ -764,13 +540,12 @@ let print_check_report ?(converged = true) inst report =
     1
   end
 
-let check_cmdline seed family n quota model engine_opt algo graph_file matching_file
-    explore max_configs drops reliable faults_spec schedule drop dup reorder no_fifo
-    crash patience deadline max_rounds byzantine guard list =
+let check_cmdline spec matching_file explore max_configs drops list =
   if list then check_list ()
   else begin
-    let inst = build_instance seed family n quota model graph_file in
-    if explore && byzantine <> None then check_explore_byzantine inst ~guard max_configs
+    let inst = Owp_cli.instance spec in
+    if explore && spec.Owp_cli.byzantine <> None then
+      check_explore_byzantine inst ~guard:spec.Owp_cli.guard max_configs
     else if explore then check_explore inst max_configs drops
     else
       match matching_file with
@@ -788,16 +563,7 @@ let check_cmdline seed family n quota model engine_opt algo graph_file matching_
           (* run the configured engine with the checkers armed; a
              distributed run that never quiesced must fail even when the
              locked subset satisfies the structural invariants *)
-          let faults =
-            merge_faults faults_spec ~drop ~dup ~reorder ~no_fifo ~crash ~patience
-          in
-          let engine = resolve_engine engine_opt ~algo ~reliable ~byzantine in
-          let cfg =
-            RC.validate
-              (RC.make ~engine ~seed ~faults ~schedule ~reliable ?byzantine ~guard
-                 ?deadline ?max_rounds ~check:true ())
-          in
-          match cfg with
+          match Owp_cli.config ~check:true spec with
           | Error msg ->
               Printf.eprintf "check: %s\n" msg;
               2
@@ -869,12 +635,6 @@ let check_cmd =
              delivery order, and demands termination on all of them (Lemma 5 under \
              failures).")
   in
-  let graph_file =
-    Arg.(
-      value
-      & opt (some file) None
-      & info [ "graph" ] ~docv:"FILE" ~doc:"Use an edge-list file instead of generating.")
-  in
   let list =
     Arg.(
       value & flag
@@ -885,11 +645,8 @@ let check_cmd =
     (Cmd.info "check"
        ~doc:"Run the structural invariant checkers or the interleaving explorer")
     Term.(
-      const check_cmdline $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg
-      $ engine_arg $ algo_arg $ graph_file $ matching_file $ explore $ max_configs
-      $ drops $ reliable_arg $ faults_arg $ schedule_arg $ drop_arg $ dup_arg
-      $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg $ deadline_arg
-      $ max_rounds_arg $ byzantine_arg $ guard_arg $ list)
+      const check_cmdline $ Owp_cli.term $ matching_file $ explore $ max_configs
+      $ drops $ list)
 
 (* ------------------------------------------------------------------ *)
 (* lint                                                                 *)
@@ -988,17 +745,34 @@ let lint_cmd =
    certificate from every run; the first failure is shrunk
    delta-debugging-style to a minimal --schedule reproducer and the
    exit status is the verdict *)
-let chaos seed trials max_episodes horizon from_spec family n quota model graph_file
-    reliable faults_spec drop dup reorder no_fifo crash patience byzantine guard =
+let chaos spec trials max_episodes horizon from_spec =
   let module Chaos = Owp_bench.Chaos in
-  let inst = build_instance seed family n quota model graph_file in
-  let faults = merge_faults faults_spec ~drop ~dup ~reorder ~no_fifo ~crash ~patience in
-  let engine = resolve_engine None ~algo:RC.Lid ~reliable ~byzantine in
-  match RC.validate (RC.make ~engine ~seed ~faults ~reliable ?byzantine ~guard ()) with
+  let seed = spec.Owp_cli.seed in
+  if not (Schedule.is_empty spec.Owp_cli.schedule) then begin
+    Printf.eprintf
+      "chaos: generates its own schedules; use --from SPEC to replay one\n";
+    2
+  end
+  else if spec.Owp_cli.deadline <> None || spec.Owp_cli.max_rounds <> None then begin
+    Printf.eprintf
+      "chaos: the self-stabilization certificate needs unbudgeted runs; drop \
+       --deadline/--max-rounds\n";
+    2
+  end
+  else if not (RC.lid_family (Owp_cli.engine spec)) then begin
+    Printf.eprintf
+      "chaos: fault schedules need the protocol stack; engine %s has no \
+       protocol run\n"
+      (RC.engine_name (Owp_cli.engine spec));
+    2
+  end
+  else
+  match Owp_cli.config spec with
   | Error msg ->
       Printf.eprintf "chaos: %s\n" msg;
       2
   | Ok cfg -> begin
+      let inst = Owp_cli.instance spec in
       let prefs = inst.Owp_bench.Workloads.prefs in
       Printf.printf "instance            : %s\n" inst.Owp_bench.Workloads.label;
       Printf.printf "stack               : %s\n" (RC.to_string cfg);
@@ -1065,17 +839,11 @@ let chaos_cmd =
   let from_spec =
     Arg.(
       value
-      & opt (some schedule_conv) None
+      & opt (some Owp_cli.schedule_conv) None
       & info [ "from" ] ~docv:"SPEC"
           ~doc:
             "Skip generation: run (and on failure shrink) this one schedule — the \
              regression mode CI uses for known-bad fixtures.")
-  in
-  let graph_file =
-    Arg.(
-      value
-      & opt (some file) None
-      & info [ "graph" ] ~docv:"FILE" ~doc:"Use an edge-list file instead of generating.")
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1100,11 +868,7 @@ let chaos_cmd =
               convergence, which makes an unreliable stack the natural known-bad \
               fixture and the ARQ stack the certifying one.";
          ])
-    Term.(
-      const chaos $ seed_arg $ trials $ max_episodes $ horizon $ from_spec $ family_arg
-      $ n_arg $ quota_arg $ model_arg $ graph_file $ reliable_arg $ faults_arg
-      $ drop_arg $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg
-      $ byzantine_arg $ guard_arg)
+    Term.(const chaos $ Owp_cli.term $ trials $ max_episodes $ horizon $ from_spec)
 
 (* ------------------------------------------------------------------ *)
 (* experiment                                                           *)
@@ -1125,7 +889,7 @@ let experiment quick ids =
 
 let experiment_cmd =
   let quick = Arg.(value & flag & info [ "quick" ] ~doc:"Trimmed sweeps.") in
-  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E0..E25); all when omitted.") in
+  let ids = Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids (E0..E27); all when omitted.") in
   Cmd.v
     (Cmd.info "experiment" ~doc:"Regenerate a paper experiment table")
     Term.(const experiment $ quick $ ids)
@@ -1171,33 +935,68 @@ let bench_anytime_gate d =
     end
   end
 
-let bench quick jobs json_dir gate deadline ids =
+(* bench --gate: the CI regression gate.  Two presets back to back: the
+   E23 scale smoke (indexed engine vs reference) and the E27 serve
+   smoke (latency percentiles and steady satisfaction of a short
+   sustained-traffic session against fixed bounds).  --inject plants a
+   known regression — extra per-request latency or unguarded liars —
+   so CI can check the gate actually trips. *)
+let bench_gate ~jobs ~inject spec =
+  let s = Owp_bench.E23_scale.smoke ~jobs () in
+  Printf.printf "scale gate          : reference %.2f ms, indexed %.2f ms (%.1fx)\n"
+    s.Owp_bench.E23_scale.reference_ms s.Owp_bench.E23_scale.indexed_ms
+    (if s.Owp_bench.E23_scale.indexed_ms <= 0.0 then infinity
+     else s.Owp_bench.E23_scale.reference_ms /. s.Owp_bench.E23_scale.indexed_ms);
+  Printf.printf "identical edge sets : %b\n" s.Owp_bench.E23_scale.identical;
+  Printf.printf "jobs deterministic  : %b\n" s.Owp_bench.E23_scale.jobs_deterministic;
+  let scale_ok =
+    s.Owp_bench.E23_scale.identical
+    && s.Owp_bench.E23_scale.jobs_deterministic
+    && s.Owp_bench.E23_scale.indexed_ms <= s.Owp_bench.E23_scale.reference_ms
+  in
+  (* the serve gate's stack comes from the shared bundle (default:
+     plain LID), so a CI job can gate any composition *)
+  let spec =
+    match inject with
+    | Some `Quality ->
+        { spec with Owp_cli.byzantine = Some "liar:0.3"; guard = false }
+    | _ -> spec
+  in
+  let handicap =
+    match inject with Some `Latency -> Owp_bench.E27_serve.latency_injection | _ -> 0.0
+  in
+  match Owp_cli.config spec with
+  | Error msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      2
+  | Ok cfg -> (
+      match Owp_bench.E27_serve.gate ~handicap ~cfg () with
+      | Error msg ->
+          Printf.eprintf "bench: serve gate: %s\n" msg;
+          2
+      | Ok g ->
+          let module E27 = Owp_bench.E27_serve in
+          Printf.printf
+            "serve gate          : p50 %.2f, p99 %.2f (bound %.2f), steady %.4f \
+             (bound %.4f)\n"
+            g.E27.p50 g.E27.p99 g.E27.p99_bound g.E27.steady g.E27.steady_bound;
+          Printf.printf "serve deterministic : %b\n" g.E27.deterministic;
+          if scale_ok && g.E27.passed then begin
+            print_endline "bench gate          : PASS";
+            0
+          end
+          else begin
+            print_endline "bench gate          : FAIL";
+            1
+          end)
+
+let bench quick jobs json_dir gate inject spec ids =
   let jobs = if jobs <= 0 then Owp_util.Pool.default_jobs () else jobs in
   Owp_bench.Exp_common.jobs := jobs;
-  match deadline with
+  match spec.Owp_cli.deadline with
   | Some d -> bench_anytime_gate d
   | None ->
-  if gate then begin
-    let s = Owp_bench.E23_scale.smoke ~jobs () in
-    Printf.printf "bench gate          : reference %.2f ms, indexed %.2f ms (%.1fx)\n"
-      s.Owp_bench.E23_scale.reference_ms s.Owp_bench.E23_scale.indexed_ms
-      (if s.Owp_bench.E23_scale.indexed_ms <= 0.0 then infinity
-       else s.Owp_bench.E23_scale.reference_ms /. s.Owp_bench.E23_scale.indexed_ms);
-    Printf.printf "identical edge sets : %b\n" s.Owp_bench.E23_scale.identical;
-    Printf.printf "jobs deterministic  : %b\n" s.Owp_bench.E23_scale.jobs_deterministic;
-    if
-      s.Owp_bench.E23_scale.identical
-      && s.Owp_bench.E23_scale.jobs_deterministic
-      && s.Owp_bench.E23_scale.indexed_ms <= s.Owp_bench.E23_scale.reference_ms
-    then begin
-      print_endline "bench gate          : PASS";
-      0
-    end
-    else begin
-      print_endline "bench gate          : FAIL";
-      1
-    end
-  end
+  if gate then bench_gate ~jobs ~inject spec
   else begin
     Option.iter
       (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
@@ -1237,19 +1036,22 @@ let bench_cmd =
       value & flag
       & info [ "gate" ]
           ~doc:
-            "CI smoke gate: run the small E23 preset and fail unless the indexed \
-             engine matches the reference edge set, is at least as fast, and the \
-             worker pool is deterministic.")
+            "CI regression gate: run the small E23 preset (indexed engine must \
+             match the reference edge set, be at least as fast, with a \
+             deterministic worker pool) and the E27 serve preset (p99 latency \
+             and steady-state satisfaction of a short sustained-traffic \
+             session against fixed bounds, byte-identical across repeats).")
   in
-  let deadline =
+  let inject =
     Arg.(
       value
-      & opt (some float) None
-      & info [ "deadline" ] ~docv:"T"
+      & opt (some (enum [ ("latency", `Latency); ("quality", `Quality) ])) None
+      & info [ "inject" ] ~docv:"KIND"
           ~doc:
-            "Anytime smoke gate: run the trimmed E25 preset with budgets up to T \
-             and fail unless every budgeted run certifies (feasible + prefix of \
-             the full run) and satisfaction is monotone in the budget.")
+            "With $(b,--gate): plant a known regression in the serve preset — \
+             $(i,latency) adds a per-request service handicap, $(i,quality) \
+             swaps in unguarded liars — and expect the gate to FAIL (the CI \
+             self-test that the gate can trip).")
   in
   let ids =
     Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc:"Experiment ids; all when omitted.")
@@ -1257,7 +1059,8 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench"
        ~doc:"Run experiments with the scale knobs: --jobs, --json, --gate, --deadline")
-    Term.(const bench $ quick $ jobs $ json_dir $ gate $ deadline $ ids)
+    Term.(
+      const bench $ quick $ jobs $ json_dir $ gate $ inject $ Owp_cli.term $ ids)
 
 let list_cmd =
   Cmd.v
@@ -1282,6 +1085,7 @@ let main_cmd =
       generate_cmd;
       stats_cmd;
       run_cmd;
+      serve_cmd;
       verify_cmd;
       check_cmd;
       chaos_cmd;

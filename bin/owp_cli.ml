@@ -1,0 +1,372 @@
+(* The one term bundle behind every owp subcommand that runs the stack.
+
+   `run`, `check`, `chaos`, `bench` and `serve` all face the same
+   composition surface: an instance (seed/family/n/quota/prefs or an
+   edge-list file) and a stack selection (engine, faults, schedule,
+   ARQ, Byzantine spec, guard, anytime budget).  Before this module
+   each subcommand copied the cmdliner declarations by hand and the
+   help text drifted; now there is exactly one declaration of each
+   flag, one instance builder, and one path from flags to a validated
+   Run_config.t — a new subcommand inherits the whole composition by
+   including [term] in its cmdliner expression. *)
+
+open Cmdliner
+module RC = Owp_core.Run_config
+module Faults = Owp_simnet.Faults
+module Schedule = Owp_simnet.Schedule
+
+(* ------------------------------------------------------------------ *)
+(* instance arguments                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let n_arg =
+  Arg.(value & opt int 1000 & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Number of peers.")
+
+let quota_arg =
+  Arg.(value & opt int 3 & info [ "b"; "quota" ] ~docv:"B" ~doc:"Connection quota per peer.")
+
+let family_conv =
+  let parse s =
+    match String.split_on_char ':' (String.lowercase_ascii s) with
+    | [ "gnp"; p ] -> Ok (Owp_bench.Workloads.Gnp (float_of_string p))
+    | [ "deg"; d ] -> Ok (Owp_bench.Workloads.Gnm_avg_deg (float_of_string d))
+    | [ "ba"; m ] -> Ok (Owp_bench.Workloads.Ba (int_of_string m))
+    | [ "ws"; k; beta ] ->
+        Ok (Owp_bench.Workloads.Ws (int_of_string k, float_of_string beta))
+    | [ "geo"; r ] -> Ok (Owp_bench.Workloads.Geometric (float_of_string r))
+    | [ "torus" ] -> Ok Owp_bench.Workloads.Torus
+    | [ "pl"; e; d ] ->
+        Ok (Owp_bench.Workloads.Power_law (float_of_string e, int_of_string d))
+    | _ ->
+        Error
+          (`Msg
+            "expected gnp:P | deg:D | ba:M | ws:K:BETA | geo:R | torus | pl:EXP:MINDEG")
+  in
+  let print ppf f = Format.pp_print_string ppf (Owp_bench.Workloads.family_name f) in
+  Arg.conv (parse, print)
+
+let family_arg =
+  Arg.(
+    value
+    & opt family_conv (Owp_bench.Workloads.Gnm_avg_deg 8.0)
+    & info [ "family" ] ~docv:"FAMILY"
+        ~doc:
+          "Graph family: gnp:P, deg:D (G(n,m) with average degree D), ba:M, ws:K:BETA, \
+           geo:R, torus, pl:EXP:MINDEG.")
+
+let model_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "random" -> Ok Owp_bench.Workloads.Random_prefs
+    | "latency" -> Ok Owp_bench.Workloads.Latency_prefs
+    | "bandwidth" -> Ok Owp_bench.Workloads.Bandwidth_prefs
+    | "transactions" -> Ok Owp_bench.Workloads.Transaction_prefs
+    | s when String.length s > 9 && String.sub s 0 9 = "interest:" ->
+        Ok (Owp_bench.Workloads.Interest_prefs (int_of_string (String.sub s 9 (String.length s - 9))))
+    | _ -> Error (`Msg "expected random | latency | bandwidth | transactions | interest:D")
+  in
+  let print ppf m = Format.pp_print_string ppf (Owp_bench.Workloads.pref_model_name m) in
+  Arg.conv (parse, print)
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv Owp_bench.Workloads.Random_prefs
+    & info [ "prefs" ] ~docv:"MODEL"
+        ~doc:"Preference model: random, latency, bandwidth, transactions, interest:D.")
+
+let graph_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "graph" ] ~docv:"FILE" ~doc:"Use an edge-list file instead of generating.")
+
+(* ------------------------------------------------------------------ *)
+(* stack arguments                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let engine_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (RC.engine_of_string s) in
+  let print ppf e = Format.pp_print_string ppf (RC.engine_name e) in
+  Arg.conv (parse, print)
+
+(* the historical --algo vocabulary, kept as a legacy spelling of
+   --engine *)
+let algo_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "lid" -> Ok RC.Lid
+    | "lic" -> Ok RC.Lic
+    | "greedy" -> Ok RC.Greedy
+    | "dynamics" -> Ok RC.Dynamics
+    | _ -> Error (`Msg "expected lid | lic | greedy | dynamics")
+  in
+  let print ppf e = Format.pp_print_string ppf (RC.engine_name e) in
+  Arg.conv (parse, print)
+
+let faults_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Faults.of_string s) in
+  Arg.conv (parse, Faults.pp)
+
+let schedule_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (Schedule.of_string s) in
+  Arg.conv (parse, Schedule.pp)
+
+let engine_arg =
+  Arg.(
+    value
+    & opt (some engine_conv) None
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Selection engine: lic (reference rescans), lic-indexed (per-node \
+           max-weight edge indexes), lid, lid-reliable, lid-byzantine, greedy, \
+           dynamics.  Overrides $(b,--algo)/$(b,--reliable)/$(b,--byzantine) \
+           engine inference.")
+
+let algo_arg =
+  Arg.(
+    value & opt algo_conv RC.Lid
+    & info [ "algo" ] ~docv:"ALGO"
+        ~doc:"Legacy spelling of $(b,--engine): lid, lic, greedy or dynamics.")
+
+let faults_arg =
+  Arg.(
+    value & opt faults_conv Faults.none
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault environment as one spec: comma-separated $(i,drop=P), \
+           $(i,dup=P), $(i,reorder=P), $(i,crash=F), $(i,patience=T) and the \
+           bare flags $(i,unordered)/$(i,fifo); e.g. \
+           $(b,drop=0.2,dup=0.1,unordered).  The legacy per-fault flags \
+           override matching fields.")
+
+let schedule_arg =
+  Arg.(
+    value & opt schedule_conv Schedule.empty
+    & info [ "schedule" ] ~docv:"SPEC"
+        ~doc:
+          "Time-varying fault episodes layered over $(b,--faults): \
+           semicolon-separated $(i,KIND:...@T0-T1) episodes with kinds \
+           $(i,part) (node groups joined by $(b,.), separated by $(b,|); \
+           unlisted nodes form the implicit rest-block), $(i,link) (links \
+           $(i,U.V) down), $(i,flap:LINKS:PERIOD:DUTY), $(i,burst:P) \
+           (global loss), and $(i,down:NODES) (crash at T0, amnesiac \
+           restart at T1); e.g. $(b,'part:0.1.2@2-6;burst:0.9@8-9').  A \
+           non-empty schedule arms the self-stabilization certificate: \
+           after the last episode heals the run must quiesce on the \
+           crash-only LIC edge set.")
+
+let reliable_arg =
+  Arg.(
+    value & flag
+    & info [ "reliable" ]
+        ~doc:
+          "Run LID over the reliable transport (per-link sequence numbers, cumulative \
+           ACKs, retransmission with backoff) so the protocol converges despite \
+           $(b,--drop)/$(b,--dup)/$(b,--reorder)/$(b,--crash).")
+
+let drop_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "drop" ] ~docv:"P" ~doc:"Per-message loss probability (mask it with --reliable).")
+
+let dup_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "dup" ] ~docv:"P" ~doc:"Per-message duplication probability (mask it with --reliable).")
+
+let reorder_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "reorder" ] ~docv:"P"
+        ~doc:"Per-message straggler probability — breaks FIFO even on FIFO links (mask it with --reliable).")
+
+let no_fifo_arg =
+  Arg.(
+    value & flag
+    & info [ "unordered" ]
+        ~doc:"Disable per-link FIFO delivery in the simulated network (non-FIFO regime).")
+
+let crash_arg =
+  Arg.(
+    value & opt float 0.0
+    & info [ "crash" ] ~docv:"FRAC"
+        ~doc:
+          "Fraction of peers that fail-stop at a random early point (arms a \
+           default patience of 60 unless --patience is given).")
+
+let patience_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "patience" ] ~docv:"T"
+        ~doc:
+          "Protocol-level wait timeout for peers that fall silent after ACKing \
+           (virtual time; default: off, which preserves exactness under pure channel \
+           faults).")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline" ] ~docv:"T"
+        ~doc:
+          "Anytime budget: halt message delivery at virtual time T, freeze the \
+           feasible partial matching (mutually locked links kept, tentative \
+           proposals released on both sides) and report a certified anytime \
+           outcome instead of running to quiescence.  Composes with every \
+           other layer flag; give either this or $(b,--max-rounds), not both.  \
+           ($(b,owp bench) reads it as the anytime smoke-gate budget; \
+           $(b,owp serve) applies it per request.)")
+
+let max_rounds_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-rounds" ] ~docv:"K"
+        ~doc:
+          "Anytime budget as a round count: K propose-answer rounds, converted \
+           to a virtual-time deadline through the delay model's round length.  \
+           Give either this or $(b,--deadline), not both.")
+
+let byzantine_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "byzantine" ] ~docv:"SPEC"
+        ~doc:
+          "Hand a random node subset to adversary behaviours: \
+           $(i,MODEL:FRAC[,MODEL:FRAC...]) with models liar, equivocator, \
+           flooder, replayer, violator (e.g. $(b,liar:0.2)).  Runs LID with \
+           the remaining correct peers and reports the bounded-damage verdict.")
+
+let guard_arg =
+  Arg.(
+    value & flag
+    & info [ "guard" ]
+        ~doc:
+          "Enable the inbound protocol guard: advert vetting against the \
+           public 1/b weight bound, per-link state-machine validation, \
+           flood limits, and quarantine of offenders (with $(b,--byzantine); \
+           without it the run is the vulnerable baseline).")
+
+(* ------------------------------------------------------------------ *)
+(* the bundle                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  seed : int;
+  family : Owp_bench.Workloads.family;
+  n : int;
+  quota : int;
+  model : Owp_bench.Workloads.pref_model;
+  graph_file : string option;
+  engine_opt : RC.engine option;
+  algo : RC.engine;
+  reliable : bool;
+  faults : Faults.t;  (* legacy per-fault flags already merged in *)
+  schedule : Schedule.t;
+  deadline : float option;
+  max_rounds : int option;
+  byzantine : string option;
+  guard : bool;
+}
+
+(* Every legacy fault flag simply overrides its field of the --faults
+   record, so both spellings (and any mix) land in the same
+   Owp_simnet.Faults.t. *)
+let merge_faults (f : Faults.t) ~drop ~dup ~reorder ~no_fifo ~crash ~patience =
+  {
+    Faults.drop = (if drop > 0.0 then drop else f.Faults.drop);
+    duplicate = (if dup > 0.0 then dup else f.duplicate);
+    reorder = (if reorder > 0.0 then reorder else f.reorder);
+    fifo = f.fifo && not no_fifo;
+    crash = (if crash > 0.0 then crash else f.crash);
+    patience = (match patience with Some _ -> patience | None -> f.patience);
+  }
+
+let make seed family n quota model graph_file engine_opt algo reliable faults_spec
+    schedule drop dup reorder no_fifo crash patience deadline max_rounds byzantine
+    guard =
+  {
+    seed;
+    family;
+    n;
+    quota;
+    model;
+    graph_file;
+    engine_opt;
+    algo;
+    reliable;
+    faults = merge_faults faults_spec ~drop ~dup ~reorder ~no_fifo ~crash ~patience;
+    schedule;
+    deadline;
+    max_rounds;
+    byzantine;
+    guard;
+  }
+
+let term =
+  Term.(
+    const make $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg $ graph_arg
+    $ engine_arg $ algo_arg $ reliable_arg $ faults_arg $ schedule_arg $ drop_arg
+    $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg $ deadline_arg
+    $ max_rounds_arg $ byzantine_arg $ guard_arg)
+
+(* the instance is rebuilt deterministically from
+   (seed, family, n, quota, model) or from an edge-list file, so a
+   matching saved by `run` can be re-checked later with the same
+   flags *)
+let instance t =
+  match t.graph_file with
+  | Some path ->
+      let g = Graph_io.read path in
+      let q = Preference.uniform_quota g t.quota in
+      let rng = Owp_util.Prng.create t.seed in
+      let prefs =
+        match t.model with
+        | Owp_bench.Workloads.Random_prefs -> Preference.random rng g ~quota:q
+        | Owp_bench.Workloads.Latency_prefs ->
+            let pts =
+              Array.init (Graph.node_count g) (fun _ ->
+                  (Owp_util.Prng.float rng 1.0, Owp_util.Prng.float rng 1.0))
+            in
+            Preference.of_metric g ~quota:q (Metric.latency pts)
+        | Owp_bench.Workloads.Interest_prefs d ->
+            Preference.of_metric g ~quota:q (Metric.interest ~seed:t.seed ~dims:d)
+        | Owp_bench.Workloads.Bandwidth_prefs ->
+            Preference.of_metric g ~quota:q (Metric.bandwidth ~seed:t.seed)
+        | Owp_bench.Workloads.Transaction_prefs ->
+            Preference.of_metric g ~quota:q (Metric.transaction_history ~seed:t.seed)
+      in
+      {
+        Owp_bench.Workloads.label = path;
+        graph = g;
+        prefs;
+        weights = Weights.of_preference prefs;
+        capacity = Array.init (Graph.node_count g) (Preference.quota prefs);
+      }
+  | None ->
+      Owp_bench.Workloads.make ~seed:t.seed ~family:t.family ~pref_model:t.model
+        ~n:t.n ~quota:t.quota
+
+(* --engine wins; otherwise the composition flags pick the LID variant
+   and --algo (legacy) supplies the base engine.  Since the drivers
+   collapsed into the layered stack, --reliable/--faults/--byzantine/
+   --guard compose freely: they select middleware layers, not engines,
+   so any subset rides whatever LID-family engine resolves here. *)
+let engine t =
+  match t.engine_opt with
+  | Some e -> e
+  | None ->
+      if t.byzantine <> None then RC.Lid_byzantine
+      else if t.reliable then RC.Lid_reliable
+      else t.algo
+
+let config ?(check = false) t =
+  RC.validate
+    (RC.make ~engine:(engine t) ~seed:t.seed ~faults:t.faults ~schedule:t.schedule
+       ~reliable:t.reliable ?byzantine:t.byzantine ~guard:t.guard
+       ?deadline:t.deadline ?max_rounds:t.max_rounds ~check ())

@@ -50,7 +50,7 @@ let run ~quick =
     (fun pct ->
       let silent = Array.init n (fun _ -> Prng.bernoulli rng (float_of_int pct /. 100.0)) in
       let r =
-        Owp_core.Lid_robust.run ~seed:2 ~silent inst.Workloads.weights
+        Stack.run ~seed:2 ~patience:10.0 ~silent inst.Workloads.weights
           ~capacity:inst.Workloads.capacity
       in
       let s, c = correct_satisfaction inst.Workloads.prefs silent r.Stack.matching in
@@ -81,7 +81,7 @@ let run ~quick =
   List.iter
     (fun timeout ->
       let r =
-        Owp_core.Lid_robust.run ~seed:3 ~timeout ~silent inst.Workloads.weights
+        Stack.run ~seed:3 ~patience:timeout ~silent inst.Workloads.weights
           ~capacity:inst.Workloads.capacity
       in
       let s, c = correct_satisfaction inst.Workloads.prefs silent r.Stack.matching in
@@ -112,7 +112,7 @@ let run ~quick =
     (fun drop ->
       let faults = Owp_simnet.Simnet.faults ~drop () in
       let r =
-        Owp_core.Lid_robust.run ~seed:4 ~faults ~silent inst.Workloads.weights
+        Stack.run ~seed:4 ~faults ~patience:10.0 ~silent inst.Workloads.weights
           ~capacity:inst.Workloads.capacity
       in
       let s, c = correct_satisfaction inst.Workloads.prefs silent r.Stack.matching in

@@ -15,7 +15,6 @@ module BM = Owp_matching.Bmatching
 module Sim = Owp_simnet.Simnet
 module Lid = Owp_core.Lid
 module Lic = Owp_core.Lic
-module Lrel = Owp_core.Lid_reliable
 module Stack = Owp_core.Stack
 module Prng = Owp_util.Prng
 
@@ -53,7 +52,7 @@ let run ~quick =
     (fun (drop, fifo) ->
       let faults = Sim.faults ~drop () in
       let plain = Lid.run ~seed:3 ~fifo ~faults w ~capacity in
-      let r = Lrel.run ~seed:3 ~fifo ~faults w ~capacity in
+      let r = Stack.run ~seed:3 ~fifo ~faults ~reliable:true w ~capacity in
       Tbl.add_row t1
         [
           Tbl.fcell2 drop;
@@ -63,7 +62,7 @@ let run ~quick =
           yn (BM.equal r.Stack.matching lic);
           Tbl.icell r.Stack.dropped;
           Tbl.icell (Stack.counter r ~layer:"transport" "retransmissions");
-          Tbl.fcell2 (Lrel.overhead r);
+          Tbl.fcell2 (Stack.overhead r);
           Tbl.fcell2 r.Stack.completion_time;
         ])
     [ (0.0, true); (0.1, true); (0.3, true); (0.0, false); (0.3, false) ];
@@ -85,7 +84,7 @@ let run ~quick =
   List.iter
     (fun (dup, reorder) ->
       let faults = Sim.faults ~drop:0.2 ~duplicate:dup ~reorder () in
-      let r = Lrel.run ~seed:4 ~fifo:false ~faults w ~capacity in
+      let r = Stack.run ~seed:4 ~fifo:false ~faults ~reliable:true w ~capacity in
       Tbl.add_row t2
         [
           Tbl.fcell2 dup;
@@ -94,7 +93,7 @@ let run ~quick =
           yn (BM.equal r.Stack.matching lic);
           Tbl.icell (Stack.counter r ~layer:"transport" "dup-suppressed");
           Tbl.icell r.Stack.reordered;
-          Tbl.fcell2 (Lrel.overhead r);
+          Tbl.fcell2 (Stack.overhead r);
         ])
     [ (0.0, 0.0); (0.2, 0.0); (0.5, 0.0); (0.0, 0.3); (0.2, 0.3); (0.5, 0.3) ];
 
@@ -133,9 +132,9 @@ let run ~quick =
                        if restart then Some (crash_at +. 2.0 +. Prng.float rng 8.0)
                        else None
                      in
-                     { Lrel.victim; crash_at; restart_at })
+                     { Stack.victim; crash_at; restart_at })
             in
-            let r = Lrel.run ~seed ~faults ~patience:60.0 ~crashes w ~capacity in
+            let r = Stack.run ~seed ~faults ~reliable:true ~patience:60.0 ~crashes w ~capacity in
             ( r.Stack.all_terminated,
               r.Stack.synthetic_rejects,
               Stack.counter r ~layer:"transport" "dead-links",

@@ -18,10 +18,17 @@
 
 module Tbl = Owp_util.Tablefmt
 module Adversary = Owp_simnet.Adversary
-module LB = Owp_core.Lid_byzantine
 module Stack = Owp_core.Stack
 
 let yn b = if b then "yes" else "NO"
+
+(* the byzantine entry point at preference level: capacities are the
+   quota vector, weights the eq. 4/5 symmetric construction *)
+let run_byz ~seed ~guard ~adversaries prefs =
+  let n = Graph.node_count (Preference.graph prefs) in
+  let capacity = Array.init n (Preference.quota prefs) in
+  let w = Weights.of_preference prefs in
+  Stack.run ~seed ~adversaries ~guard ~prefs w ~capacity
 
 let cells ~seeds ~prefs ~spec ~guard =
   let n = Graph.node_count (Preference.graph prefs) in
@@ -33,7 +40,7 @@ let cells ~seeds ~prefs ~spec ~guard =
     (fun seed ->
       let rng = Owp_util.Prng.create (0xE22 + (7919 * seed)) in
       let adversaries = Adversary.assign rng ~n (Adversary.parse_spec spec) in
-      let r = LB.run ~seed ~guard ~adversaries prefs in
+      let r = run_byz ~seed ~guard ~adversaries prefs in
       if r.Stack.all_terminated then incr term;
       damage := !damage + List.length r.Stack.damage;
       quar := !quar + r.Stack.quarantine_events;
@@ -42,8 +49,8 @@ let cells ~seeds ~prefs ~spec ~guard =
       caught := !caught + r.Stack.byz_quarantined;
       wasted := !wasted + r.Stack.wasted_slots;
       msgs := !msgs + r.Stack.prop_count + r.Stack.rej_count + r.Stack.synthetic_rejects;
-      retained := !retained +. LB.satisfaction_of_correct prefs r;
-      reference := !reference +. LB.reference_satisfaction prefs ~correct:r.Stack.correct)
+      retained := !retained +. Stack.satisfaction_of_correct prefs r;
+      reference := !reference +. Stack.reference_satisfaction prefs ~correct:r.Stack.correct)
     seeds;
   let recall =
     if !offenders = 0 then "n/a"

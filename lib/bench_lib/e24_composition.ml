@@ -16,7 +16,6 @@ module Tbl = Owp_util.Tablefmt
 module Sim = Owp_simnet.Simnet
 module Adversary = Owp_simnet.Adversary
 module Stack = Owp_core.Stack
-module LB = Owp_core.Lid_byzantine
 
 let yn b = if b then "yes" else "NO"
 
@@ -38,8 +37,8 @@ let run ~quick =
       Stack.run ~seed ~fifo:false ~faults ~reliable:true ~adversaries ~guard ~prefs w
         ~capacity
     in
-    (r, LB.satisfaction_of_correct prefs r,
-     LB.reference_satisfaction prefs ~correct:r.Stack.correct)
+    (r, Stack.satisfaction_of_correct prefs r,
+     Stack.reference_satisfaction prefs ~correct:r.Stack.correct)
   in
   let t1 =
     Tbl.create

@@ -27,6 +27,7 @@ let all =
     E24_composition.exp;
     E25_deadline.exp;
     E26_stabilize.exp;
+    E27_serve.exp;
   ]
 
 let find id =

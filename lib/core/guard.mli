@@ -29,7 +29,8 @@
     quarantine threshold (default: any offence) quarantines the peer —
     all its future traffic is dropped, and the caller is told to feed
     the unchanged state machine a synthetic REJ (the same escape hatch
-    {!Lid_reliable} uses for dead peers) and to re-announce the decline.
+    the {!Stack} detector uses for dead peers) and to re-announce the
+    decline.
 
     What the guard {e cannot} see, and documents as limits: equivocation
     (every link interaction is individually legal; catching it needs

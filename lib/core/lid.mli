@@ -37,7 +37,7 @@ val init :
     every node proposes to the top [b_i] of its weight list), in the
     order they occur.  [ranking i], when given, overrides node [i]'s
     weight list with an explicit [(neighbour, edge id)] array, best
-    first — {!Lid_byzantine} uses it to rank by {e perceived} weights
+    first — the {!Stack}'s guard layer uses it to rank by {e perceived} weights
     built from (possibly dishonest) advertised half-weights, and to
     exclude peers quarantined at bootstrap.  The default is the true
     symmetric-weight order, heaviest first.
@@ -52,7 +52,7 @@ val quiesced : state -> bool
 
 val awaiting_reply : state -> node:int -> peer:int -> bool
 (** Is [node]'s proposal to [peer] still unanswered (peer in P_i \ K_i)?
-    Used by {!Lid_reliable}'s patience timers to decide whether a
+    Used by the {!Stack} detector's patience timers to decide whether a
     silent peer still blocks progress. *)
 
 val locks : state -> int -> int list

@@ -27,6 +27,7 @@ type outcome = {
   cutoff : Stack.cutoff option;
   check_report : Owp_check.Checker.report option;
   stabilize : Owp_check.Stabilize.certificate option;
+  serve : Serve_report.t option;
   detail : detail;
 }
 
@@ -123,25 +124,29 @@ let checkers_for cfg =
     instance_level
   else
     match cfg.Run_config.engine with
-    | Lic | Lic_indexed | Lid ->
+    | Lic | Lic_indexed | Lid | Lid_reliable ->
         (* under crashes, a crashed peer legitimately breaks
            maximality/Theorem 3 for its survivors — but so does an
            unguarded lossy channel, so the checker subset is decided by
            the caller's check flag together with what quiesced, not
-           restricted here *)
+           restricted here.  Lid_byzantine never reaches this match arm:
+           validate requires a byzantine spec, which the [byzantine <>
+           None] case above already claimed *)
         Owp_check.Checker.names
-    | Lid_reliable -> Owp_check.Checker.names
     | Greedy -> List.filter (fun n -> n <> "theorem3") Owp_check.Checker.names
     | Lid_byzantine | Dynamics -> instance_level
 
-let run_config cfg prefs =
+let run_config ?capacity cfg prefs =
   let cfg =
     match Run_config.validate cfg with
     | Ok cfg -> cfg
     | Error msg -> invalid_arg ("Pipeline.run_config: " ^ msg)
   in
   let w = weights prefs in
-  let capacity = capacity_of prefs in
+  (* [capacity] overrides the preference quotas: the serving layer
+     models membership (a left node is capacity 0, a rejoined one gets
+     its quota back) without rebuilding the preference system *)
+  let capacity = match capacity with Some c -> c | None -> capacity_of prefs in
   let g = Preference.graph prefs in
   let n = Graph.node_count g in
   let bmax = Preference.max_quota prefs in
@@ -259,5 +264,6 @@ let run_config cfg prefs =
     cutoff = (match detail with Stack r -> r.Stack.cutoff | Plain -> None);
     check_report;
     stabilize;
+    serve = None;
     detail;
   }

@@ -77,15 +77,23 @@ type outcome = {
           certificate makes for Byzantine peers.  Drivers should treat a VOID
           certificate as a failure in adversary-free runs; under
           adversaries the damage certificate remains the gate *)
+  serve : Serve_report.t option;
+      (** sustained-traffic serving report, filled by the serving layer
+          ([owp_serve]) on the outcome it returns for a serve session;
+          always [None] on a plain {!run_config} outcome *)
   detail : detail;
 }
 
 val weights : Preference.t -> Weights.t
 (** Eq. 9 weights of the preference system. *)
 
-val run_config : Run_config.t -> Preference.t -> outcome
+val run_config : ?capacity:int array -> Run_config.t -> Preference.t -> outcome
 (** Solve the instance as the config says.  The config is
-    {!Run_config.validate}d first.
+    {!Run_config.validate}d first.  [capacity], when given, overrides
+    the preference system's quota vector — the serving layer uses it
+    to model membership (capacity 0 for departed nodes) without
+    rebuilding the preference system; satisfaction is still evaluated
+    against the original lists.
     @raise Invalid_argument on an inconsistent config (e.g. a guard
     with no adversary spec). *)
 

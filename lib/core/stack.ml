@@ -1145,3 +1145,111 @@ let explore_protocol ?(guard = false) ?(guard_config = Guard.default_config) ~co
              else [])
        else None);
   }
+
+(* ------------------------------------------------------------------ *)
+(* Byzantine accounting and exhaustive verification                    *)
+(* ------------------------------------------------------------------ *)
+
+(* formerly Lid_byzantine: the satisfaction accounting the experiments
+   report and the Explore repertoire, now on the stack itself since the
+   wrapper module was only Stack.run with one layer selection *)
+
+let satisfaction_of_correct prefs (r : report) =
+  let conns = Bmatching.connection_lists r.matching in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun i c -> if c then total := !total +. Preference.satisfaction prefs i conns.(i))
+    r.correct;
+  !total
+
+let reference_satisfaction prefs ~correct =
+  let g = Preference.graph prefs in
+  let nodes =
+    Array.of_list
+      (List.filter
+         (fun i -> correct.(i))
+         (List.init (Graph.node_count g) (fun i -> i)))
+  in
+  let sub, old_of_new = Graph.induced_subgraph g nodes in
+  let wsub =
+    let arr = Array.make (Graph.edge_count sub) 0.0 in
+    Graph.iter_edges sub (fun eid u v ->
+        let ou = old_of_new.(u) and ov = old_of_new.(v) in
+        arr.(eid) <- half prefs ou ov +. half prefs ov ou);
+    Weights.of_array sub arr
+  in
+  let capacity = Array.map (Preference.quota prefs) old_of_new in
+  let m = Lic.run wsub ~capacity in
+  let conns = Bmatching.connection_lists m in
+  let total = ref 0.0 in
+  Array.iteri
+    (fun ni oi ->
+      total :=
+        !total
+        +. Preference.satisfaction prefs oi
+             (List.map (fun nv -> old_of_new.(nv)) conns.(ni)))
+    old_of_new;
+  !total
+
+let verify_exhaustively ?(guard = true) ?(guard_config = Guard.default_config)
+    ?(budget = 2) ?max_configs ~byz prefs =
+  let g = Preference.graph prefs in
+  let n = Graph.node_count g in
+  if byz < 0 || byz >= n then invalid_arg "Stack.verify_exhaustively: byz";
+  let capacity = Array.init n (Preference.quota prefs) in
+  let w = Weights.of_preference prefs in
+  let correct i = i <> byz in
+  let protocol = explore_protocol ~guard ~guard_config ~correct prefs in
+  let prop claim = { Guard.epoch = 0; body = Guard.Prop { claim } } in
+  let rej = { Guard.epoch = 0; body = Guard.Rej } in
+  (* repertoire: per neighbour an honest-looking PROP, an over-bound
+     PROP, a REJ and a stale-epoch PROP; plus one PROP to a stranger *)
+  let injections =
+    let lie =
+      let b = bound prefs byz in
+      if b > 0.0 then 1.5 *. b else 0.5
+    in
+    let towards = Array.to_list (Array.map fst (Graph.neighbors g byz)) in
+    let per_neighbour v =
+      [
+        { Explore.src = byz; dst = v; payload = prop (half prefs byz v) };
+        { Explore.src = byz; dst = v; payload = prop lie };
+        { Explore.src = byz; dst = v; payload = rej };
+        {
+          Explore.src = byz;
+          dst = v;
+          payload = { Guard.epoch = -1; body = Guard.Prop { claim = half prefs byz v } };
+        };
+      ]
+    in
+    let neighbour_set = Hashtbl.create 8 in
+    List.iter (fun v -> Hashtbl.replace neighbour_set v ()) towards;
+    let stranger =
+      let rec find i =
+        if i >= n then []
+        else if i <> byz && not (Hashtbl.mem neighbour_set i) then
+          [ { Explore.src = byz; dst = i; payload = prop (bound prefs byz) } ]
+        else find (i + 1)
+      in
+      find 0
+    in
+    List.concat_map per_neighbour towards @ stranger
+  in
+  let on_terminal est =
+    let lid = explore_lid est in
+    let correct_arr = Array.init n correct in
+    let consumed = Array.init n (fun i -> List.length (Lid.locks lid i)) in
+    Byzantine.check
+      {
+        Byzantine.weights = w;
+        capacity;
+        correct = correct_arr;
+        edges = Lid.locked_edge_ids lid;
+        consumed;
+        unterminated = List.filter correct (Lid.unterminated_nodes lid);
+        overclaimed = [];
+      }
+  in
+  Explore.explore ?max_configs
+    ~adversary:{ Explore.byz; injections; budget }
+    ~on_terminal protocol

@@ -24,13 +24,14 @@
     exactly one place: the detector layer (patience timers, transport
     give-ups, quarantine give-ups and the guarded quiet rounds).
 
-    The historical drivers survive as thin configurations:
-    {!Lid_robust}, {!Lid_reliable} and {!Lid_byzantine} each call
-    {!run} with one particular layer selection and return the same
-    {!report}.  {!Lid.run} itself is kept as the reference
-    single-schedule executor with zero middleware; the bit-identity of
-    [Stack.run] with no layers enabled against [Lid.run] is asserted by
-    a 100-seed property test. *)
+    The historical drivers (robust, reliable, Byzantine) are plain
+    {!run} calls with one particular layer selection — their old seeds
+    (robust [0x50B] with 10 s patience, reliable [0x2E1], Byzantine
+    [0xB12] with the guard on) are passed explicitly at the call sites
+    that preserve the historic tables.  {!Lid.run} itself is kept as
+    the reference single-schedule executor with zero middleware; the
+    bit-identity of [Stack.run] with no layers enabled against
+    [Lid.run] is asserted by a 100-seed property test. *)
 
 (** {1 Membership events}
 
@@ -234,8 +235,8 @@ val run :
     The inbound composition (guard above the unchanged {!Lid.deliver})
     as a pure {!Owp_check.Explore.protocol}, so the interleaving
     explorer model-checks the {e production} layer stack.
-    {!Lid_byzantine.verify_exhaustively} supplies the adversary
-    repertoire on top of this. *)
+    {!verify_exhaustively} supplies the adversary repertoire on top of
+    this. *)
 
 type explore_state
 
@@ -254,3 +255,41 @@ val explore_protocol :
     [Lid.deliver], quarantine re-announcement, and the quiet-round
     give-up hook. Deliveries to non-[correct] nodes are no-ops (the
     explorer's adversary injects their traffic instead). *)
+
+(** {1 Byzantine accounting}
+
+    The satisfaction accounting the Byzantine experiments report, on
+    the stack itself: a guarded run is [run ~adversaries ~guard ~prefs]
+    and these helpers evaluate its outcome. *)
+
+val satisfaction_of_correct : Preference.t -> report -> float
+(** Total satisfaction (eq. 4/5) of the correct peers under the
+    restricted matching — the quantity E22 reports as "retained". *)
+
+val reference_satisfaction : Preference.t -> correct:bool array -> float
+(** The same quantity for the centralized ideal on the correct
+    subgraph: LIC restricted to edges between correct peers, evaluated
+    with the {e original} preference lists (so the figures are
+    comparable).  This is what the correct peers could have achieved
+    had the Byzantine peers merely crashed. *)
+
+val verify_exhaustively :
+  ?guard:bool ->
+  ?guard_config:Guard.config ->
+  ?budget:int ->
+  ?max_configs:int ->
+  byz:int ->
+  Preference.t ->
+  Owp_check.Explore.verdict
+(** Model-check the bounded-damage guarantee on a small instance:
+    node [byz] is Byzantine with an injection repertoire covering every
+    attack the runtime models express on the wire (honest-looking PROPs,
+    over-bound weight claims, REJs, stale epochs, PROPs to strangers),
+    [budget] (default 2) injections per schedule, interleaved every
+    possible way with ordinary deliveries ({!Owp_check.Explore}) — over
+    the {!explore_protocol} composition, i.e. the production
+    guard-above-[Lid.deliver] inbound path.  At every terminal
+    configuration the {!Owp_check.Byzantine} certificate is checked;
+    with [guard] (default [true]) the verdict must be clean, while
+    [guard:false] exhibits the unguarded protocol's starvation
+    deadlocks as [explore-termination] violations. *)

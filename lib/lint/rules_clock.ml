@@ -16,9 +16,32 @@ let banned =
     [ "Sys"; "time" ];
   ]
 
+(* The serving layer is stricter still: every figure it reports is
+   virtual time, so even the measured-duration shim is off limits
+   there — one wall-clock duration reaching a latency percentile and
+   the byte-identical replay guarantee is gone. *)
+let serve_shim = [ "Owp_util"; "Clock" ]
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let in_serve_layer (ctx : Rule.context) =
+  contains ctx.Rule.file "lib/serve" || contains ctx.Rule.basename "serve"
+
+let has_prefix prefix parts =
+  let rec go = function
+    | [], _ -> true
+    | p :: ps, q :: qs when String.equal p q -> go (ps, qs)
+    | _ -> false
+  in
+  go (prefix, parts)
+
 let check (ctx : Rule.context) =
   if ctx.Rule.basename = shim then []
   else begin
+    let serve = in_serve_layer ctx in
     let out = ref [] in
     Rule.iter_expressions ctx.Rule.structure (fun e ->
         match Rule.ident_of e with
@@ -32,6 +55,14 @@ let check (ctx : Rule.context) =
                      "wall-clock read `%s' outside the timing shim \
                       (use Owp_util.Clock)"
                      (String.concat "." parts))
+                :: !out
+            else if serve && has_prefix serve_shim parts then
+              out :=
+                Finding.v ~rule:name ~file:ctx.Rule.file ~loc:e.Typedtree.exp_loc
+                  (Printf.sprintf
+                     "timing-shim read `%s' in the serving layer; serve \
+                      figures are virtual time only"
+                     (String.concat "." parts))
                 :: !out);
     List.rev !out
   end
@@ -41,6 +72,7 @@ let rule =
     Rule.name;
     doc =
       "wall-clock reads (Unix.gettimeofday, Sys.time, ...) only in the \
-       designated timing shim lib/util/clock.ml";
+       designated timing shim lib/util/clock.ml; the serving layer may not \
+       read even the shim";
     check;
   }

@@ -87,7 +87,9 @@ let state_machine =
    update ({ base with ... }) silently inherits another layer's
    callbacks, and a counters function that is literally (fun () -> [])
    registers no row, so the layer becomes invisible in every report and
-   the conformance tests downstream of the table stop seeing it. *)
+   the conformance tests downstream of the table stop seeing it.  The
+   serving layer's request handlers follow the same record discipline
+   (on_request + counters), so the rule covers both shapes. *)
 
 let lc_name = "layer-conformance"
 
@@ -95,7 +97,8 @@ let is_layer_shape (fields : (Types.label_description * 'a) array) =
   let names =
     Array.to_list (Array.map (fun (ld, _) -> ld.Types.lbl_name) fields)
   in
-  List.mem "on_send" names && List.mem "on_deliver" names
+  (List.mem "on_send" names && List.mem "on_deliver" names)
+  || List.mem "on_request" names
 
 let rec function_body (e : Typedtree.expression) =
   match e.Typedtree.exp_desc with
@@ -150,7 +153,7 @@ let layer_conformance =
   {
     Rule.name = lc_name;
     doc =
-      "every Stack layer spells out the full on_send/on_deliver/counters \
+      "every Stack layer (and serve request handler) spells out its full \
        signature (no record-update construction) and registers a counter \
        row";
     check = lc_check;

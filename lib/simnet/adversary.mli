@@ -6,7 +6,7 @@
     peer can break that trust and assigns adversary roles to nodes of a
     simulated overlay.  The models are protocol-agnostic: the concrete
     wire behaviour of each model is supplied by the protocol layer
-    ({!Owp_core.Lid_byzantine}) as a {!behaviour}, so the same
+    ({!Owp_core.Stack}'s adversary layer) as a {!behaviour}, so the same
     machinery can drive other protocols later.
 
     Nothing here decides how adversaries are {e detected} — that is the

@@ -2,7 +2,7 @@
 
     Until PR 4 every fault knob travelled as its own optional argument
     (drop/dup/reorder probabilities, FIFO flag, crash fraction, patience
-    timer) through [bin/owp.ml], {!Owp_core.Lid_reliable} and the
+    timer) through [bin/owp.ml], the reliable driver and the
     experiment harness, each with its own defaults.  This record is the
     single source of truth: one value describes the whole environment a
     run executes in, with one parser and one printer shared by

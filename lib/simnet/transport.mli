@@ -19,8 +19,9 @@
     - {b bounded retries}: after [max_retries] consecutive silent
       retransmission rounds the sender {e gives up}, discards the
       window and reports the peer dead via [on_peer_dead] — the same
-      "treat the peer as silent" escape hatch {!Owp_core.Lid_robust}
-      uses, so the protocol above can fall back to an implicit decline;
+      "treat the peer as silent" escape hatch the robust stack
+      configuration uses, so the protocol above can fall back to an
+      implicit decline;
     - {b incarnation epochs} for crash-restart: {!restart_node} clears
       the node's volatile link state and bumps its epoch; peers discard
       frames from dead incarnations and reset their receive state when
@@ -30,7 +31,7 @@
     probability < 1 guarantees each retransmission round succeeds with
     positive probability), the layer delivers every message exactly
     once, in per-link FIFO order — restoring the exact hypotheses of
-    Lemmas 5-6 for {!Owp_core.Lid_reliable}. *)
+    Lemmas 5-6 for {!Owp_core.Stack}[.run ~reliable:true]. *)
 
 type 'm frame =
   | Data of { epoch : int; seq : int; payload : 'm }

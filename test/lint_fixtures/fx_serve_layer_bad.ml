@@ -1,0 +1,24 @@
+(* Serve request handlers follow the middleware record discipline: a
+   full literal record and a live counter row, like any Stack layer. *)
+
+type handler = {
+  h_name : string;
+  on_request : int -> float;
+  h_counters : unit -> (string * int) list;
+}
+
+let query_ok =
+  {
+    h_name = "query";
+    on_request = (fun _ -> 1.0);
+    h_counters = (fun () -> [ ("query", 0) ]);
+  }
+
+let join_inherited = { query_ok with h_name = "join" }
+
+let leave_mute =
+  {
+    h_name = "leave";
+    on_request = (fun _ -> 1.0);
+    h_counters = (fun () -> []);
+  }

@@ -1,4 +1,3 @@
-module LB = Owp_core.Lid_byzantine
 module Lid = Owp_core.Lid
 module Lic = Owp_core.Lic
 module Adversary = Owp_simnet.Adversary
@@ -16,6 +15,14 @@ let random_prefs seed n avg_deg quota =
   let m = n * avg_deg / 2 in
   let g = Gen.gnm rng ~n ~m in
   Preference.random rng g ~quota:(Preference.uniform_quota g quota)
+
+(* the historic byzantine entry point: preference-level quotas and
+   weights, seed 0xB12 and the guard on by default *)
+let run_byz ?(seed = 0xB12) ?(guard = true) ~adversaries prefs =
+  let n = Graph.node_count (Preference.graph prefs) in
+  let capacity = Array.init n (Preference.quota prefs) in
+  let w = Weights.of_preference prefs in
+  Stack.run ~seed ~adversaries ~guard ~prefs w ~capacity
 
 let roles seed prefs spec =
   let n = Graph.node_count (Preference.graph prefs) in
@@ -64,7 +71,7 @@ let test_honest_run_is_plain_lid () =
     (fun guard ->
       let prefs = random_prefs 7 40 6 2 in
       let n = Graph.node_count (Preference.graph prefs) in
-      let r = LB.run ~guard ~adversaries:(Array.make n None) prefs in
+      let r = run_byz ~guard ~adversaries:(Array.make n None) prefs in
       let w = Weights.of_preference prefs in
       let capacity = Array.init n (Preference.quota prefs) in
       let lic = Lic.run w ~capacity in
@@ -91,7 +98,7 @@ let test_guarded_bounded_damage_all_models () =
         (fun seed ->
           let prefs = random_prefs seed 40 6 2 in
           let adversaries = roles seed prefs spec in
-          let r = LB.run ~seed ~guard:true ~adversaries prefs in
+          let r = run_byz ~seed ~guard:true ~adversaries prefs in
           let label fmt = Printf.sprintf "%s seed %d: %s" spec seed fmt in
           Alcotest.(check bool)
             (label "all correct terminated")
@@ -109,7 +116,7 @@ let test_unguarded_violator_starves () =
   for seed = 1 to 5 do
     let prefs = random_prefs seed 30 6 2 in
     let adversaries = roles seed prefs "violator:0.2" in
-    let r = LB.run ~seed ~guard:false ~adversaries prefs in
+    let r = run_byz ~seed ~guard:false ~adversaries prefs in
     if not r.Stack.all_terminated then begin
       starved := true;
       Alcotest.(check bool)
@@ -121,7 +128,7 @@ let test_unguarded_violator_starves () =
 let test_guarded_liar_caught_at_bootstrap () =
   let prefs = random_prefs 11 40 6 2 in
   let adversaries = roles 11 prefs "liar:0.2" in
-  let r = LB.run ~seed:11 ~guard:true ~adversaries prefs in
+  let r = run_byz ~seed:11 ~guard:true ~adversaries prefs in
   Alcotest.(check bool) "terminated" true r.Stack.all_terminated;
   Alcotest.(check bool) "liars quarantined" true (r.Stack.byz_quarantined > 0);
   Alcotest.(check int) "no slot wasted on a liar" 0 r.Stack.wasted_slots;
@@ -137,7 +144,7 @@ let test_unguarded_liar_wastes_slots () =
   for seed = 1 to 5 do
     let prefs = random_prefs seed 30 6 2 in
     let adversaries = roles seed prefs "liar:0.2" in
-    let r = LB.run ~seed ~guard:false ~adversaries prefs in
+    let r = run_byz ~seed ~guard:false ~adversaries prefs in
     wasted := !wasted + r.Stack.wasted_slots
   done;
   Alcotest.(check bool) "liars captured slots somewhere" true (!wasted > 0)
@@ -147,7 +154,7 @@ let test_equivocator_locally_undetectable () =
      so the guard records nothing — damage stays bounded anyway *)
   let prefs = random_prefs 13 40 6 2 in
   let adversaries = roles 13 prefs "equivocator:0.2" in
-  let r = LB.run ~seed:13 ~guard:true ~adversaries prefs in
+  let r = run_byz ~seed:13 ~guard:true ~adversaries prefs in
   Alcotest.(check bool) "terminated" true r.Stack.all_terminated;
   Alcotest.(check int) "no offence recorded" 0 (List.length r.Stack.offence_counts);
   Alcotest.(check int) "no quarantine" 0 r.Stack.quarantine_events;
@@ -156,7 +163,7 @@ let test_equivocator_locally_undetectable () =
 let test_flooder_quarantined_and_contained () =
   let prefs = random_prefs 17 40 6 2 in
   let adversaries = roles 17 prefs "flooder:0.15" in
-  let guarded = LB.run ~seed:17 ~guard:true ~adversaries prefs in
+  let guarded = run_byz ~seed:17 ~guard:true ~adversaries prefs in
   Alcotest.(check bool) "flooders quarantined" true (guarded.Stack.byz_quarantined > 0);
   Alcotest.(check bool) "duplicate props recorded" true
     (List.mem_assoc "duplicate-prop" guarded.Stack.offence_counts);
@@ -168,7 +175,7 @@ let test_flooder_quarantined_and_contained () =
 let test_replayer_quarantined () =
   let prefs = random_prefs 19 40 6 2 in
   let adversaries = roles 19 prefs "replayer:0.2" in
-  let r = LB.run ~seed:19 ~guard:true ~adversaries prefs in
+  let r = run_byz ~seed:19 ~guard:true ~adversaries prefs in
   Alcotest.(check bool) "replayers quarantined" true (r.Stack.byz_quarantined > 0);
   Alcotest.(check bool) "replay offences recorded" true
     (List.exists
@@ -180,8 +187,8 @@ let test_replayer_quarantined () =
 let test_determinism () =
   let prefs = random_prefs 23 30 6 2 in
   let adversaries = roles 23 prefs "replayer:0.1,flooder:0.1" in
-  let a = LB.run ~seed:5 ~adversaries prefs in
-  let b = LB.run ~seed:5 ~adversaries prefs in
+  let a = run_byz ~seed:5 ~adversaries prefs in
+  let b = run_byz ~seed:5 ~adversaries prefs in
   Alcotest.(check (list int)) "same matching" (BM.edge_ids a.Stack.matching)
     (BM.edge_ids b.Stack.matching);
   Alcotest.(check int) "same deliveries" a.Stack.delivered b.Stack.delivered;
@@ -193,18 +200,18 @@ let test_satisfaction_accounting () =
   let n = Graph.node_count (Preference.graph prefs) in
   let adversaries = roles 29 prefs "liar:0.2" in
   let correct = Array.map (( = ) None) adversaries in
-  let r = LB.run ~seed:29 ~guard:true ~adversaries prefs in
-  let retained = LB.satisfaction_of_correct prefs r in
-  let reference = LB.reference_satisfaction prefs ~correct in
+  let r = run_byz ~seed:29 ~guard:true ~adversaries prefs in
+  let retained = Stack.satisfaction_of_correct prefs r in
+  let reference = Stack.reference_satisfaction prefs ~correct in
   Alcotest.(check bool) "retained nonnegative" true (retained >= 0.0);
   Alcotest.(check bool) "reference nonnegative" true (reference > 0.0);
   (* the honest reference over all nodes equals the plain total *)
   let all_correct = Array.make n true in
-  let honest = LB.run ~guard:true ~adversaries:(Array.make n None) prefs in
+  let honest = run_byz ~guard:true ~adversaries:(Array.make n None) prefs in
   Alcotest.(check (float 1e-9))
     "reference on all-correct = LIC satisfaction"
-    (LB.reference_satisfaction prefs ~correct:all_correct)
-    (LB.satisfaction_of_correct prefs honest)
+    (Stack.reference_satisfaction prefs ~correct:all_correct)
+    (Stack.satisfaction_of_correct prefs honest)
 
 (* ---------------- bounded-damage checker unit tests ---------------- *)
 
@@ -291,7 +298,7 @@ let test_exhaustive_guarded_clean () =
       ~quota:(Preference.uniform_quota square 1)
   in
   for byz = 0 to 3 do
-    let verdict = LB.verify_exhaustively ~guard:true ~budget:2 ~byz prefs in
+    let verdict = Stack.verify_exhaustively ~guard:true ~budget:2 ~byz prefs in
     Alcotest.(check (list violation))
       (Printf.sprintf "byz=%d clean" byz)
       [] verdict.Explore.violations
@@ -305,7 +312,7 @@ let test_exhaustive_unguarded_starves () =
   let prefs =
     Preference.random (Prng.create 1) pair ~quota:(Preference.uniform_quota pair 1)
   in
-  let verdict = LB.verify_exhaustively ~guard:false ~budget:1 ~byz:1 prefs in
+  let verdict = Stack.verify_exhaustively ~guard:false ~budget:1 ~byz:1 prefs in
   Alcotest.(check bool) "termination violations found" true
     (List.exists
        (fun v ->

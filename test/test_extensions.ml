@@ -1,12 +1,11 @@
 (* Tests for the extension modules: Improve (local search), Hoepman,
-   Lid_dynamic, Lid_robust and Fixtures_phase1. *)
+   Lid_dynamic, the robust stack configuration and Fixtures_phase1. *)
 
 module BM = Owp_matching.Bmatching
 module Prng = Owp_util.Prng
 module Improve = Owp_core.Improve
 module Hoepman = Owp_core.Hoepman
 module Dyn = Owp_core.Lid_dynamic
-module Robust = Owp_core.Lid_robust
 module P1 = Owp_stable.Fixtures_phase1
 
 let random_instance seed n avg_deg quota =
@@ -136,12 +135,12 @@ let test_dynamic_event_validation () =
        false
      with Invalid_argument _ -> true)
 
-(* ---------- Lid_robust ---------- *)
+(* ---------- robust configuration (silent peers + patience) ---------- *)
 
 let test_robust_no_faults_equals_lid () =
   let _, _, w, cap = random_instance 12 25 6 2 in
   let silent = Array.make 25 false in
-  let r = Robust.run ~silent w ~capacity:cap in
+  let r = Owp_core.Stack.run ~seed:0x50B ~patience:10.0 ~silent w ~capacity:cap in
   let lid = Owp_core.Lid.run w ~capacity:cap in
   Alcotest.(check bool) "terminated" true r.Owp_core.Stack.all_terminated;
   Alcotest.(check int) "no timeouts" 0
@@ -152,7 +151,7 @@ let test_robust_no_faults_equals_lid () =
 let test_robust_all_silent () =
   let _, _, w, cap = random_instance 13 15 4 2 in
   let silent = Array.make 15 true in
-  let r = Robust.run ~silent w ~capacity:cap in
+  let r = Owp_core.Stack.run ~seed:0x50B ~patience:10.0 ~silent w ~capacity:cap in
   Alcotest.(check int) "nothing matched" 0 (BM.size r.Owp_core.Stack.matching);
   Alcotest.(check bool) "vacuously terminated" true r.Owp_core.Stack.all_terminated
 
@@ -165,7 +164,7 @@ let prop_robust_terminates_under_silence =
       let silent =
         Array.init 25 (fun _ -> Prng.bernoulli rng (float_of_int pct /. 100.0))
       in
-      let r = Robust.run ~silent w ~capacity:cap in
+      let r = Owp_core.Stack.run ~seed:0x50B ~patience:10.0 ~silent w ~capacity:cap in
       r.Owp_core.Stack.all_terminated
       &&
       (* no silent node ends up in the matching *)

@@ -1,6 +1,5 @@
 module Lid = Owp_core.Lid
 module Lic = Owp_core.Lic
-module Lrel = Owp_core.Lid_reliable
 module BM = Owp_matching.Bmatching
 module Sim = Owp_simnet.Simnet
 module Explore = Owp_check.Explore
@@ -28,11 +27,11 @@ let test_baseline_lid_stuck_reliable_converges () =
   let faults = Sim.faults ~drop:0.3 () in
   let plain = Lid.run ~seed:2 ~faults w ~capacity in
   Alcotest.(check bool) "plain LID gets stuck" false plain.Lid.all_terminated;
-  let r = Lrel.run ~seed:2 ~faults ~check:true w ~capacity in
+  let r = Stack.run ~seed:2 ~faults ~reliable:true ~check:true w ~capacity in
   Alcotest.(check bool) "reliable LID terminates" true r.Stack.all_terminated;
   Alcotest.(check bool) "and equals LIC" true (BM.equal r.Stack.matching lic);
   Alcotest.(check bool) "give-up never fired" true (Stack.counter r ~layer:"transport" "dead-links" = 0);
-  Alcotest.(check bool) "overhead is reported" true (Lrel.overhead r > 1.0)
+  Alcotest.(check bool) "overhead is reported" true (Stack.overhead r > 1.0)
 
 let prop_quiesces_and_equals_lic_under_faults =
   (* the acceptance grid: drop x duplicate x fifo, all seeds *)
@@ -47,7 +46,7 @@ let prop_quiesces_and_equals_lic_under_faults =
       let _, _, w, capacity = random_instance seed 16 5 2 in
       let lic = Lic.run w ~capacity in
       let faults = Sim.faults ~drop ~duplicate:dup () in
-      let r = Lrel.run ~seed:(seed + 31) ~fifo ~faults w ~capacity in
+      let r = Stack.run ~seed:(seed + 31) ~fifo ~faults ~reliable:true w ~capacity in
       r.Stack.all_terminated
       && Stack.counter r ~layer:"transport" "dead-links" = 0
       && BM.equal r.Stack.matching lic)
@@ -61,7 +60,7 @@ let prop_survives_adversarial_reordering =
       let lic = Lic.run w ~capacity in
       let faults = Sim.faults ~drop:0.2 ~duplicate:0.2 ~reorder:0.3 () in
       let r =
-        Lrel.run ~seed ~fifo:false ~delay:(Sim.Uniform (0.01, 20.0)) ~faults w ~capacity
+        Stack.run ~seed ~fifo:false ~delay:(Sim.Uniform (0.01, 20.0)) ~faults ~reliable:true w ~capacity
       in
       r.Stack.all_terminated && BM.equal r.Stack.matching lic)
 
@@ -74,8 +73,8 @@ let test_failstop_with_patience () =
      else still converges, without its edges *)
   let g, _, w, capacity = random_instance 11 12 4 2 in
   let victim = 0 in
-  let crashes = [ { Lrel.victim; crash_at = 0.4; restart_at = None } ] in
-  let r = Lrel.run ~seed:4 ~patience:60.0 ~crashes w ~capacity in
+  let crashes = [ { Stack.victim; crash_at = 0.4; restart_at = None } ] in
+  let r = Stack.run ~seed:4 ~reliable:true ~patience:60.0 ~crashes w ~capacity in
   Alcotest.(check bool) "survivors terminate" true r.Stack.all_terminated;
   Alcotest.(check int) "victim unmatched" 0 (BM.degree r.Stack.matching victim);
   Alcotest.(check bool) "some recovery happened" true
@@ -86,8 +85,8 @@ let test_failstop_without_patience_reported () =
   (* without patience a neighbour whose ACKed proposal is answered by
      silence waits forever — the report must say so, not lie *)
   let _, _, w, capacity = random_instance 13 12 4 2 in
-  let crashes = [ { Lrel.victim = 1; crash_at = 2.0; restart_at = None } ] in
-  let r = Lrel.run ~seed:9 ~crashes w ~capacity in
+  let crashes = [ { Stack.victim = 1; crash_at = 2.0; restart_at = None } ] in
+  let r = Stack.run ~seed:9 ~reliable:true ~crashes w ~capacity in
   (* with give-up for unACKed traffic some seeds still converge; the
      invariant is coherence: all_terminated iff no live straggler *)
   Alcotest.(check bool) "report coherent" true
@@ -96,8 +95,8 @@ let test_failstop_without_patience_reported () =
 let test_crash_restart_amnesia () =
   let _, _, w, capacity = random_instance 17 12 4 2 in
   let victim = 2 in
-  let crashes = [ { Lrel.victim; crash_at = 0.6; restart_at = Some 4.0 } ] in
-  let r = Lrel.run ~seed:5 ~patience:60.0 ~crashes w ~capacity in
+  let crashes = [ { Stack.victim; crash_at = 0.6; restart_at = Some 4.0 } ] in
+  let r = Stack.run ~seed:5 ~reliable:true ~patience:60.0 ~crashes w ~capacity in
   Alcotest.(check bool) "everyone live terminates" true r.Stack.all_terminated;
   (* the restarted incarnation lost its state: it declines everything,
      so it holds no edges in the final matching *)
@@ -108,17 +107,17 @@ let test_crash_plan_validation () =
   Alcotest.check_raises "victim range"
     (Invalid_argument "Stack.run: crash victim out of range") (fun () ->
       ignore
-        (Lrel.run ~crashes:[ { Lrel.victim = 99; crash_at = 1.0; restart_at = None } ] w
+        (Stack.run ~reliable:true ~crashes:[ { Stack.victim = 99; crash_at = 1.0; restart_at = None } ] w
            ~capacity));
   Alcotest.check_raises "restart order"
     (Invalid_argument "Stack.run: restart not after crash") (fun () ->
       ignore
-        (Lrel.run
-           ~crashes:[ { Lrel.victim = 0; crash_at = 2.0; restart_at = Some 1.0 } ]
+        (Stack.run ~reliable:true
+           ~crashes:[ { Stack.victim = 0; crash_at = 2.0; restart_at = Some 1.0 } ]
            w ~capacity));
   Alcotest.check_raises "patience sign"
     (Invalid_argument "Stack.run: patience must be positive") (fun () ->
-      ignore (Lrel.run ~patience:0.0 w ~capacity))
+      ignore (Stack.run ~reliable:true ~patience:0.0 w ~capacity))
 
 (* ------------------------------------------------------------------ *)
 (* exhaustive exploration with adversarial link failures               *)

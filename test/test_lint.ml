@@ -96,6 +96,18 @@ let test_layer_fires =
       (72, "layer-conformance");
     ]
 
+let test_serve_clock_fires =
+  (* lines 4 and 6 read the shim from a serve-named unit (forbidden
+     only there); line 8 shows the base wall-clock rule still applies *)
+  check_file "fx_serve_clock_bad.ml"
+    [ (4, "clock-hygiene"); (6, "clock-hygiene"); (8, "clock-hygiene") ]
+
+let test_serve_layer_fires =
+  (* on_request-shaped records obey the same construction discipline
+     as on_send/on_deliver middleware *)
+  check_file "fx_serve_layer_bad.ml"
+    [ (17, "layer-conformance"); (23, "layer-conformance") ]
+
 let test_exact_position () =
   (* one full-position anchor: the Unix.gettimeofday ident itself *)
   let r = Lazy.force result in
@@ -178,6 +190,8 @@ let suite =
     Alcotest.test_case "pool-capture local state ok" `Quick test_pool_local_state_ok;
     Alcotest.test_case "state-machine fires" `Quick test_state_machine_fires;
     Alcotest.test_case "layer-conformance fires" `Quick test_layer_fires;
+    Alcotest.test_case "serve clock-hygiene fires" `Quick test_serve_clock_fires;
+    Alcotest.test_case "serve layer-conformance fires" `Quick test_serve_layer_fires;
     Alcotest.test_case "exact position" `Quick test_exact_position;
     Alcotest.test_case "suppression" `Quick test_suppression_moves_finding;
     Alcotest.test_case "registry complete" `Quick test_registry_complete;

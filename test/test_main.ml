@@ -42,6 +42,7 @@ let () =
       ("lint", Test_lint.suite);
       ("core.pipeline", Test_pipeline.suite);
       ("core.run_config", Test_run_config.suite);
+      ("serve", Test_serve.suite);
       ("extensions", Test_extensions.suite);
       ("integration", Test_integration.suite);
       ("invariants", Test_invariants.suite);

@@ -3,14 +3,13 @@
    The stack's claim is compositional faithfulness: with no middleware
    enabled it IS plain LID (bit-identical, not merely equivalent), with
    only the transport enabled it IS the reliable driver's convergence
-   behaviour, and the thin driver modules add no protocol logic of
-   their own — the PROP/REJ transitions exist in lid.ml and nowhere
-   else. *)
+   behaviour, and the historic driver configurations (robust,
+   reliable, byzantine) add no protocol logic of their own — the
+   PROP/REJ transitions exist in lid.ml and nowhere else. *)
 
 module Lid = Owp_core.Lid
 module Lic = Owp_core.Lic
 module Stack = Owp_core.Stack
-module Robust = Owp_core.Lid_robust
 module BM = Owp_matching.Bmatching
 module Sim = Owp_simnet.Simnet
 module Prng = Owp_util.Prng
@@ -63,7 +62,7 @@ let test_zero_middleware_layer_table () =
   Alcotest.(check (float 1e-9)) "no transport: overhead 1.0" 1.0 (Stack.overhead r)
 
 (* ------------------------------------------------------------------ *)
-(* transport-only = Lid_reliable's E21a convergence rows               *)
+(* transport-only = the reliable configuration's E21a convergence rows *)
 (* ------------------------------------------------------------------ *)
 
 let test_transport_only_reproduces_e21_rows () =
@@ -96,7 +95,7 @@ let test_robust_config_is_plain_lid_behaviour () =
      layers, so the patience timers never fire and nothing diverges *)
   let _, _, w, capacity = random_instance 31 25 6 2 in
   let lid = Lid.run ~seed:9 w ~capacity in
-  let r = Robust.run ~seed:9 ~silent:(Array.make 25 false) w ~capacity in
+  let r = Stack.run ~seed:9 ~patience:10.0 ~silent:(Array.make 25 false) w ~capacity in
   Alcotest.(check bool) "same matching" true (BM.equal lid.Lid.matching r.Stack.matching);
   Alcotest.(check int) "no patience fired" 0
     (Stack.counter r ~layer:"detector" "patience-fired");

@@ -36,9 +36,9 @@ let test_small_instances () =
     insts
 
 let test_registry () =
-  Alcotest.(check int) "twenty-seven experiments" 27 (List.length E.all);
+  Alcotest.(check int) "twenty-eight experiments" 28 (List.length E.all);
   Alcotest.(check bool) "find e3" true (E.find "e3" <> None);
-  Alcotest.(check bool) "find e26" true (E.find "e26" <> None);
+  Alcotest.(check bool) "find e27" true (E.find "e27" <> None);
   Alcotest.(check bool) "find E10" true (E.find "E10" <> None);
   Alcotest.(check bool) "find e16" true (E.find "e16" <> None);
   Alcotest.(check bool) "unknown" true (E.find "e99" = None)
