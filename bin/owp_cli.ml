@@ -242,6 +242,17 @@ let byzantine_arg =
            flooder, replayer, violator (e.g. $(b,liar:0.2)).  Runs LID with \
            the remaining correct peers and reports the bounded-damage verdict.")
 
+let sim_shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "sim-shards" ] ~docv:"N"
+        ~doc:
+          "Space-partition the simulator's event store into N shards (one \
+           bucketed event wheel per contiguous node range), merged on the \
+           global (at, seq) key.  Results are bit-identical for every N — \
+           same messages, same coins, same counters; the knob only changes \
+           which structures can be prepared concurrently across domains.")
+
 let guard_arg =
   Arg.(
     value & flag
@@ -272,6 +283,7 @@ type t = {
   max_rounds : int option;
   byzantine : string option;
   guard : bool;
+  sim_shards : int;
 }
 
 (* Every legacy fault flag simply overrides its field of the --faults
@@ -289,7 +301,7 @@ let merge_faults (f : Faults.t) ~drop ~dup ~reorder ~no_fifo ~crash ~patience =
 
 let make seed family n quota model graph_file engine_opt algo reliable faults_spec
     schedule drop dup reorder no_fifo crash patience deadline max_rounds byzantine
-    guard =
+    guard sim_shards =
   {
     seed;
     family;
@@ -306,6 +318,7 @@ let make seed family n quota model graph_file engine_opt algo reliable faults_sp
     max_rounds;
     byzantine;
     guard;
+    sim_shards;
   }
 
 let term =
@@ -313,7 +326,7 @@ let term =
     const make $ seed_arg $ family_arg $ n_arg $ quota_arg $ model_arg $ graph_arg
     $ engine_arg $ algo_arg $ reliable_arg $ faults_arg $ schedule_arg $ drop_arg
     $ dup_arg $ reorder_arg $ no_fifo_arg $ crash_arg $ patience_arg $ deadline_arg
-    $ max_rounds_arg $ byzantine_arg $ guard_arg)
+    $ max_rounds_arg $ byzantine_arg $ guard_arg $ sim_shards_arg)
 
 (* the instance is rebuilt deterministically from
    (seed, family, n, quota, model) or from an edge-list file, so a
@@ -369,4 +382,5 @@ let config ?(check = false) t =
   RC.validate
     (RC.make ~engine:(engine t) ~seed:t.seed ~faults:t.faults ~schedule:t.schedule
        ~reliable:t.reliable ?byzantine:t.byzantine ~guard:t.guard
-       ?deadline:t.deadline ?max_rounds:t.max_rounds ~check ())
+       ~sim_shards:t.sim_shards ?deadline:t.deadline ?max_rounds:t.max_rounds
+       ~check ())

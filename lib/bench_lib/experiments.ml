@@ -28,6 +28,7 @@ let all =
     E25_deadline.exp;
     E26_stabilize.exp;
     E27_serve.exp;
+    E28_wheel.exp;
   ]
 
 let find id =

@@ -8,17 +8,26 @@ module Explore = Owp_check.Explore
 
 type message = Prop | Rej
 
-(* Per-node protocol state.  The paper's four sets are represented as:
-   U_i = u_set, P_i = in_p (all proposals, locked included) with
-   P_i \ K_i = pending, A_i = a_set, K_i = k_set.  wsorted is the
-   node's weight list: incident neighbours by decreasing edge weight. *)
+(* Per-node protocol state.  The paper's four sets — U_i, P_i (all
+   proposals, locked included), P_i \ K_i (= pending), A_i and K_i —
+   are packed as per-candidate flag bits over [uniq], the node's sorted
+   unique candidate ids: membership is one byte read instead of five
+   Hashtbls per node, which is what makes 10^6-node runs tractable.
+   [wsorted] is the node's weight list (incident neighbours by
+   decreasing edge weight, duplicates possible on multigraphs);
+   [slot_of_rank] maps each weight-list position to its canonical slot
+   so duplicate ids alias to one membership bit, exactly like the
+   id-keyed Hashtbls they replace.  Proposals arriving from outside the
+   candidate universe (possible under a custom [ranking]) land in the
+   lazy [extra_a] side table. *)
 type node_state = {
   wsorted : (int * int) array; (* (neighbour, edge id), heaviest first *)
-  u_set : (int, unit) Hashtbl.t;
-  in_p : (int, unit) Hashtbl.t;
-  pending : (int, unit) Hashtbl.t;
-  a_set : (int, unit) Hashtbl.t;
-  k_set : (int, unit) Hashtbl.t;
+  uniq : int array; (* candidate ids, ascending, unique *)
+  slot_of_rank : int array; (* wsorted index -> slot in uniq *)
+  flags : Bytes.t; (* U/P/pending/A/K bits per slot *)
+  mutable n_u : int; (* |U_i| *)
+  mutable n_pending : int; (* |P_i \ K_i| *)
+  mutable extra_a : (int, unit) Hashtbl.t option; (* A_i \ universe *)
   mutable ptr : int; (* scan position for topRanked(U \ P) *)
   mutable finished : bool;
 }
@@ -27,29 +36,57 @@ type state = { graph : Graph.t; nodes : node_state array }
 
 type event = Send of int * int * message | Lock of int * int
 
+let fl_u = 1 (* U_i: still a candidate *)
+let fl_p = 2 (* P_i: proposed to (locked included) *)
+let fl_w = 4 (* P_i \ K_i: proposal awaiting an answer *)
+let fl_a = 8 (* A_i: proposed to us *)
+let fl_k = 16 (* K_i: locked *)
+
+let get s slot = Char.code (Bytes.unsafe_get s.flags slot)
+let set s slot f = Bytes.unsafe_set s.flags slot (Char.unsafe_chr f)
+
+(* canonical slot of candidate [id], or -1 when outside the universe *)
+let slot_of s id =
+  let lo = ref 0 and hi = ref (Array.length s.uniq - 1) in
+  let res = ref (-1) in
+  while !res < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let x = Array.unsafe_get s.uniq mid in
+    if x = id then res := mid else if x < id then lo := mid + 1 else hi := mid - 1
+  done;
+  !res
+
 (* ------------------------------------------------------------------ *)
 (* transition relation (Alg. 1), shared by the simulator driver and    *)
 (* the exhaustive interleaving explorer                                 *)
 (* ------------------------------------------------------------------ *)
 
-(* line 15–16: all proposals answered — decline everyone left *)
+(* line 15–16: all proposals answered — decline everyone left, in
+   ascending id order (uniq is sorted) *)
 let check_done st emit i =
   let s = st.nodes.(i) in
-  if (not s.finished) && Hashtbl.length s.pending = 0 then begin
-    List.iter
-      (fun v -> emit (Send (i, v, Rej)))
-      (List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) s.u_set []));
-    Hashtbl.reset s.u_set;
+  if (not s.finished) && s.n_pending = 0 then begin
+    if s.n_u > 0 then
+      for slot = 0 to Array.length s.uniq - 1 do
+        let f = get s slot in
+        if f land fl_u <> 0 then begin
+          set s slot (f land lnot fl_u);
+          emit (Send (i, s.uniq.(slot), Rej))
+        end
+      done;
+    s.n_u <- 0;
     s.finished <- true
   end
 
-(* line 12–14: mutual proposal — lock the connection *)
+(* line 12–14: mutual proposal — lock the connection.  [v] was proposed
+   to, so it is always inside the candidate universe. *)
 let lock st emit i v =
   let s = st.nodes.(i) in
-  Hashtbl.remove s.u_set v;
-  Hashtbl.remove s.a_set v;
-  Hashtbl.remove s.pending v;
-  Hashtbl.replace s.k_set v ();
+  let slot = slot_of s v in
+  let f = get s slot in
+  if f land fl_u <> 0 then s.n_u <- s.n_u - 1;
+  if f land fl_w <> 0 then s.n_pending <- s.n_pending - 1;
+  set s slot (f land lnot (fl_u lor fl_a lor fl_w) lor fl_k);
   emit (Lock (i, v))
 
 (* lines 9–11: propose to the next-ranked neighbour still in U \ P *)
@@ -57,53 +94,94 @@ let propose_next st emit i =
   let s = st.nodes.(i) in
   let len = Array.length s.wsorted in
   let rec advance () =
-    if s.ptr >= len then None
+    if s.ptr >= len then -1
     else begin
-      let v, _ = s.wsorted.(s.ptr) in
-      if Hashtbl.mem s.u_set v && not (Hashtbl.mem s.in_p v) then Some v
+      let slot = s.slot_of_rank.(s.ptr) in
+      let f = get s slot in
+      if f land fl_u <> 0 && f land fl_p = 0 then slot
       else begin
         s.ptr <- s.ptr + 1;
         advance ()
       end
     end
   in
-  match advance () with
-  | None -> ()
-  | Some v ->
-      Hashtbl.replace s.in_p v ();
-      Hashtbl.replace s.pending v ();
-      emit (Send (i, v, Prop));
-      (* the candidate may have proposed to us already *)
-      if Hashtbl.mem s.a_set v then lock st emit i v
+  let slot = advance () in
+  if slot >= 0 then begin
+    let f = get s slot in
+    set s slot (f lor fl_p lor fl_w);
+    s.n_pending <- s.n_pending + 1;
+    let v = s.uniq.(slot) in
+    emit (Send (i, v, Prop));
+    (* the candidate may have proposed to us already *)
+    if f land fl_a <> 0 then lock st emit i v
+  end
 
 let init ?ranking w ~capacity =
   let g = Weights.graph w in
   let n = Graph.node_count g in
   Array.iter (fun b -> if b < 0 then invalid_arg "Lid.run: negative capacity") capacity;
   let quota = Array.mapi (fun i b -> min b (Graph.degree g i)) capacity in
+  (* the exact total order of Weights.compare_edges — weight first, then
+     (lower endpoint, upper endpoint, id) — inlined over the weight and
+     endpoint arrays: rank-derived weights tie constantly, and the
+     generic tie-break (tuple build + polymorphic compare) dominated
+     init at 10^5-node scale *)
+  let ww = Weights.unsafe_weights w in
+  let endpoints = Graph.edges g in
+  let rank_order ((_ : int), e) ((_ : int), f) =
+    if e = f then 0
+    else
+      let c = Float.compare ww.(f) ww.(e) in
+      if c <> 0 then c
+      else
+        let uf, vf = endpoints.(f) and ue, ve = endpoints.(e) in
+        if uf <> ue then compare uf ue
+        else if vf <> ve then compare vf ve
+        else compare f e
+  in
   let weight_list i =
     match ranking with
     | Some f -> Array.copy (f i)
     | None ->
         let ws = Array.copy (Graph.neighbors g i) in
-        Array.sort (fun (_, e) (_, f) -> Weights.compare_edges w f e) ws;
+        Array.sort rank_order ws;
         ws
   in
   let nodes =
     Array.init n (fun i ->
         let ws = weight_list i in
-        let u_set = Hashtbl.create 16 in
-        Array.iter (fun (v, _) -> Hashtbl.replace u_set v ()) ws;
-        {
-          wsorted = ws;
-          u_set;
-          in_p = Hashtbl.create 8;
-          pending = Hashtbl.create 8;
-          a_set = Hashtbl.create 8;
-          k_set = Hashtbl.create 8;
-          ptr = 0;
-          finished = false;
-        })
+        let m = Array.length ws in
+        let ids = Array.make (max m 1) 0 in
+        for j = 0 to m - 1 do
+          ids.(j) <- fst ws.(j)
+        done;
+        let ids = Array.sub ids 0 m in
+        Array.sort (fun (a : int) b -> compare a b) ids;
+        let k = ref 0 in
+        for j = 0 to m - 1 do
+          if !k = 0 || ids.(!k - 1) <> ids.(j) then begin
+            ids.(!k) <- ids.(j);
+            incr k
+          end
+        done;
+        let uniq = Array.sub ids 0 !k in
+        let s =
+          {
+            wsorted = ws;
+            uniq;
+            slot_of_rank = Array.make m 0;
+            flags = Bytes.make !k (Char.chr fl_u);
+            n_u = !k;
+            n_pending = 0;
+            extra_a = None;
+            ptr = 0;
+            finished = false;
+          }
+        in
+        for j = 0 to m - 1 do
+          s.slot_of_rank.(j) <- slot_of s (fst ws.(j))
+        done;
+        s)
   in
   let st = { graph = g; nodes } in
   let events = ref [] in
@@ -114,11 +192,12 @@ let init ?ranking w ~capacity =
     let target = quota.(i) in
     let made = ref 0 in
     while !made < target && s.ptr < Array.length s.wsorted do
-      let v, _ = s.wsorted.(s.ptr) in
-      if (not (Hashtbl.mem s.in_p v)) && Hashtbl.mem s.u_set v then begin
-        Hashtbl.replace s.in_p v ();
-        Hashtbl.replace s.pending v ();
-        emit (Send (i, v, Prop));
+      let slot = s.slot_of_rank.(s.ptr) in
+      let f = get s slot in
+      if f land fl_p = 0 && f land fl_u <> 0 then begin
+        set s slot (f lor fl_p lor fl_w);
+        s.n_pending <- s.n_pending + 1;
+        emit (Send (i, s.uniq.(slot), Prop));
         incr made
       end;
       s.ptr <- s.ptr + 1
@@ -130,28 +209,56 @@ let init ?ranking w ~capacity =
   done;
   (st, List.rev !events)
 
-let deliver st ~src ~dst m =
+(* the transition itself, parameterised on the event sink: the list
+   built by {!deliver} for the public API, or the simulator driver's
+   direct send in {!run} (one closure for the whole run — the hot path
+   allocates nothing per delivery) *)
+let deliver_into st ~src ~dst m emit =
   let i = dst and u = src in
   let s = st.nodes.(i) in
-  let events = ref [] in
-  let emit e = events := e :: !events in
   if not s.finished then begin
     (match m with
-    | Prop ->
-        Hashtbl.replace s.a_set u ();
-        if Hashtbl.mem s.pending u then lock st emit i u
+    | Prop -> (
+        let slot = slot_of s u in
+        if slot >= 0 then begin
+          let f = get s slot in
+          set s slot (f lor fl_a);
+          if f land fl_w <> 0 then lock st emit i u
+        end
+        else
+          (* a proposer outside the candidate universe: remembered in a
+             lazy side table so copies and fingerprints still see it *)
+          match s.extra_a with
+          | Some tbl -> Hashtbl.replace tbl u ()
+          | None ->
+              let tbl = Hashtbl.create 4 in
+              Hashtbl.replace tbl u ();
+              s.extra_a <- Some tbl)
     | Rej ->
-        Hashtbl.remove s.u_set u;
-        if Hashtbl.mem s.pending u then begin
-          Hashtbl.remove s.pending u;
-          (* u stays in in_p: it was proposed to and must not be
-             proposed to again *)
-          propose_next st emit i
+        let slot = slot_of s u in
+        if slot >= 0 then begin
+          let f = get s slot in
+          if f land fl_u <> 0 then begin
+            set s slot (f land lnot fl_u);
+            s.n_u <- s.n_u - 1
+          end;
+          let f = get s slot in
+          if f land fl_w <> 0 then begin
+            set s slot (f land lnot fl_w);
+            s.n_pending <- s.n_pending - 1;
+            (* u stays in P_i: it was proposed to and must not be
+               proposed to again *)
+            propose_next st emit i
+          end
         end);
     check_done st emit i
-  end;
-  (* a finished node already declined everyone still unanswered, so a
-     late PROP needs no reply and a late REJ changes nothing *)
+  end
+(* a finished node already declined everyone still unanswered, so a
+   late PROP needs no reply and a late REJ changes nothing *)
+
+let deliver st ~src ~dst m =
+  let events = ref [] in
+  deliver_into st ~src ~dst m (fun e -> events := e :: !events);
   List.rev !events
 
 (* ------------------------------------------------------------------ *)
@@ -160,10 +267,18 @@ let deliver st ~src ~dst m =
 
 let quiesced st = Array.for_all (fun s -> s.finished) st.nodes
 
-let awaiting_reply st ~node ~peer = Hashtbl.mem st.nodes.(node).pending peer
+let awaiting_reply st ~node ~peer =
+  let s = st.nodes.(node) in
+  let slot = slot_of s peer in
+  slot >= 0 && get s slot land fl_w <> 0
 
 let locks st i =
-  List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) st.nodes.(i).k_set [])
+  let s = st.nodes.(i) in
+  let out = ref [] in
+  for slot = Array.length s.uniq - 1 downto 0 do
+    if get s slot land fl_k <> 0 then out := s.uniq.(slot) :: !out
+  done;
+  !out
 
 let node_finished st i = st.nodes.(i).finished
 
@@ -182,7 +297,7 @@ let quiescence_violations st =
         ~expected:"all proposals answered and U_i emptied (Lemma 5)"
         ~actual:
           (Printf.sprintf "%d unanswered proposal(s), %d candidate(s) left in U_i"
-             (Hashtbl.length s.pending) (Hashtbl.length s.u_set)))
+             s.n_pending s.n_u))
     (unterminated_nodes st)
 
 (* Anytime cutoff (Floréen et al.: blocking pairs shrink with rounds,
@@ -201,11 +316,14 @@ let freeze st =
   Array.iteri
     (fun i s ->
       if not s.finished then begin
-        List.iter
-          (fun v -> released := (i, v) :: !released)
-          (List.sort compare (Hashtbl.fold (fun v () acc -> v :: acc) s.pending []));
-        Hashtbl.reset s.pending;
-        Hashtbl.reset s.u_set;
+        for slot = 0 to Array.length s.uniq - 1 do
+          let f = get s slot in
+          if f land fl_w <> 0 then released := (i, s.uniq.(slot)) :: !released;
+          if f land (fl_w lor fl_u) <> 0 then
+            set s slot (f land lnot (fl_w lor fl_u))
+        done;
+        s.n_pending <- 0;
+        s.n_u <- 0;
         s.finished <- true
       end)
     st.nodes;
@@ -213,12 +331,16 @@ let freeze st =
 
 (* assemble the matching from the locked sets; K is symmetric on a
    clean run, and intersection keeps the result feasible otherwise *)
+let locked st i v =
+  let s = st.nodes.(i) in
+  let slot = slot_of s v in
+  slot >= 0 && get s slot land fl_k <> 0
+
 let locked_edge_ids st =
   let ids = ref [] in
   Graph.iter_edges st.graph (fun eid a b ->
-      if Hashtbl.mem st.nodes.(a).k_set b && Hashtbl.mem st.nodes.(b).k_set a then
-        ids := eid :: !ids);
-  List.sort compare !ids
+      if locked st a b && locked st b a then ids := eid :: !ids);
+  List.sort (fun (a : int) b -> compare a b) !ids
 
 (* ------------------------------------------------------------------ *)
 (* exploration support                                                  *)
@@ -232,22 +354,35 @@ let copy_state st =
         (fun s ->
           {
             s with
-            u_set = Hashtbl.copy s.u_set;
-            in_p = Hashtbl.copy s.in_p;
-            pending = Hashtbl.copy s.pending;
-            a_set = Hashtbl.copy s.a_set;
-            k_set = Hashtbl.copy s.k_set;
+            flags = Bytes.copy s.flags;
+            extra_a = Option.map Hashtbl.copy s.extra_a;
           })
         st.nodes;
   }
 
-let add_sorted_keys buf tbl =
-  let keys = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl []) in
-  List.iter
-    (fun k ->
-      Buffer.add_string buf (string_of_int k);
-      Buffer.add_char buf ',')
-    keys
+let add_flagged_ids buf s flag =
+  for slot = 0 to Array.length s.uniq - 1 do
+    if get s slot land flag <> 0 then begin
+      Buffer.add_string buf (string_of_int s.uniq.(slot));
+      Buffer.add_char buf ','
+    end
+  done
+
+(* A_i spans the universe bits plus the extra side table *)
+let add_a_ids buf s =
+  match s.extra_a with
+  | None -> add_flagged_ids buf s fl_a
+  | Some tbl ->
+      (* owp-lint: allow hash-order — collected keys are sorted before use *)
+      let acc = ref (Hashtbl.fold (fun k () l -> k :: l) tbl []) in
+      for slot = Array.length s.uniq - 1 downto 0 do
+        if get s slot land fl_a <> 0 then acc := s.uniq.(slot) :: !acc
+      done;
+      List.iter
+        (fun k ->
+          Buffer.add_string buf (string_of_int k);
+          Buffer.add_char buf ',')
+        (List.sort compare !acc)
 
 (* the scan pointer is excluded on purpose: it only caches how far the
    monotone topRanked(U \ P) scan has advanced, and U only shrinks while
@@ -258,15 +393,15 @@ let fingerprint st =
     (fun s ->
       Buffer.add_char b (if s.finished then 'F' else 'a');
       Buffer.add_char b 'u';
-      add_sorted_keys b s.u_set;
+      add_flagged_ids b s fl_u;
       Buffer.add_char b 'p';
-      add_sorted_keys b s.in_p;
+      add_flagged_ids b s fl_p;
       Buffer.add_char b 'w';
-      add_sorted_keys b s.pending;
+      add_flagged_ids b s fl_w;
       Buffer.add_char b 'x';
-      add_sorted_keys b s.a_set;
+      add_a_ids b s;
       Buffer.add_char b 'k';
-      add_sorted_keys b s.k_set;
+      add_flagged_ids b s fl_k;
       Buffer.add_char b '|')
     st.nodes;
   Buffer.contents b
@@ -316,27 +451,29 @@ type report = {
 }
 
 let run ?(seed = 0x11D) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
-    ?(faults = Simnet.no_faults) ?deadline ?(on_lock = fun _ _ _ -> ())
-    ?(check = false) w ~capacity =
+    ?(faults = Simnet.no_faults) ?(shards = 1) ?(unsafe_lookahead = false)
+    ?deadline ?(on_lock = fun _ _ _ -> ()) ?(check = false) w ~capacity =
   (match deadline with
   | Some d when d <= 0.0 -> invalid_arg "Lid.run: deadline must be positive"
   | _ -> ());
   let st, initial = init w ~capacity in
   let n = Graph.node_count st.graph in
-  let net = Simnet.create ~seed ~fifo ~faults ~nodes:(max n 1) ~delay () in
-  let prop_count = ref 0 and rej_count = ref 0 in
-  let process =
-    List.iter (function
-      | Send (src, dst, Prop) ->
-          incr prop_count;
-          Simnet.send net ~src ~dst Prop
-      | Send (src, dst, Rej) ->
-          incr rej_count;
-          Simnet.send net ~src ~dst Rej
-      | Lock (i, v) -> on_lock (Simnet.now net) i v)
+  let net =
+    Simnet.create ~seed ~fifo ~faults ~shards ~unsafe_lookahead ~nodes:(max n 1)
+      ~delay ()
   in
-  Simnet.set_handler net (fun ~src ~dst m -> process (deliver st ~src ~dst m));
-  process initial;
+  let prop_count = ref 0 and rej_count = ref 0 in
+  let emit = function
+    | Send (src, dst, Prop) ->
+        incr prop_count;
+        Simnet.send net ~src ~dst Prop
+    | Send (src, dst, Rej) ->
+        incr rej_count;
+        Simnet.send net ~src ~dst Rej
+    | Lock (i, v) -> on_lock (Simnet.now net) i v
+  in
+  Simnet.set_handler net (fun ~src ~dst m -> deliver_into st ~src ~dst m emit);
+  List.iter emit initial;
   let cutoff =
     match deadline with
     | None ->

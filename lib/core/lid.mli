@@ -134,6 +134,8 @@ val run :
   ?delay:Owp_simnet.Simnet.delay_model ->
   ?fifo:bool ->
   ?faults:Owp_simnet.Simnet.faults ->
+  ?shards:int ->
+  ?unsafe_lookahead:bool ->
   ?deadline:float ->
   ?on_lock:(float -> int -> int -> unit) ->
   ?check:bool ->
@@ -143,6 +145,10 @@ val run :
 (** Simulate the protocol to quiescence.  Default delay model is
     [Uniform (0.5, 1.5)]; with faults enabled the protocol may fail to
     terminate cleanly, which the report exposes instead of raising.
+    [shards] and [unsafe_lookahead] are forwarded to
+    {!Owp_simnet.Simnet.create}: the former space-partitions the event
+    store (bit-identical for every value), the latter deliberately
+    breaks the dispatch order for gate self-tests.
     [deadline] bounds the run at a virtual-time budget: events past the
     horizon are abandoned, the state is {!freeze}-d, and the report
     serves the locked partial matching with [cutoff] filled in —

@@ -11,6 +11,7 @@ type t = {
   reliable : bool;
   byzantine : string option;
   guard : bool;
+  sim_shards : int;
   check : bool;
   deadline : float option;
   max_rounds : int option;
@@ -25,6 +26,7 @@ let default =
     reliable = false;
     byzantine = None;
     guard = false;
+    sim_shards = 1;
     check = false;
     deadline = None;
     max_rounds = None;
@@ -32,8 +34,20 @@ let default =
 
 let make ?(engine = default.engine) ?(seed = default.seed) ?(faults = default.faults)
     ?(schedule = Schedule.empty) ?(reliable = false) ?byzantine ?(guard = false)
-    ?(check = false) ?deadline ?max_rounds () =
-  { engine; seed; faults; schedule; reliable; byzantine; guard; check; deadline; max_rounds }
+    ?(sim_shards = 1) ?(check = false) ?deadline ?max_rounds () =
+  {
+    engine;
+    seed;
+    faults;
+    schedule;
+    reliable;
+    byzantine;
+    guard;
+    sim_shards;
+    check;
+    deadline;
+    max_rounds;
+  }
 
 let budgeted t = Option.is_some t.deadline || Option.is_some t.max_rounds
 
@@ -128,6 +142,20 @@ let validate t =
     else Ok ()
   in
   let* () =
+    if t.sim_shards < 1 then
+      Error
+        (Printf.sprintf "--sim-shards %d: the event store needs at least one shard"
+           t.sim_shards)
+    else if t.sim_shards > 1 && not (lid_family t.engine) then
+      Error
+        (Printf.sprintf
+           "--sim-shards partitions the simulator's event store and needs a \
+            LID-family engine (lid, lid-reliable or lid-byzantine); engine %s \
+            does not simulate a network"
+           (engine_name t.engine))
+    else Ok ()
+  in
+  let* () =
     match (t.deadline, t.max_rounds) with
     | Some _, Some _ ->
         Error
@@ -176,6 +204,9 @@ let to_string t =
          | Some spec -> [ "byzantine=" ^ spec ]
          | None -> []);
          (if t.guard then [ "guard" ] else []);
+         (if t.sim_shards <> 1 then
+            [ Printf.sprintf "sim-shards=%d" t.sim_shards ]
+          else []);
          (if t.check then [ "check" ] else []);
          (match t.deadline with
          | Some d -> [ Printf.sprintf "deadline=%g" d ]

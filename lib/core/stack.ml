@@ -305,9 +305,10 @@ let rec fold_deliver layers ~src ~dst m =
 
 let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
     ?(faults = Simnet.no_faults) ?(schedule = Schedule.empty) ?(reliable = false)
-    ?transport ?patience ?deadline ?max_rounds ?(crashes = []) ?(events = [])
-    ?silent ?adversaries ?(guard = false) ?(guard_config = Guard.default_config)
-    ?prefs ?(on_lock = fun _ _ _ -> ()) ?(check = false) w ~capacity =
+    ?(sim_shards = 1) ?(unsafe_lookahead = false) ?transport ?patience ?deadline
+    ?max_rounds ?(crashes = []) ?(events = []) ?silent ?adversaries
+    ?(guard = false) ?(guard_config = Guard.default_config) ?prefs
+    ?(on_lock = fun _ _ _ -> ()) ?(check = false) w ~capacity =
   let g = Weights.graph w in
   let n = Graph.node_count g in
   (* --- argument validation ------------------------------------------ *)
@@ -427,7 +428,10 @@ let run ?(seed = 0x57C) ?(delay = Simnet.Uniform (0.5, 1.5)) ?(fifo = true)
     | _ -> None
   in
   let st, initial = Lid.init ?ranking w ~capacity in
-  let net = Simnet.create ~seed ~fifo ~faults ~nodes:(max n 1) ~delay () in
+  let net =
+    Simnet.create ~seed ~fifo ~faults ~shards:sim_shards ~unsafe_lookahead
+      ~nodes:(max n 1) ~delay ()
+  in
   (* scheduled network weather: outages are evaluated by the simulator
      at delivery time; [weather_touched window] is the "did scheduled
      weather intersect my last waiting window" predicate the detector

@@ -158,6 +158,8 @@ val run :
   ?faults:Owp_simnet.Simnet.faults ->
   ?schedule:Owp_simnet.Schedule.t ->
   ?reliable:bool ->
+  ?sim_shards:int ->
+  ?unsafe_lookahead:bool ->
   ?transport:Owp_simnet.Transport.config ->
   ?patience:float ->
   ?deadline:float ->
@@ -185,6 +187,12 @@ val run :
     (requires [prefs] — adverts and claims are preference halves);
     [guard] vets bootstrap adverts and inbound messages, quarantining
     provable offenders (requires [adversaries] and [prefs]).
+
+    [sim_shards] and [unsafe_lookahead] are forwarded to
+    {!Owp_simnet.Simnet.create}: the former space-partitions the event
+    store ({e bit-identical} for every value — same messages, same
+    coins, same counters), the latter deliberately breaks the dispatch
+    order for the bench gate's self-test leg.
 
     [schedule] layers time-varying network weather
     ({!Owp_simnet.Schedule}) on top of the i.i.d. [faults]: partitions,

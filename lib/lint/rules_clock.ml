@@ -30,6 +30,16 @@ let contains hay needle =
 let in_serve_layer (ctx : Rule.context) =
   contains ctx.Rule.file "lib/serve" || contains ctx.Rule.basename "serve"
 
+(* The simulator is held to the serve layer's standard: Simnet and its
+   event wheel *manufacture* the virtual timestamps every layer above
+   replays, so a measured wall-clock duration reaching the delivery
+   loop would silently break the bit-identical determinism the sharded
+   event store is verified against. *)
+let in_simnet_layer (ctx : Rule.context) =
+  contains ctx.Rule.file "lib/simnet"
+  || contains ctx.Rule.basename "simnet"
+  || contains ctx.Rule.basename "event_wheel"
+
 let has_prefix prefix parts =
   let rec go = function
     | [], _ -> true
@@ -42,6 +52,7 @@ let check (ctx : Rule.context) =
   if ctx.Rule.basename = shim then []
   else begin
     let serve = in_serve_layer ctx in
+    let simnet = in_simnet_layer ctx in
     let out = ref [] in
     Rule.iter_expressions ctx.Rule.structure (fun e ->
         match Rule.ident_of e with
@@ -56,12 +67,16 @@ let check (ctx : Rule.context) =
                       (use Owp_util.Clock)"
                      (String.concat "." parts))
                 :: !out
-            else if serve && has_prefix serve_shim parts then
+            else if (serve || simnet) && has_prefix serve_shim parts then
               out :=
                 Finding.v ~rule:name ~file:ctx.Rule.file ~loc:e.Typedtree.exp_loc
                   (Printf.sprintf
-                     "timing-shim read `%s' in the serving layer; serve \
-                      figures are virtual time only"
+                     (if serve then
+                        "timing-shim read `%s' in the serving layer; serve \
+                         figures are virtual time only"
+                      else
+                        "timing-shim read `%s' in the simulator; simulated \
+                         time is virtual only")
                      (String.concat "." parts))
                 :: !out);
     List.rev !out
@@ -72,7 +87,7 @@ let rule =
     Rule.name;
     doc =
       "wall-clock reads (Unix.gettimeofday, Sys.time, ...) only in the \
-       designated timing shim lib/util/clock.ml; the serving layer may not \
-       read even the shim";
+       designated timing shim lib/util/clock.ml; the serving layer and the \
+       simulator (simnet, event_wheel) may not read even the shim";
     check;
   }

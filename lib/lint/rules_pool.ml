@@ -24,6 +24,17 @@ let mutators =
     [ "Stack"; "pop" ];
   ]
 
+(* An event wheel is single-owner mutable state: one captured into a
+   Pool task races exactly like a shared Hashtbl.  The sharded
+   simulator's contract is that each task touches its OWN shard, so
+   add/pop/pop_into on a wheel defined outside the closure is flagged;
+   [prepare] stays legal — it is the one operation prepare_all hands to
+   the pool by design, and it only ripens the shard it is given.
+   Matched by tail (Module.fn) so the alias path Owp_util.Event_wheel
+   and in-library Event_wheel both hit. *)
+let wheel_mutators =
+  [ "Event_wheel.add"; "Event_wheel.pop"; "Event_wheel.pop_into" ]
+
 (* the write target is safe when it is an identifier whose definition
    site lies inside the closure (a local accumulator or a parameter) *)
 let target_is_local closure_loc (arg : Typedtree.expression option) =
@@ -61,7 +72,9 @@ let check (ctx : Rule.context) =
           | Typedtree.Texp_apply (f, args) -> (
               match Rule.head_ident f with
               | Some p
-                when List.mem (Rule.stdlib_head (Rule.path_parts p)) mutators ->
+                when (let parts = Rule.stdlib_head (Rule.path_parts p) in
+                      List.mem parts mutators
+                      || List.mem (Rule.tail_name parts) wheel_mutators) ->
                   let first_positional =
                     List.find_map
                       (fun (lbl, a) ->

@@ -1,0 +1,440 @@
+(* Calendar queue over (at, seq) keys with an exact total order.
+
+   Layout: nb buckets of width w; an event at time [at] belongs to
+   epoch floor(at / w) and lives in bucket (epoch mod nb).  The wheel
+   maintains three invariants around [cur_epoch], the epoch currently
+   (or last) drained:
+
+   - every event with epoch <= cur_epoch is in the sorted run or the
+     aux heap (never in a bucket);
+   - bucketed events have epoch in (cur_epoch, cur_epoch + nb], so one
+     bucket holds exactly one epoch (a half-open interval of length nb
+     meets each residue class once) and window collection takes the
+     whole bucket with no filtering;
+   - the overflow heap holds everything beyond the horizon
+     (epoch > cur_epoch + nb); advancing the window migrates entries
+     back under the horizon into their buckets.
+
+   Draining sorts one bucket into a flat run (three parallel arrays)
+   and walks it with a head index; insertions that land at or before
+   the draining epoch go to the aux heap, and pop takes the smaller of
+   the run head and the aux minimum, so the pop order is exactly the
+   (at, seq) order a binary heap would produce. *)
+
+let key_le a1 s1 a2 s2 = a1 < a2 || (a1 = a2 && s1 <= s2)
+
+(* ------------------------------------------------------------------ *)
+(* inline binary min-heap on parallel arrays                           *)
+(* ------------------------------------------------------------------ *)
+
+type heap = {
+  mutable h_at : float array;
+  mutable h_seq : int array;
+  mutable h_pay : int array;
+  mutable h_len : int;
+}
+
+let heap_create () = { h_at = [||]; h_seq = [||]; h_pay = [||]; h_len = 0 }
+
+let heap_grow h =
+  let cap = max 8 (2 * Array.length h.h_at) in
+  let at = Array.make cap 0.0 and sq = Array.make cap 0 and pl = Array.make cap 0 in
+  Array.blit h.h_at 0 at 0 h.h_len;
+  Array.blit h.h_seq 0 sq 0 h.h_len;
+  Array.blit h.h_pay 0 pl 0 h.h_len;
+  h.h_at <- at;
+  h.h_seq <- sq;
+  h.h_pay <- pl
+
+let heap_push h at seq pay =
+  if h.h_len = Array.length h.h_at then heap_grow h;
+  let i = ref h.h_len in
+  h.h_len <- h.h_len + 1;
+  h.h_at.(!i) <- at;
+  h.h_seq.(!i) <- seq;
+  h.h_pay.(!i) <- pay;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let p = (!i - 1) / 2 in
+    if key_le h.h_at.(p) h.h_seq.(p) h.h_at.(!i) h.h_seq.(!i) then continue := false
+    else begin
+      let ta = h.h_at.(p) and ts = h.h_seq.(p) and tp = h.h_pay.(p) in
+      h.h_at.(p) <- h.h_at.(!i);
+      h.h_seq.(p) <- h.h_seq.(!i);
+      h.h_pay.(p) <- h.h_pay.(!i);
+      h.h_at.(!i) <- ta;
+      h.h_seq.(!i) <- ts;
+      h.h_pay.(!i) <- tp;
+      i := p
+    end
+  done
+
+(* remove the root; the caller read (h_at.(0), h_seq.(0), h_pay.(0)) first *)
+let heap_drop h =
+  let n = h.h_len - 1 in
+  h.h_len <- n;
+  if n > 0 then begin
+    h.h_at.(0) <- h.h_at.(n);
+    h.h_seq.(0) <- h.h_seq.(n);
+    h.h_pay.(0) <- h.h_pay.(n);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n && not (key_le h.h_at.(l) h.h_seq.(l) h.h_at.(r) h.h_seq.(r))
+          then r
+          else l
+        in
+        if key_le h.h_at.(!i) h.h_seq.(!i) h.h_at.(c) h.h_seq.(c) then
+          continue := false
+        else begin
+          let ta = h.h_at.(c) and ts = h.h_seq.(c) and tp = h.h_pay.(c) in
+          h.h_at.(c) <- h.h_at.(!i);
+          h.h_seq.(c) <- h.h_seq.(!i);
+          h.h_pay.(c) <- h.h_pay.(!i);
+          h.h_at.(!i) <- ta;
+          h.h_seq.(!i) <- ts;
+          h.h_pay.(!i) <- tp;
+          i := c
+        end
+      end
+    done
+  end
+
+(* ------------------------------------------------------------------ *)
+(* in-place quicksort of parallel (at, seq, payload) arrays            *)
+(* ------------------------------------------------------------------ *)
+
+let swap3 at sq pl i j =
+  let ta = at.(i) and ts = sq.(i) and tp = pl.(i) in
+  at.(i) <- at.(j);
+  sq.(i) <- sq.(j);
+  pl.(i) <- pl.(j);
+  at.(j) <- ta;
+  sq.(j) <- ts;
+  pl.(j) <- tp
+
+let rec qsort3 at sq pl lo hi =
+  if hi - lo < 12 then begin
+    (* insertion sort for short spans *)
+    for i = lo + 1 to hi do
+      let ka = at.(i) and ks = sq.(i) and kp = pl.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && not (key_le at.(!j) sq.(!j) ka ks) do
+        at.(!j + 1) <- at.(!j);
+        sq.(!j + 1) <- sq.(!j);
+        pl.(!j + 1) <- pl.(!j);
+        decr j
+      done;
+      at.(!j + 1) <- ka;
+      sq.(!j + 1) <- ks;
+      pl.(!j + 1) <- kp
+    done
+  end
+  else begin
+    (* median-of-three pivot, moved to [hi]; Lomuto partition *)
+    let mid = lo + ((hi - lo) / 2) in
+    if not (key_le at.(lo) sq.(lo) at.(mid) sq.(mid)) then swap3 at sq pl lo mid;
+    if not (key_le at.(mid) sq.(mid) at.(hi) sq.(hi)) then begin
+      swap3 at sq pl mid hi;
+      if not (key_le at.(lo) sq.(lo) at.(mid) sq.(mid)) then swap3 at sq pl lo mid
+    end;
+    swap3 at sq pl mid hi;
+    let pa = at.(hi) and ps = sq.(hi) in
+    let store = ref lo in
+    for i = lo to hi - 1 do
+      if key_le at.(i) sq.(i) pa ps then begin
+        if i <> !store then swap3 at sq pl i !store;
+        incr store
+      end
+    done;
+    swap3 at sq pl !store hi;
+    (* recurse into the smaller side first to bound the stack *)
+    if !store - lo < hi - !store then begin
+      qsort3 at sq pl lo (!store - 1);
+      qsort3 at sq pl (!store + 1) hi
+    end
+    else begin
+      qsort3 at sq pl (!store + 1) hi;
+      qsort3 at sq pl lo (!store - 1)
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* the wheel                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  w : float; (* bucket width *)
+  unsafe : bool;
+  mutable nb : int;
+  mutable b_at : float array array;
+  mutable b_seq : int array array;
+  mutable b_pay : int array array;
+  mutable b_len : int array;
+  mutable bucketed : int; (* events across all buckets *)
+  mutable cur_epoch : int; (* epoch of the open (or last) run; -1 initially *)
+  mutable r_at : float array; (* current run, sorted, consumed from r_head *)
+  mutable r_seq : int array;
+  mutable r_pay : int array;
+  mutable r_len : int;
+  mutable r_head : int;
+  aux : heap; (* insertions at or before the draining epoch *)
+  over : heap; (* events beyond the wheel horizon *)
+  mutable size : int;
+  (* out-params of [pop_into]; the timestamp lives in a 1-element float
+     array so storing it never allocates a box *)
+  last_at_cell : float array;
+  mutable last_seq : int;
+  mutable last_pay : int;
+}
+
+let create ?(width = 0.25) ?(buckets = 64) ?(unsafe_lookahead = false) () =
+  if not (Float.is_finite width && width > 0.0) then
+    invalid_arg "Event_wheel.create: width must be positive";
+  if buckets < 2 then invalid_arg "Event_wheel.create: need at least 2 buckets";
+  {
+    w = width;
+    unsafe = unsafe_lookahead;
+    nb = buckets;
+    b_at = Array.make buckets [||];
+    b_seq = Array.make buckets [||];
+    b_pay = Array.make buckets [||];
+    b_len = Array.make buckets 0;
+    bucketed = 0;
+    cur_epoch = -1;
+    r_at = [||];
+    r_seq = [||];
+    r_pay = [||];
+    r_len = 0;
+    r_head = 0;
+    aux = heap_create ();
+    over = heap_create ();
+    size = 0;
+    last_at_cell = Array.make 1 0.0;
+    last_seq = 0;
+    last_pay = 0;
+  }
+
+let size t = t.size
+
+(* epoch of a timestamp, saturating far enough below max_int that
+   [epoch - cur_epoch] and [epoch + nb] never overflow *)
+let epoch t at =
+  let q = at /. t.w in
+  if q >= 1e18 then 0x3FFFFFFFFFFFFF else int_of_float q
+
+let bucket_push t b at seq pay =
+  let len = t.b_len.(b) in
+  if len = Array.length t.b_at.(b) then begin
+    let cap = max 8 (2 * len) in
+    let a = Array.make cap 0.0 and s = Array.make cap 0 and p = Array.make cap 0 in
+    Array.blit t.b_at.(b) 0 a 0 len;
+    Array.blit t.b_seq.(b) 0 s 0 len;
+    Array.blit t.b_pay.(b) 0 p 0 len;
+    t.b_at.(b) <- a;
+    t.b_seq.(b) <- s;
+    t.b_pay.(b) <- p
+  end;
+  t.b_at.(b).(len) <- at;
+  t.b_seq.(b).(len) <- seq;
+  t.b_pay.(b).(len) <- pay;
+  t.b_len.(b) <- len + 1;
+  t.bucketed <- t.bucketed + 1
+
+(* route an event that is strictly past cur_epoch *)
+let place_future t e at seq pay =
+  if e - t.cur_epoch <= t.nb then bucket_push t (e mod t.nb) at seq pay
+  else heap_push t.over at seq pay
+
+let add t ~at ~seq pay =
+  if not (Float.is_finite at) || at < 0.0 then
+    invalid_arg "Event_wheel.add: time must be finite and non-negative";
+  let e = epoch t at in
+  if e <= t.cur_epoch then heap_push t.aux at seq pay
+  else place_future t e at seq pay;
+  t.size <- t.size + 1
+
+(* rebuild the bucket array at a new size; every bucketed event is
+   re-routed against the unchanged cur_epoch (shrinking may push some
+   back over the horizon into the overflow heap) *)
+let rebucket t nb' =
+  let ob_at = t.b_at and ob_seq = t.b_seq and ob_pay = t.b_pay and ob_len = t.b_len in
+  let onb = t.nb in
+  t.nb <- nb';
+  t.b_at <- Array.make nb' [||];
+  t.b_seq <- Array.make nb' [||];
+  t.b_pay <- Array.make nb' [||];
+  t.b_len <- Array.make nb' 0;
+  t.bucketed <- 0;
+  for b = 0 to onb - 1 do
+    for i = 0 to ob_len.(b) - 1 do
+      place_future t (epoch t ob_at.(b).(i)) ob_at.(b).(i) ob_seq.(b).(i) ob_pay.(b).(i)
+    done
+  done
+
+let run_append t at seq pay =
+  if t.r_len = Array.length t.r_at then begin
+    let cap = max 16 (2 * t.r_len) in
+    let a = Array.make cap 0.0 and s = Array.make cap 0 and p = Array.make cap 0 in
+    Array.blit t.r_at 0 a 0 t.r_len;
+    Array.blit t.r_seq 0 s 0 t.r_len;
+    Array.blit t.r_pay 0 p 0 t.r_len;
+    t.r_at <- a;
+    t.r_seq <- s;
+    t.r_pay <- p
+  end;
+  t.r_at.(t.r_len) <- at;
+  t.r_seq.(t.r_len) <- seq;
+  t.r_pay.(t.r_len) <- pay;
+  t.r_len <- t.r_len + 1
+
+(* open the next window: find the next populated epoch among buckets
+   and overflow, migrate overflow entries back under the new horizon,
+   collect that epoch's bucket into the run and sort it.  Precondition:
+   run and aux are empty, size > 0. *)
+let advance t =
+  if t.bucketed > 4 * t.nb then rebucket t (2 * t.nb)
+  else if t.nb > 64 && t.bucketed < t.nb / 8 then rebucket t (t.nb / 2);
+  let next =
+    let from_bucket =
+      if t.bucketed = 0 then -1
+      else begin
+        let found = ref (-1) in
+        let k = ref 1 in
+        while !found < 0 && !k <= t.nb do
+          let e = t.cur_epoch + !k in
+          if t.b_len.(e mod t.nb) > 0 then found := e;
+          incr k
+        done;
+        !found
+      end
+    in
+    let from_over = if t.over.h_len = 0 then -1 else epoch t t.over.h_at.(0) in
+    if from_bucket < 0 then from_over
+    else if from_over < 0 then from_bucket
+    else min from_bucket from_over
+  in
+  (* size > 0 with empty run and aux means buckets or overflow hold
+     something, so [next] is a real epoch *)
+  t.cur_epoch <- next;
+  t.r_len <- 0;
+  t.r_head <- 0;
+  (* collect the bucket BEFORE migrating overflow: an overflow entry at
+     epoch exactly cur_epoch + nb maps to this same bucket slot, and
+     must land in the now-empty bucket, not in the current run *)
+  let b = t.cur_epoch mod t.nb in
+  let len = t.b_len.(b) in
+  for i = 0 to len - 1 do
+    run_append t t.b_at.(b).(i) t.b_seq.(b).(i) t.b_pay.(b).(i)
+  done;
+  t.b_len.(b) <- 0;
+  t.bucketed <- t.bucketed - len;
+  while t.over.h_len > 0 && epoch t t.over.h_at.(0) - t.cur_epoch <= t.nb do
+    let at = t.over.h_at.(0) and seq = t.over.h_seq.(0) and pay = t.over.h_pay.(0) in
+    heap_drop t.over;
+    let e = epoch t at in
+    if e = t.cur_epoch then run_append t at seq pay
+    else bucket_push t (e mod t.nb) at seq pay
+  done;
+  if t.r_len > 1 then qsort3 t.r_at t.r_seq t.r_pay 0 (t.r_len - 1)
+
+let needs_prepare t = t.size > 0 && t.r_head >= t.r_len && t.aux.h_len = 0
+let prepare t = if needs_prepare t then advance t
+
+(* true when the next event should come from the run rather than the
+   aux heap.  In unsafe_lookahead mode the run always wins while it has
+   entries — the deliberate order violation the gate self-test relies
+   on. *)
+let run_first t =
+  let have_run = t.r_head < t.r_len in
+  if not have_run then false
+  else if t.aux.h_len = 0 || t.unsafe then true
+  else
+    key_le t.r_at.(t.r_head) t.r_seq.(t.r_head) t.aux.h_at.(0) t.aux.h_seq.(0)
+
+let rec peek_key t =
+  if t.size = 0 then None
+  else if t.r_head >= t.r_len && t.aux.h_len = 0 then begin
+    advance t;
+    peek_key t
+  end
+  else if run_first t then Some (t.r_at.(t.r_head), t.r_seq.(t.r_head))
+  else Some (t.aux.h_at.(0), t.aux.h_seq.(0))
+
+let rec pop t =
+  if t.size = 0 then None
+  else if t.r_head >= t.r_len && t.aux.h_len = 0 then begin
+    advance t;
+    pop t
+  end
+  else begin
+    t.size <- t.size - 1;
+    if run_first t then begin
+      let i = t.r_head in
+      t.r_head <- i + 1;
+      Some (t.r_at.(i), t.r_seq.(i), t.r_pay.(i))
+    end
+    else begin
+      let at = t.aux.h_at.(0) and seq = t.aux.h_seq.(0) and pay = t.aux.h_pay.(0) in
+      heap_drop t.aux;
+      Some (at, seq, pay)
+    end
+  end
+
+(* allocation-free pop: [false] on empty, else the event is readable
+   through [last_at]/[last_seq]/[last_pay] until the next [pop_into].
+   Same selection logic as [pop], shared invariants argued there. *)
+let rec pop_into t =
+  if t.size = 0 then false
+  else if t.r_head >= t.r_len && t.aux.h_len = 0 then begin
+    advance t;
+    pop_into t
+  end
+  else begin
+    t.size <- t.size - 1;
+    (if run_first t then begin
+       let i = t.r_head in
+       t.r_head <- i + 1;
+       t.last_at_cell.(0) <- t.r_at.(i);
+       t.last_seq <- t.r_seq.(i);
+       t.last_pay <- t.r_pay.(i)
+     end
+     else begin
+       t.last_at_cell.(0) <- t.aux.h_at.(0);
+       t.last_seq <- t.aux.h_seq.(0);
+       t.last_pay <- t.aux.h_pay.(0);
+       heap_drop t.aux
+     end);
+    true
+  end
+
+let last_at t = t.last_at_cell.(0)
+let last_seq t = t.last_seq
+let last_pay t = t.last_pay
+
+(* allocation-free "does the head fire at exactly [at]?" — the mailbox
+   batching probe.  One [advance] always suffices: when size > 0 and
+   both run and aux are spent, the next populated epoch lands at least
+   one event in the run (argued in [advance]). *)
+let next_at_equals t at =
+  if t.size = 0 then false
+  else begin
+    if t.r_head >= t.r_len && t.aux.h_len = 0 then advance t;
+    if run_first t then Float.equal t.r_at.(t.r_head) at
+    else Float.equal t.aux.h_at.(0) at
+  end
+
+let footprint_words t =
+  let tri len = 3 * len in
+  let buckets = ref (4 * t.nb) in
+  for b = 0 to t.nb - 1 do
+    buckets := !buckets + tri (Array.length t.b_at.(b))
+  done;
+  !buckets + tri (Array.length t.r_at)
+  + tri (Array.length t.aux.h_at)
+  + tri (Array.length t.over.h_at)

@@ -1,0 +1,15 @@
+(* A Pool task mutating an event wheel captured from outside the task:
+   the sharded simulator's contract is each task touches its OWN shard,
+   so a shared wheel races like a shared Hashtbl.  [prepare] is the
+   sanctioned pool operation (prepare_all ripens each task's shard) and
+   must stay clean. *)
+
+let race xs =
+  let w = Owp_util.Event_wheel.create () in
+  ignore (Owp_util.Pool.map_list ~jobs:2 (fun x -> Owp_util.Event_wheel.add w ~at:1.0 ~seq:x x) xs);
+  ignore (Owp_util.Pool.map_list ~jobs:2 (fun _ -> Owp_util.Event_wheel.pop w) xs);
+  Owp_util.Event_wheel.size w
+
+let ripen wheels =
+  (* each task prepares the one wheel handed to it: legal *)
+  ignore (Owp_util.Pool.map ~jobs:2 Owp_util.Event_wheel.prepare wheels)

@@ -1,0 +1,316 @@
+(* The calendar queue against the reference binary heap: whatever mix
+   of timestamps is thrown at it — same-timestamp runs, sub-bucket
+   jitter, far-future outliers, adds interleaved with pops — the wheel
+   must reproduce the heap's (at, seq) pop order exactly, because
+   Simnet's bit-identical determinism now rests on that order.  The
+   deliberately wrong unsafe_lookahead mode must demonstrably break it
+   (that wrongness is what the bench gate's --inject lookahead leg
+   detects). *)
+
+module Wheel = Owp_util.Event_wheel
+
+module Ref_heap = Owp_util.Heap.Make (struct
+  type t = float * int * int
+
+  let compare (a1, s1, _) (a2, s2, _) =
+    let c = Float.compare a1 a2 in
+    if c <> 0 then c else compare s1 s2
+end)
+
+(* drive the same script through both queues; return both pop logs.
+   Script entries: [Add at] (seq assigned in script order) or [Pop]. *)
+type op = Add of float | Pop
+
+let run_script ?width ?buckets ops =
+  let wheel = Wheel.create ?width ?buckets () in
+  let heap = Ref_heap.create () in
+  let seq = ref 0 in
+  let wl = ref [] and hl = ref [] in
+  List.iter
+    (fun op ->
+      match op with
+      | Add at ->
+          Wheel.add wheel ~at ~seq:!seq !seq;
+          Ref_heap.add heap (at, !seq, !seq);
+          incr seq
+      | Pop ->
+          (match Wheel.pop wheel with
+          | Some (at, sq, pay) -> wl := (at, sq, pay) :: !wl
+          | None -> ());
+          (match Ref_heap.pop_min_opt heap with
+          | Some e -> hl := e :: !hl
+          | None -> ()))
+    ops;
+  (* drain both *)
+  let rec drain () =
+    match (Wheel.pop wheel, Ref_heap.pop_min_opt heap) with
+    | Some w, Some h ->
+        wl := w :: !wl;
+        hl := h :: !hl;
+        drain ()
+    | None, None -> ()
+    | Some w, None ->
+        wl := w :: !wl;
+        drain ()
+    | None, Some h ->
+        hl := h :: !hl;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check int) "wheel drained" 0 (Wheel.size wheel);
+  (List.rev !wl, List.rev !hl)
+
+let check_script ?width ?buckets ops =
+  let wl, hl = run_script ?width ?buckets ops in
+  Alcotest.(check int) "same length" (List.length hl) (List.length wl);
+  List.iter2
+    (fun (wa, ws, wp) (ha, hs, hp) ->
+      if not (Float.equal wa ha && ws = hs && wp = hp) then
+        Alcotest.failf "order diverged: wheel (%g,%d,%d) vs heap (%g,%d,%d)" wa ws
+          wp ha hs hp)
+    wl hl
+
+(* ------------------------------------------------------------------ *)
+(* pinned scenarios                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_then_drain () =
+  check_script
+    [ Add 3.0; Add 1.0; Add 2.0; Add 1.0; Add 0.5; Add 2.5; Add 1.0 ]
+
+let test_same_timestamp_run () =
+  (* seq is the only tie-break: a run of identical timestamps must come
+     back in insertion order *)
+  check_script (List.init 50 (fun _ -> Add 1.0))
+
+let test_far_future_outliers () =
+  check_script
+    [
+      Add 1.0; Add 1e12; Add 2.0; Pop; Add 1e9; Add 0.5; Pop; Pop; Add 3.0;
+      Add 1e12; Pop;
+    ]
+
+let test_insert_into_open_window () =
+  (* popping at 0.5 opens the epoch-0 window; 0.55 then lands inside it
+     (the FIFO-clamp pattern) and must still interleave exactly *)
+  check_script ~width:1.0 [ Add 0.5; Add 0.6; Pop; Add 0.55; Add 0.7 ]
+
+let test_past_insert_after_advance () =
+  (* an add below the draining epoch (possible under unsafe clocks or
+     arbitrary test scripts) must still come back first *)
+  check_script ~width:0.5 [ Add 5.0; Pop; Add 1.0; Add 6.0 ]
+
+let test_reuse_after_drain () =
+  check_script ~width:0.25
+    [ Add 1.0; Pop; Pop; Add 2.0; Add 0.125; Pop; Pop; Add 9.0 ]
+
+let test_empty () =
+  let w = Wheel.create () in
+  Alcotest.(check int) "empty size" 0 (Wheel.size w);
+  Alcotest.(check bool) "no pop" true (Wheel.pop w = None);
+  Alcotest.(check bool) "no peek" true (Wheel.peek_key w = None);
+  Alcotest.(check bool) "nothing to prepare" false (Wheel.needs_prepare w)
+
+let test_peek_matches_pop () =
+  let w = Wheel.create ~width:0.5 () in
+  List.iteri (fun i at -> Wheel.add w ~at ~seq:i i) [ 2.0; 0.5; 7.0; 0.5; 3.25 ];
+  let rec go () =
+    match Wheel.peek_key w with
+    | None -> Alcotest.(check bool) "drained" true (Wheel.pop w = None)
+    | Some (pa, ps) -> (
+        match Wheel.pop w with
+        | Some (at, seq, _) ->
+            Alcotest.(check (float 0.0)) "peek at" pa at;
+            Alcotest.(check int) "peek seq" ps seq;
+            go ()
+        | None -> Alcotest.fail "peek promised an event")
+  in
+  go ()
+
+let test_prepare_is_transparent () =
+  (* prepare opens the window early; the pop order must be unaffected *)
+  let mk () =
+    let w = Wheel.create ~width:1.0 () in
+    List.iteri (fun i at -> Wheel.add w ~at ~seq:i i) [ 4.0; 1.5; 1.25; 8.0 ];
+    w
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check bool) "needs prepare" true (Wheel.needs_prepare b);
+  Wheel.prepare b;
+  Alcotest.(check bool) "prepared" false (Wheel.needs_prepare b);
+  for _ = 1 to 4 do
+    Alcotest.(check bool) "same pops" true (Wheel.pop a = Wheel.pop b)
+  done
+
+let test_rejections () =
+  Alcotest.check_raises "zero width"
+    (Invalid_argument "Event_wheel.create: width must be positive") (fun () ->
+      ignore (Wheel.create ~width:0.0 ()));
+  Alcotest.check_raises "one bucket"
+    (Invalid_argument "Event_wheel.create: need at least 2 buckets") (fun () ->
+      ignore (Wheel.create ~buckets:1 ()));
+  let w = Wheel.create () in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Event_wheel.add: time must be finite and non-negative")
+    (fun () -> Wheel.add w ~at:(-1.0) ~seq:0 0)
+
+let fst3 (a, _, _) = a
+let snd3 (_, b, _) = b
+let thd3 (_, _, c) = c
+
+let test_unsafe_lookahead_breaks_order () =
+  (* same script, safe vs unsafe: an insertion into the open window is
+     served late in unsafe mode — this wrongness must be observable,
+     or the gate's lookahead-inject self-test could never trip *)
+  let script w =
+    List.iteri (fun i at -> Wheel.add w ~at ~seq:i i) [ 0.5; 0.6 ];
+    let first = Wheel.pop w in
+    Wheel.add w ~at:0.55 ~seq:2 2;
+    let second = Wheel.pop w in
+    let third = Wheel.pop w in
+    (first, second, third)
+  in
+  let safe = script (Wheel.create ~width:1.0 ()) in
+  let unsafe = script (Wheel.create ~width:1.0 ~unsafe_lookahead:true ()) in
+  Alcotest.(check bool) "first pop agrees" true (fst3 safe = fst3 unsafe);
+  Alcotest.(check bool) "safe interleaves the window insert" true
+    (snd3 safe = Some (0.55, 2, 2));
+  Alcotest.(check bool) "unsafe serves the stale run first" true
+    (snd3 unsafe = Some (0.6, 1, 1));
+  Alcotest.(check bool) "unsafe catches up afterwards" true
+    (thd3 unsafe = Some (0.55, 2, 2))
+
+let test_footprint_bounded () =
+  (* waves of traffic through one wheel: the backing store must track
+     the live population, not the total events ever enqueued *)
+  let w = Wheel.create ~width:0.5 () in
+  let seq = ref 0 in
+  let wave base =
+    for i = 0 to 999 do
+      Wheel.add w ~at:(base +. (0.01 *. float_of_int i)) ~seq:!seq !seq;
+      incr seq
+    done;
+    for _ = 1 to 1000 do
+      ignore (Wheel.pop w)
+    done
+  in
+  (* warm-up waves let the wheel settle its bucket count and per-bucket
+     capacities; after that the footprint must stop growing entirely,
+     even though every wave lands in fresh epochs (fresh residues) *)
+  for k = 0 to 24 do
+    wave (float_of_int k *. 100.0)
+  done;
+  let warm = Wheel.footprint_words w in
+  for k = 25 to 50 do
+    wave (float_of_int k *. 100.0)
+  done;
+  let after_many = Wheel.footprint_words w in
+  Alcotest.(check bool)
+    (Printf.sprintf "footprint stable under churn (%d -> %d words)" warm
+       after_many)
+    true
+    (after_many <= warm)
+
+(* ------------------------------------------------------------------ *)
+(* the QCheck property: random scripts, three timestamp regimes         *)
+(* ------------------------------------------------------------------ *)
+
+let gen_script =
+  let open QCheck2.Gen in
+  let gen_at =
+    frequency
+      [
+        (* clustered: many equal timestamps, exercises seq tie-breaks *)
+        (4, int_range 0 40 >|= fun k -> float_of_int k /. 8.0);
+        (* smooth: generic positions inside and across buckets *)
+        (4, float_bound_exclusive 50.0);
+        (* far-future outliers straight into the overflow heap *)
+        (1, float_bound_exclusive 5.0 >|= fun f -> (f +. 1.0) *. 1e10);
+      ]
+  in
+  let gen_op = frequency [ (3, gen_at >|= fun at -> Add at); (2, pure Pop) ] in
+  list_size (int_range 1 400) gen_op
+
+let print_script ops =
+  String.concat "; "
+    (List.map
+       (function Add at -> Printf.sprintf "Add %h" at | Pop -> "Pop")
+       ops)
+
+let prop_order_equivalence =
+  QCheck2.Test.make ~count:300 ~print:print_script
+    ~name:"wheel pops in the reference heap's exact (at, seq) order" gen_script
+    (fun ops ->
+      let wl, hl = run_script ~width:0.5 ~buckets:4 ops in
+      wl = hl)
+
+let prop_order_equivalence_wide =
+  QCheck2.Test.make ~count:200 ~print:print_script
+    ~name:"order equivalence across bucket widths" gen_script (fun ops ->
+      List.for_all
+        (fun width ->
+          let wl, hl = run_script ~width ops in
+          wl = hl)
+        [ 0.03125; 1.0; 64.0 ])
+
+let prop_pop_into_agrees_with_pop =
+  QCheck2.Test.make ~count:200 ~print:print_script
+    ~name:"allocation-free pop_into replays pop exactly" gen_script (fun ops ->
+      let a = Wheel.create ~width:0.5 ~buckets:4 () in
+      let b = Wheel.create ~width:0.5 ~buckets:4 () in
+      let seq = ref 0 in
+      let ok = ref true in
+      let pop_both () =
+        (match (Wheel.pop a, Wheel.pop_into b) with
+        | Some (at, sq, pay), true ->
+            if
+              not
+                (Float.equal at (Wheel.last_at b)
+                && sq = Wheel.last_seq b
+                && pay = Wheel.last_pay b)
+            then ok := false
+        | None, false -> ()
+        | _ -> ok := false);
+        (* the batching probe must agree with the boxed peek *)
+        match Wheel.peek_key a with
+        | Some (at, _) ->
+            if not (Wheel.next_at_equals b at) then ok := false;
+            if Wheel.next_at_equals b (at +. 1e6) then ok := false
+        | None -> if Wheel.next_at_equals b 0.0 then ok := false
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Add at ->
+              Wheel.add a ~at ~seq:!seq !seq;
+              Wheel.add b ~at ~seq:!seq !seq;
+              incr seq
+          | Pop -> pop_both ())
+        ops;
+      while Wheel.size a > 0 do
+        pop_both ()
+      done;
+      !ok && Wheel.size b = 0)
+
+let suite =
+  [
+    Alcotest.test_case "batch then drain" `Quick test_batch_then_drain;
+    Alcotest.test_case "same-timestamp run" `Quick test_same_timestamp_run;
+    Alcotest.test_case "far-future outliers" `Quick test_far_future_outliers;
+    Alcotest.test_case "insert into the open window" `Quick
+      test_insert_into_open_window;
+    Alcotest.test_case "past insert after advance" `Quick
+      test_past_insert_after_advance;
+    Alcotest.test_case "reuse after drain" `Quick test_reuse_after_drain;
+    Alcotest.test_case "empty wheel" `Quick test_empty;
+    Alcotest.test_case "peek matches pop" `Quick test_peek_matches_pop;
+    Alcotest.test_case "prepare is transparent" `Quick test_prepare_is_transparent;
+    Alcotest.test_case "rejections" `Quick test_rejections;
+    Alcotest.test_case "unsafe_lookahead breaks the order" `Quick
+      test_unsafe_lookahead_breaks_order;
+    Alcotest.test_case "footprint bounded under churn" `Quick
+      test_footprint_bounded;
+    QCheck_alcotest.to_alcotest prop_order_equivalence;
+    QCheck_alcotest.to_alcotest prop_order_equivalence_wide;
+    QCheck_alcotest.to_alcotest prop_pop_into_agrees_with_pop;
+  ]

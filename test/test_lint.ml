@@ -102,6 +102,18 @@ let test_serve_clock_fires =
   check_file "fx_serve_clock_bad.ml"
     [ (4, "clock-hygiene"); (6, "clock-hygiene"); (8, "clock-hygiene") ]
 
+let test_simnet_clock_fires =
+  (* a simnet-named unit is held to the serve layer's standard: lines 6
+     and 8 read the shim (forbidden only in the simulator and serving
+     layers); line 10 shows the base wall-clock rule still applies *)
+  check_file "fx_simnet_clock_bad.ml"
+    [ (6, "clock-hygiene"); (8, "clock-hygiene"); (10, "clock-hygiene") ]
+
+let test_wheel_pool_fires =
+  (* Event_wheel.add/pop on a wheel captured from outside the Pool task
+     fire on lines 9 and 10; the prepare-only closure stays clean *)
+  check_file "fx_wheel_pool_bad.ml" [ (9, "pool-capture"); (10, "pool-capture") ]
+
 let test_serve_layer_fires =
   (* on_request-shaped records obey the same construction discipline
      as on_send/on_deliver middleware *)
@@ -192,6 +204,8 @@ let suite =
     Alcotest.test_case "layer-conformance fires" `Quick test_layer_fires;
     Alcotest.test_case "serve clock-hygiene fires" `Quick test_serve_clock_fires;
     Alcotest.test_case "serve layer-conformance fires" `Quick test_serve_layer_fires;
+    Alcotest.test_case "simnet clock-hygiene fires" `Quick test_simnet_clock_fires;
+    Alcotest.test_case "wheel pool-capture fires" `Quick test_wheel_pool_fires;
     Alcotest.test_case "exact position" `Quick test_exact_position;
     Alcotest.test_case "suppression" `Quick test_suppression_moves_finding;
     Alcotest.test_case "registry complete" `Quick test_registry_complete;

@@ -6,6 +6,7 @@ let () =
       ("util.prng", Test_prng.suite);
       ("util.pool", Test_pool.suite);
       ("util.heap", Test_heap.suite);
+      ("util.event_wheel", Test_event_wheel.suite);
       ("util.dsu", Test_dsu.suite);
       ("util.stats", Test_stats.suite);
       ("util.tablefmt", Test_tablefmt.suite);

@@ -194,6 +194,57 @@ let test_engine_rejections () =
   Alcotest.(check bool) "negative handicap rejected" true
     (Result.is_error (Serve.run ~handicap:(-1.0) ~arrivals (lid_cfg ()) prefs))
 
+let test_shards_serve_identical_sessions () =
+  (* the sharded event store must be invisible to the serving layer:
+     a session run with sim_shards 2 or 4 must reproduce the sequential
+     session byte for byte, seed by seed *)
+  let arrivals = parse "0.5:horizon=40" in
+  List.iter
+    (fun seed ->
+      let prefs = prefs ~seed () in
+      let session sim_shards =
+        let cfg =
+          match RC.validate (RC.make ~engine:RC.Lid ~seed ~sim_shards ()) with
+          | Ok c -> c
+          | Error m -> Alcotest.fail m
+        in
+        SR.summary (report ~arrivals cfg prefs)
+      in
+      let reference = session 1 in
+      List.iter
+        (fun sim_shards ->
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d: sim_shards=%d session byte-identical" seed
+               sim_shards)
+            reference (session sim_shards))
+        [ 2; 4 ])
+    [ 11; 12; 13 ]
+
+let test_session_memory_bounded () =
+  (* a serve session builds a fresh pipeline (and so a fresh simulator)
+     per mutation, so the long-lived risk is the simulator a session
+     re-enters between requests: drive sustained request waves through
+     one Simnet and assert its footprint does not track the traffic
+     that has already drained *)
+  let module Sim = Owp_simnet.Simnet in
+  let n = 30 in
+  let net = Sim.create ~seed:11 ~nodes:n ~delay:(Sim.Uniform (0.5, 1.5)) () in
+  Sim.set_handler net (fun ~src ~dst m ->
+      if m > 0 then Sim.send net ~src:dst ~dst:((dst + src) mod n) (m - 1));
+  let wave k =
+    for i = 0 to n - 1 do
+      Sim.send net ~src:i ~dst:((i + k) mod n) 3
+    done;
+    Sim.run net
+  in
+  for k = 1 to 50 do wave k done;
+  let warm = Sim.footprint_words net in
+  for k = 51 to 500 do wave k done;
+  let after = Sim.footprint_words net in
+  Alcotest.(check bool)
+    (Printf.sprintf "session footprint bounded (%d -> %d words)" warm after)
+    true (after <= 2 * warm)
+
 let suite =
   [
     Alcotest.test_case "arrivals parse examples" `Quick test_parse_examples;
@@ -206,4 +257,7 @@ let suite =
     Alcotest.test_case "handicap slows service" `Quick test_handicap_slows_service;
     Alcotest.test_case "serve x deadline x guard" `Quick test_compose_deadline_guard;
     Alcotest.test_case "rejections" `Quick test_engine_rejections;
+    Alcotest.test_case "shards serve identical sessions" `Quick
+      test_shards_serve_identical_sessions;
+    Alcotest.test_case "session memory bounded" `Quick test_session_memory_bounded;
   ]

@@ -192,6 +192,98 @@ let test_per_link_delay () =
   Sim.run net;
   Alcotest.(check (list int)) "shorter link first" [ 2; 1 ] !order
 
+
+(* ------------------------------------------------------------------ *)
+(* sharded event store                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* a traffic pattern with every ingredient that could expose a shard
+   dependence: random fan-out (so messages cross shard boundaries),
+   handlers that send onward (FIFO-clamp inserts into open windows),
+   and timers interleaved with deliveries *)
+let shard_trace ~shards ~seed =
+  let n = 30 in
+  let net = Sim.create ~seed ~shards ~nodes:n ~delay:(Sim.Uniform (0.2, 1.8)) () in
+  let log = ref [] in
+  Sim.set_trace net (Some (fun at ~src ~dst m -> log := (at, src, dst, m) :: !log));
+  Sim.set_handler net (fun ~src ~dst m ->
+      if m > 0 then begin
+        Sim.send net ~src:dst ~dst:((dst + m) mod n) (m - 1);
+        Sim.send net ~src:dst ~dst:src (m / 2)
+      end);
+  for i = 0 to n - 1 do
+    Sim.send net ~src:i ~dst:((i * 7) mod n) 4
+  done;
+  Sim.schedule net ~delay:1.5 (fun () -> Sim.send net ~src:0 ~dst:(n / 2) 3);
+  Sim.run net;
+  ( List.rev !log,
+    Sim.messages_sent net,
+    Sim.messages_delivered net,
+    Sim.now net )
+
+let test_shards_bit_identical () =
+  let reference = shard_trace ~shards:1 ~seed:99 in
+  List.iter
+    (fun shards ->
+      Alcotest.(check bool)
+        (Printf.sprintf "shards=%d reproduces the sequential trace" shards)
+        true
+        (shard_trace ~shards ~seed:99 = reference))
+    [ 2; 3; 4; 7; 30 ]
+
+let test_shard_count_clamped () =
+  let net : int Sim.t = Sim.create ~shards:16 ~nodes:5 ~delay:Sim.Unit () in
+  Alcotest.(check int) "clamped to nodes" 5 (Sim.shard_count net);
+  let net2 : int Sim.t = Sim.create ~nodes:5 ~delay:Sim.Unit () in
+  Alcotest.(check int) "default is one shard" 1 (Sim.shard_count net2)
+
+let test_shard_rejections () =
+  Alcotest.check_raises "zero shards"
+    (Invalid_argument "Simnet.create: shards must be positive") (fun () ->
+      ignore (Sim.create ~shards:0 ~nodes:2 ~delay:Sim.Unit () : int Sim.t))
+
+let test_same_timestamp_batch_order () =
+  (* deliveries sharing one timestamp must drain in send (seq) order —
+     the mailbox batching must not perturb the (at, seq) total order.
+     Distinct links, so the FIFO clamp leaves all arrivals at exactly
+     the unit delay and the whole burst is one timestamp *)
+  let net = Sim.create ~nodes:21 ~delay:Sim.Unit () in
+  let got = ref [] in
+  Sim.set_handler net (fun ~src:_ ~dst:_ m -> got := m :: !got);
+  for i = 1 to 20 do
+    Sim.send net ~src:0 ~dst:i i
+  done;
+  Sim.run net;
+  Alcotest.(check (list int)) "seq order within the batch"
+    (List.init 20 (fun i -> 20 - i))
+    !got;
+  Alcotest.(check (float 1e-9)) "all at unit time" 1.0 (Sim.now net)
+
+let test_footprint_tracks_live_events () =
+  (* sustained traffic through one simulator: the event store, message
+     arena and link-clock table must track the in-flight population,
+     not the total traffic that ever passed through *)
+  let net = Sim.create ~nodes:20 ~delay:(Sim.Uniform (0.5, 1.5)) () in
+  Sim.set_handler net (fun ~src:_ ~dst:_ _ -> ());
+  let wave () =
+    for i = 0 to 19 do
+      Sim.send net ~src:i ~dst:((i + 1) mod 20) i
+    done;
+    Sim.run net
+  in
+  for _ = 1 to 100 do wave () done;
+  let warm = Sim.footprint_words net in
+  for _ = 1 to 400 do wave () done;
+  let after = Sim.footprint_words net in
+  (* 400 extra waves push 8_000 more events through the net; a per-event
+     leak (the old per-message Hashtbl side-table) would add tens of
+     thousands of words.  Amortized capacity ripening of the wheel and
+     arenas is allowed, a traffic-proportional slope is not *)
+  Alcotest.(check bool)
+    (Printf.sprintf "footprint bounded under sustained traffic (%d -> %d words)"
+       warm after)
+    true (after <= 2 * warm)
+
 let suite =
   [
     Alcotest.test_case "single delivery" `Quick test_single_delivery;
@@ -212,4 +304,11 @@ let suite =
     Alcotest.test_case "no handler fails" `Quick test_no_handler_fails;
     Alcotest.test_case "exponential delay" `Quick test_exponential_delay_positive;
     Alcotest.test_case "per-link delay" `Quick test_per_link_delay;
+    Alcotest.test_case "shards bit-identical" `Quick test_shards_bit_identical;
+    Alcotest.test_case "shard count clamped" `Quick test_shard_count_clamped;
+    Alcotest.test_case "shard rejections" `Quick test_shard_rejections;
+    Alcotest.test_case "same-timestamp batch order" `Quick
+      test_same_timestamp_batch_order;
+    Alcotest.test_case "footprint tracks live events" `Quick
+      test_footprint_tracks_live_events;
   ]

@@ -156,6 +156,57 @@ let test_full_composition_coherent () =
     (fun l -> Alcotest.(check bool) (l ^ " row present") true (List.mem l names))
     [ "lid"; "detector"; "adversary"; "guard"; "dedup"; "transport"; "channel" ]
 
+(* ------------------------------------------------------------------ *)
+(* sharded event store: bit-identity through the full composition      *)
+(* ------------------------------------------------------------------ *)
+
+module Schedule = Owp_simnet.Schedule
+
+(* everything a run produced that a scheduling difference could perturb
+   (completion_time is a float, but never NaN, so polymorphic equality
+   is exact) *)
+let report_digest (r : Stack.report) =
+  ( BM.edge_ids r.Stack.matching,
+    (r.Stack.prop_count, r.Stack.rej_count, r.Stack.synthetic_rejects),
+    r.Stack.completion_time,
+    r.Stack.all_terminated,
+    (match r.Stack.cutoff with
+    | Some c -> (c.Stack.cut_at, c.Stack.released, c.Stack.abandoned)
+    | None -> (0.0, -1, -1)),
+    List.map (fun { Stack.layer; counters } -> (layer, counters)) r.Stack.layers )
+
+let prop_shards_bit_identical_full_composition =
+  (* space-partitioning the event store must be invisible: with every
+     layer enabled at once (lossy reordering channel + ARQ + scheduled
+     weather + guarded liars + an anytime deadline), shards 2 and 4
+     must replay the sequential run bit for bit — same edge set, same
+     counters in every layer row, same virtual completion time *)
+  QCheck2.Test.make
+    ~name:"full composition is bit-identical for sim_shards 1/2/4" ~count:100
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let _, p, w, capacity = random_instance seed 40 6 2 in
+      let n = Graph.node_count (Preference.graph p) in
+      let adversaries =
+        Owp_simnet.Adversary.assign (Prng.create seed) ~n
+          (Owp_simnet.Adversary.parse_spec "liar:0.2")
+      in
+      let weather =
+        [
+          { Schedule.from_ = 2.0; until = 5.0; what = Schedule.Burst 0.4 };
+          { Schedule.from_ = 4.0; until = 7.0; what = Schedule.Link_down [ (0, 1) ] };
+        ]
+      in
+      let run sim_shards =
+        report_digest
+          (Stack.run ~seed ~fifo:false
+             ~faults:(Sim.faults ~drop:0.05 ~reorder:0.1 ())
+             ~schedule:weather ~reliable:true ~sim_shards ~deadline:6.0
+             ~adversaries ~guard:true ~prefs:p w ~capacity)
+      in
+      let reference = run 1 in
+      run 2 = reference && run 4 = reference)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_zero_middleware_bit_identical;
@@ -168,4 +219,5 @@ let suite =
     Alcotest.test_case "no second state machine" `Quick
       test_no_second_state_machine_in_tree;
     Alcotest.test_case "full composition coherent" `Quick test_full_composition_coherent;
+    QCheck_alcotest.to_alcotest prop_shards_bit_identical_full_composition;
   ]

@@ -36,9 +36,10 @@ let test_small_instances () =
     insts
 
 let test_registry () =
-  Alcotest.(check int) "twenty-eight experiments" 28 (List.length E.all);
+  Alcotest.(check int) "twenty-nine experiments" 29 (List.length E.all);
   Alcotest.(check bool) "find e3" true (E.find "e3" <> None);
   Alcotest.(check bool) "find e27" true (E.find "e27" <> None);
+  Alcotest.(check bool) "find e28" true (E.find "e28" <> None);
   Alcotest.(check bool) "find E10" true (E.find "E10" <> None);
   Alcotest.(check bool) "find e16" true (E.find "e16" <> None);
   Alcotest.(check bool) "unknown" true (E.find "e99" = None)
